@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*.py`` regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index).  Heavy experiment runs
+use ``benchmark.pedantic`` with a single round — the interesting output
+is the regenerated data (asserted for shape), the timing is secondary.
+
+``BENCH_SCALE`` shortens traces relative to the full experiment runs;
+capacity-knee effects need >= ~0.6, which is what the figure benches
+use via the shared context below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+#: Trace-length scale for benchmark runs.
+BENCH_SCALE = 0.6
+
+#: Workload subset used by the figure benches (covers s.t./m.t.,
+#: capacity-sensitive and AI workloads).
+BENCH_WORKLOADS = ("bzip2", "gobmk", "cg", "mg", "deepsjeng", "leela", "exchange2")
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    """One shared experiment context for the whole benchmark session."""
+    return ExperimentContext(scale=BENCH_SCALE)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

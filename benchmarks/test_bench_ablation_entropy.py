@@ -1,0 +1,45 @@
+"""Ablation bench: local-entropy skip bits M (paper uses M=10).
+
+Profiles the AI workloads at M in {6, 10, 12} and checks the Figure 4
+energy-correlation conclusion is robust to the page-size choice.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro import nvsim, prism, sim, workloads
+from repro.correlate import pearson
+
+AI = ("deepsjeng", "leela", "exchange2")
+
+
+def _run(skip_bits: int):
+    energies = []
+    entropies = []
+    for name in AI:
+        trace = workloads.generate_trace(name, n_accesses=60_000)
+        session = sim.SimulationSession(trace)
+        baseline = session.run(nvsim.sram_baseline())
+        norm = sim.normalize(
+            session.run(nvsim.published_model("Jan_S")), baseline
+        )
+        features = prism.extract_features(trace, skip_bits=skip_bits)
+        energies.append(norm.energy_ratio)
+        entropies.append(features.write_local_entropy)
+    return pearson(np.array(entropies), np.array(energies))
+
+
+def test_bench_entropy_m10(benchmark):
+    correlation = run_once(benchmark, _run, 10)
+    assert abs(correlation) > 0.8
+
+
+def test_bench_entropy_m6(benchmark):
+    correlation = run_once(benchmark, _run, 6)
+    assert abs(correlation) > 0.6
+
+
+def test_bench_entropy_m12(benchmark):
+    correlation = run_once(benchmark, _run, 12)
+    assert abs(correlation) > 0.6

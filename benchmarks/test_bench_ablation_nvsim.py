@@ -1,0 +1,51 @@
+"""Ablation bench: analytical circuit models vs published Table III.
+
+Re-runs a fixed-capacity sweep with LLC models *generated* by the
+simplified NVSim-equivalent instead of the published values, checking
+that the headline conclusions (who wins on energy, near-unity speedups)
+are robust to the model source.
+"""
+
+from conftest import run_once
+
+from repro import nvsim, sim, workloads
+from repro.cells import JAN, KANG, SRAM, XUE
+from repro.nvsim import CacheDesign, generate_llc_model
+
+DESIGN = CacheDesign(capacity_bytes=2 * 1024 * 1024)
+
+
+def _run(source: str):
+    trace = workloads.generate_trace("bzip2", n_accesses=80_000)
+    session = sim.SimulationSession(trace)
+    if source == "published":
+        models = {
+            name: nvsim.published_model(name)
+            for name in ("Kang_P", "Jan_S", "Xue_S")
+        }
+        baseline_model = nvsim.sram_baseline()
+    else:
+        models = {
+            cell.display_name: generate_llc_model(cell, DESIGN)
+            for cell in (KANG, JAN, XUE)
+        }
+        baseline_model = generate_llc_model(SRAM, DESIGN)
+    baseline = session.run(baseline_model)
+    return {
+        name: sim.normalize(session.run(model), baseline)
+        for name, model in models.items()
+    }
+
+
+def test_bench_published_models(benchmark):
+    results = run_once(benchmark, _run, "published")
+    assert results["Jan_S"].energy_ratio < 0.3
+    assert results["Kang_P"].energy_ratio > results["Xue_S"].energy_ratio
+
+
+def test_bench_generated_models(benchmark):
+    # The conclusions must survive swapping in the analytical models.
+    results = run_once(benchmark, _run, "generated")
+    assert results["Jan_S"].energy_ratio < 0.3
+    assert results["Kang_P"].energy_ratio > results["Xue_S"].energy_ratio
+    assert 0.9 < results["Xue_S"].speedup < 1.1

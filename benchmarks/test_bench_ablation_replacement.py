@@ -1,0 +1,45 @@
+"""Ablation bench: LLC replacement policy sensitivity.
+
+Checks that the headline NVM conclusions do not hinge on LRU: the energy
+winners are unchanged under random and SRRIP replacement, while the
+thrash-prone workload's miss rate shifts the way the policies predict.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro import nvsim, sim, workloads
+
+
+def _run(policy: str):
+    # Full-length trace: the sweep component needs >1 pass before
+    # replacement policy can matter on the thrash pattern.
+    trace = workloads.generate_trace("bzip2")
+    arch = dataclasses.replace(sim.gainestown(), llc_replacement=policy)
+    session = sim.SimulationSession(trace, arch=arch)
+    baseline = session.run(nvsim.sram_baseline())
+    jan = sim.normalize(session.run(nvsim.published_model("Jan_S")), baseline)
+    kang = sim.normalize(session.run(nvsim.published_model("Kang_P")), baseline)
+    return baseline.mpki, jan, kang
+
+
+def test_bench_replacement_lru(benchmark):
+    mpki, jan, kang = run_once(benchmark, _run, "lru")
+    assert jan.energy_ratio < 0.3
+    assert kang.energy_ratio > jan.energy_ratio
+
+
+def test_bench_replacement_random(benchmark):
+    lru_mpki, _, _ = _run("lru")
+    mpki, jan, kang = run_once(benchmark, _run, "random")
+    # Random replacement beats LRU on the cyclic-sweep workload.
+    assert mpki < lru_mpki
+    assert jan.energy_ratio < 0.3
+    assert kang.energy_ratio > jan.energy_ratio
+
+
+def test_bench_replacement_srrip(benchmark):
+    mpki, jan, kang = run_once(benchmark, _run, "srrip")
+    assert jan.energy_ratio < 0.3
+    assert kang.energy_ratio > jan.energy_ratio

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section V-C core-sweep study (reduced grid)."""
+
+from conftest import run_once
+
+from repro.experiments import coresweep
+
+
+def test_bench_coresweep(benchmark):
+    result = run_once(
+        benchmark,
+        coresweep.run,
+        ("mg", "cg"),
+        (1, 4, 8),
+        ("Jan_S", "Xue_S", "Hayakawa_R", "SRAM"),
+        0.5,
+    )
+    assert "mg" in result.baselines
+    # Capacity strain: at 8 cores the dense NVM beats the 1 MB Jan_S.
+    assert result.speedup("mg", 8, "Hayakawa_R") > result.speedup("mg", 8, "Jan_S")
+    # Weak scaling: 4 cores do 4x the work of the 1-core baseline in
+    # less than 4x... i.e. per-unit-work speedup exceeds 1.
+    assert result.speedup("mg", 4, "SRAM") > 1.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 1 (fixed-capacity speedup/energy/ED^2P)."""
+
+from conftest import BENCH_WORKLOADS, run_once
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_context):
+    data = run_once(benchmark, figure1.run, bench_context, BENCH_WORKLOADS)
+    assert set(data.results) == set(figure1.MODEL_ORDER)
+    # Paper shape: near-unity speedups, order-of-magnitude STT energy wins.
+    for workload in BENCH_WORKLOADS:
+        assert 0.85 < data.metric("Xue_S", workload, "speedup") < 1.1
+        assert data.metric("Jan_S", workload, "energy_ratio") < 0.5
+    # Kang_P worst energy on the write-heavy AI workload.
+    assert data.metric("Kang_P", "deepsjeng", "energy_ratio") == max(
+        data.metric(llc, "deepsjeng", "energy_ratio")
+        for llc in figure1.MODEL_ORDER
+    )

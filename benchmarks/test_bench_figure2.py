@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (fixed-area speedup/energy/ED^2P)."""
+
+from conftest import BENCH_WORKLOADS, run_once
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, bench_context):
+    data = run_once(benchmark, figure2.run, bench_context, BENCH_WORKLOADS)
+    assert data.configuration == "fixed-area"
+    # Capacity buys the dense NVMs speedup on the capacity-starved
+    # workloads (paper: >10% winners on bzip2/gobmk-class workloads).
+    assert data.metric("Xue_S", "bzip2", "speedup") > 1.05
+    assert data.metric("Hayakawa_R", "deepsjeng", "speedup") > 1.05
+    # Jan_S at 1 MB cannot win capacity speedups.
+    for workload in BENCH_WORKLOADS:
+        assert data.metric("Jan_S", workload, "speedup") < 1.03

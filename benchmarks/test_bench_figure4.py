@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (feature correlation heatmaps)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, bench_context):
+    result = run_once(benchmark, figure4.run, bench_context)
+    assert len(result.ai_reports) == 6
+    # Paper's AI-scope pattern: write-behaviour features dominate energy,
+    # totals decorrelate.
+    report = result.report("Jan_S", "fixed-capacity")
+    write_strength = abs(report.correlation("write_local_entropy", "energy"))
+    assert write_strength > 0.9
+    assert abs(report.correlation("total_reads", "energy")) < write_strength

@@ -1,0 +1,19 @@
+"""Benchmark: the Section VII lifetime study (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import lifetime
+from repro.experiments.common import ExperimentContext
+
+
+def test_bench_lifetime(benchmark):
+    context = ExperimentContext(scale=0.4)
+    study = run_once(
+        benchmark, lifetime.run, context, lifetime.DEFAULT_LLCS,
+        ("gobmk", "ft", "leela", "mg"),
+    )
+    # RRAM outlives PCRAM by the Table I endurance ratio's order.
+    for workload in study.workloads:
+        assert study.lifetime_years("Zhang_R", workload) > 50 * study.lifetime_years(
+            "Kang_P", workload
+        )

@@ -1,0 +1,19 @@
+"""Benchmark: SLC-vs-MLC derivation sweep over the SLC library cells."""
+
+from repro.cells.base import CellClass
+from repro.cells.library import NVM_CELLS
+from repro.nvsim.mlc import compare_slc_mlc
+
+
+def test_bench_mlc_sweep(benchmark):
+    slc_cells = [c for c in NVM_CELLS if c.bits_per_cell == 1]
+
+    def run():
+        return {c.display_name: compare_slc_mlc(c) for c in slc_cells}
+
+    comparisons = benchmark(run)
+    assert len(comparisons) == 8
+    for name, comparison in comparisons.items():
+        # MLC buys fixed-area capacity and costs read latency, always.
+        assert comparison.capacity_gain >= 1.0, name
+        assert comparison.read_latency_penalty > 1.0, name

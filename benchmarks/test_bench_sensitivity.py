@@ -1,0 +1,10 @@
+"""Benchmark: the robustness (sensitivity) sweep at near-full scale."""
+
+from conftest import run_once
+
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark):
+    result = run_once(benchmark, sensitivity.run, 0.6)
+    assert result.robust, sensitivity.render(result)

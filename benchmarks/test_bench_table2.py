@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (cell parameters + provenance)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(table2.run)
+    assert result.all_specifiable
+    assert len(result.validations) == 10
+    rendered = table2.render(result)
+    assert "†" in rendered and "*" in rendered
+
+
+def test_bench_table2_render(benchmark):
+    result = table2.run()
+    text = benchmark(table2.render, result)
+    assert "Oh_P" in text and "Zhang_R" in text

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III (LLC models, both configurations).
+
+The circuit model runs on all eleven cells for fixed-capacity and
+fixed-area; the assertions re-check the fidelity regime the tests pin.
+"""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(table3.run)
+    assert len(result.comparisons) == 22
+    for comparison in result.comparisons:
+        if comparison.configuration != "fixed-capacity":
+            continue
+        assert 1 / 5 < comparison.ratio("read_latency_s") < 5
+
+
+def test_bench_table3_render(benchmark):
+    result = table3.run()
+    text = benchmark(
+        lambda: table3.render(result, "fixed-capacity")
+        + table3.render(result, "fixed-area")
+    )
+    assert "Generated/published ratios" in text

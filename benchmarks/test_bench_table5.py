@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table V (workload LLC mpki on the baseline)."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_bench_table5(benchmark, bench_context):
+    result = run_once(benchmark, table5.run, bench_context)
+    assert len(result.rows) == 20
+    # The paper's selection bar (with the documented exchange2 exemption).
+    assert result.stress_criterion_met
+    measured = {r.workload: r.measured_mpki for r in result.rows}
+    assert measured["deepsjeng"] > measured["vips"]

@@ -1,0 +1,20 @@
+"""Benchmark: the techniques study (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import techniques_study
+from repro.experiments.common import ExperimentContext
+
+
+def test_bench_techniques(benchmark):
+    context = ExperimentContext(scale=0.4)
+    study = run_once(
+        benchmark, techniques_study.run, context, ("Kang_P",), ("gobmk", "ft")
+    )
+    ewt = study.evaluation("gobmk", "Kang_P", "early-write-termination")
+    assert ewt.energy_reduction > 0.5
+    bypass = study.evaluation("gobmk", "Kang_P", "write-bypass")
+    assert bypass.treated.bypassed_writes > 0
+    # Hybrid diverts a meaningful share of writes on every workload.
+    for hybrid in study.hybrids:
+        assert hybrid.nvm_write_reduction > 0.02

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Multi-programmed co-location on a shared NVM LLC.
+
+Runs a mix of single-threaded benchmarks — one per core, private address
+spaces, one shared LLC — and compares technologies on the standard
+multi-program metric (weighted speedup vs isolated runs).  This is the
+scenario where fixed-area density pays most directly: every co-runner's
+working set competes for the same cache.
+
+Run:  python examples/colocation.py [--quick]
+"""
+
+import sys
+
+from repro import nvsim, sim
+
+MIX = ("bzip2", "gobmk", "deepsjeng", "tonto")
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    n_each = 60_000 if quick else None  # None = full-length traces
+    if quick:
+        print("(quick mode: shortened traces, capacity effects muted)\n")
+
+    print(f"mix: {' + '.join(MIX)} on 4 cores, shared LLC\n")
+    print(f"{'LLC':12s} {'config':15s} {'weighted speedup':>17s} "
+          f"{'LLC energy [uJ]':>16s}")
+    rows = [
+        ("SRAM", "fixed-area"),
+        ("Jan_S", "fixed-area"),
+        ("Xue_S", "fixed-area"),
+        ("Hayakawa_R", "fixed-area"),
+        ("Zhang_R", "fixed-area"),
+    ]
+    results = {}
+    for name, configuration in rows:
+        model = nvsim.published_model(name, configuration)
+        result = sim.simulate_mix(
+            MIX, model, n_accesses_each=n_each, configuration=configuration
+        )
+        results[name] = result
+        print(f"{name:12s} {configuration:15s} {result.weighted_speedup:17.3f} "
+              f"{result.llc_energy_j * 1e6:16.1f}")
+
+    print("\nper-benchmark slowdown under co-location (Xue_S):")
+    for name, speedup in results["Xue_S"].per_benchmark_speedup.items():
+        print(f"  {name:12s} {speedup:.3f}x of isolated")
+
+    best = max(results, key=lambda k: results[k].weighted_speedup)
+    frugal = min(results, key=lambda k: results[k].llc_energy_j)
+    print(f"\nbest throughput: {best}; best LLC energy: {frugal}")
+    print("dense fixed-area NVMs absorb the combined working set; the")
+    print("1 MB Jan_S pays in misses what it saves in leakage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Design-space exploration: model *your own* NVM cell with the paper's
+heuristics and see where its LLC lands against the released library.
+
+This walks the paper's Section III pipeline end to end:
+
+1. start from an (incomplete) cell spec as a VLSI paper would report it,
+2. fill the gaps with heuristics 1-3,
+3. run the NVSim-equivalent circuit model at fixed capacity,
+4. solve the fixed-area capacity for the SRAM budget,
+5. compare against the Table II/III library on a workload.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import nvsim, sim, units, workloads
+from repro.cells import (
+    CellClass,
+    NVMCell,
+    cells_of_class,
+    interpolate_from_cells,
+    reported,
+    similar_parameter,
+    validate_cell,
+)
+from repro.cells.heuristics import apply_electrical_properties
+from repro.nvsim import CacheDesign, generate_llc_model, generate_fixed_area_model
+
+
+def build_hypothetical_sttram() -> NVMCell:
+    """A hypothetical 2018-era 28 nm STTRAM, as a paper might report it:
+    geometry and write currents published, energies and sensing missing."""
+    cell = NVMCell(
+        name="Hypo28",
+        citation="hypothetical 28 nm STT-MRAM",
+        cell_class=CellClass.STTRAM,
+        year=2018,
+        process_nm=reported(28),
+        cell_size_f2=reported(30),
+        cell_levels=reported(1),
+        read_voltage_v=reported(0.45),
+        reset_current_ua=reported(60),
+        reset_pulse_ns=reported(5),
+        set_current_ua=reported(45),
+        set_pulse_ns=reported(5),
+    )
+    donors = cells_of_class(CellClass.STTRAM)
+
+    # Heuristic 2: interpolate read power from the STTRAM trend.
+    read_power = interpolate_from_cells(
+        donors, "read_voltage_v", "read_power_uw", at=0.45
+    )
+    cell = cell.with_params(read_power_uw=read_power)
+
+    # Heuristic 1 closes the remaining energy gaps from I*V*t.
+    cell = apply_electrical_properties(cell)
+
+    report = validate_cell(cell)
+    print(f"cell {cell.display_name}: "
+          f"{len(report.reported)} reported, {len(report.derived)} derived, "
+          f"missing: {report.missing or 'none'}")
+    for key, param in cell.derived_parameters().items():
+        print(f"  derived {key} = {param.value:.3g} ({param.note})")
+    return cell
+
+
+def main() -> None:
+    cell = build_hypothetical_sttram()
+
+    design = CacheDesign(capacity_bytes=2 * units.MB)
+    model = generate_llc_model(cell, design)
+    print(f"\nfixed-capacity LLC model ({model.capacity_mb:.0f} MB):")
+    print(f"  area   {model.area_mm2:.2f} mm^2")
+    print(f"  read   {model.read_latency_s * 1e9:.2f} ns, "
+          f"write {model.write_latency_s * 1e9:.2f} ns")
+    print(f"  E_hit  {model.hit_energy_j * 1e9:.3f} nJ, "
+          f"E_write {model.write_energy_j * 1e9:.3f} nJ, "
+          f"leak {model.leakage_w:.3f} W")
+
+    fixed_area = generate_fixed_area_model(cell)
+    print(f"\nfixed-area capacity in the SRAM budget: "
+          f"{fixed_area.capacity_mb:.0f} MB")
+
+    # Where does it land against the library on a real workload?
+    trace = workloads.generate_trace("bzip2")
+    session = sim.SimulationSession(trace)
+    baseline = session.run(nvsim.sram_baseline())
+    print(f"\nbzip2 on Gainestown, normalised to SRAM:")
+    rows = [("Hypo28_S (generated)", model)]
+    rows += [
+        (name, nvsim.published_model(name))
+        for name in ("Chung_S", "Jan_S", "Xue_S")
+    ]
+    for label, llc in rows:
+        norm = sim.normalize(session.run(llc), baseline)
+        print(f"  {label:22s} speedup {norm.speedup:.3f}  "
+              f"energy {norm.energy_ratio:.3f}  ed2p {norm.ed2p_ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Endurance, lifetime, and the techniques that buy it back.
+
+Walks the extension studies end to end for one write-heavy AI workload:
+
+1. wear distribution of the LLC data array (per-set write counts),
+2. projected lifetime per technology (Table I endurance limits),
+3. the three technique groups from the paper's Section I taxonomy,
+4. the hybrid SRAM/NVM way partition,
+5. the reuse-distance view of why capacity does or does not help.
+
+Run:  python examples/endurance_and_techniques.py
+"""
+
+from repro import endurance, nvsim, prism, sim, techniques, workloads
+
+
+def main() -> None:
+    trace = workloads.generate_trace("deepsjeng")
+    arch = sim.gainestown()
+    private = sim.filter_private(trace, arch)
+    runtime = sim.simulate_system(
+        trace, nvsim.sram_baseline(), arch=arch, private=private
+    ).runtime_s
+
+    # 1-2. Wear and lifetime per technology.
+    print("projected unleveled LLC lifetime on deepsjeng (2 MB, fixed-capacity):")
+    for name in ("Kang_P", "Zhang_R", "Xue_S", "SRAM"):
+        model = nvsim.published_model(name)
+        wear = endurance.replay_with_wear(
+            private.stream, model.capacity_bytes, arch.llc_associativity
+        )
+        estimate = endurance.estimate_lifetime(
+            model.name, model.cell_class, wear, runtime
+        )
+        if estimate.unleveled_years is None:
+            print(f"  {name:10s} no wear-out")
+        else:
+            hours = estimate.unleveled_years * 365.25 * 24
+            print(f"  {name:10s} {estimate.unleveled_years:.2e} years "
+                  f"(~{hours:.1f} h); ideal leveling x{estimate.leveling_gain:.1f}")
+
+    # 3. The three technique groups on the worst wearer.
+    kang = nvsim.published_model("Kang_P")
+    print("\ntechniques on Kang_P:")
+    for evaluation in techniques.evaluate_all(
+        trace,
+        kang,
+        [
+            techniques.SetRotationLeveling(period=4096),
+            techniques.ReuseWriteBypass(filter_blocks=8192),
+            techniques.EarlyWriteTermination(),
+        ],
+        window_s=runtime,
+    ):
+        gain = evaluation.lifetime_gain
+        gain_text = f"lifetime x{gain:.2f}" if gain is not None else "no wear-out"
+        print(f"  {evaluation.technique:26s} writes {evaluation.write_reduction:+.1%}  "
+              f"energy {evaluation.energy_reduction:+.1%}  {gain_text}")
+
+    # 4. Hybrid partition: divert the write stream into SRAM ways.
+    hybrid = techniques.evaluate_hybrid(private.stream, kang, sram_ways=2)
+    print(f"\nhybrid 2-SRAM/14-NVM ways on Kang_P:")
+    print(f"  NVM write reduction   {hybrid.nvm_write_reduction:.1%}")
+    print(f"  write-energy reduction {hybrid.write_energy_reduction:.1%}")
+    print(f"  leakage increase      x{hybrid.leakage_increase:.1f}")
+    print(f"  migrations            {hybrid.counts.migrations}")
+
+    # 5. Why capacity helps this workload: the reuse-distance view.
+    profile = prism.reuse_profile(trace)
+    knee = prism.capacity_knee_blocks(profile, drop=0.9)
+    print(f"\nreuse analysis ({profile.n_accesses:,} accesses):")
+    print(f"  cold accesses {profile.cold_accesses:,} of {profile.n_accesses:,}")
+    for mb in (1, 2, 4, 8):
+        blocks = mb * 1024 * 1024 // 64
+        print(f"  ideal LRU miss ratio @ {mb} MB: {profile.miss_ratio(blocks):.3f}")
+    if knee is not None:
+        knee_mb = knee * 64 / (1024 * 1024)
+        print(f"  90%-of-reducible-misses knee: ~{knee_mb:.2f} MB — the sweep"
+              " component stops missing once the LLC clears ~3 MB, which is"
+              " why the >=4 MB fixed-area NVMs win this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on an NVM LLC vs the SRAM baseline.
+
+Generates the `leela` (cpu2017 AI) trace, runs it through the Gainestown
+model with the paper's published Xue_S (STTRAM) and SRAM LLC models, and
+prints the paper's three normalised metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import nvsim, sim, workloads
+
+
+def main() -> None:
+    # 1. A workload: synthetic trace calibrated to the paper's leela.
+    trace = workloads.generate_trace("leela")
+    print(f"workload: {trace.name}")
+    print(f"  accesses: {trace.n_accesses:,} ({trace.n_writes:,} writes)")
+    print(f"  instructions: {trace.n_instructions:,}")
+
+    # 2. LLC models: the paper's published Table III values.
+    sram = nvsim.sram_baseline("fixed-capacity")
+    xue = nvsim.published_model("Xue_S", "fixed-capacity")
+    print(f"\nLLC under test: {xue.name} ({xue.cell_class.value}, "
+          f"{xue.capacity_mb:.0f} MB)")
+    print(f"  read {xue.read_latency_s * 1e9:.2f} ns / "
+          f"write {xue.write_latency_s * 1e9:.2f} ns, "
+          f"leakage {xue.leakage_w:.3f} W (SRAM: {sram.leakage_w:.3f} W)")
+
+    # 3. Simulate both on the quad-core Gainestown (Table IV).
+    session = sim.SimulationSession(trace)
+    baseline = session.run(sram)
+    result = session.run(xue)
+    print(f"\nbaseline (SRAM): runtime {baseline.runtime_s * 1e6:.1f} us, "
+          f"LLC energy {baseline.llc_energy_j * 1e6:.1f} uJ, "
+          f"mpki {baseline.mpki:.1f}")
+
+    # 4. The paper's normalised triple.
+    norm = sim.normalize(result, baseline)
+    print(f"\n{xue.name} vs SRAM:")
+    print(f"  speedup        : {norm.speedup:.3f}  (paper: ~0.97-1.03)")
+    print(f"  LLC energy     : {norm.energy_ratio:.3f}  (paper: ~0.1x SRAM)")
+    print(f"  ED^2P          : {norm.ed2p_ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Evaluation of Non-Volatile Memory Based Last
+Level Cache Given Modern Use Case Behavior" (Hankin et al., IISWC 2019).
+
+Subpackages
+-----------
+- :mod:`repro.cells` — NVM cell models and modeling heuristics (Table II)
+- :mod:`repro.nvsim` — circuit model + published LLC models (Table III)
+- :mod:`repro.trace` — memory traces and synthetic stream primitives
+- :mod:`repro.workloads` — benchmark profiles and generators (Tables V/VI)
+- :mod:`repro.prism` — architecture-agnostic workload features
+- :mod:`repro.sim` — multicore system simulator (Table IV)
+- :mod:`repro.correlate` — feature/energy/speedup correlation (Figure 4)
+- :mod:`repro.endurance` — write endurance and lifetime (Section VII)
+- :mod:`repro.techniques` — NVM-friendly LLC management techniques
+- :mod:`repro.experiments` — one driver per paper table and figure
+
+Quickstart
+----------
+>>> from repro import nvsim, sim, workloads
+>>> trace = workloads.generate_trace("leela")
+>>> llc = nvsim.published_model("Xue_S", "fixed-capacity")
+>>> result = sim.simulate_system(trace, llc)
+>>> result.llc_energy_j > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    cells,
+    correlate,
+    endurance,
+    errors,
+    nvsim,
+    prism,
+    report,
+    sim,
+    techniques,
+    trace,
+    units,
+    workloads,
+)
+
+__all__ = [
+    "cells",
+    "correlate",
+    "endurance",
+    "errors",
+    "nvsim",
+    "prism",
+    "report",
+    "sim",
+    "techniques",
+    "trace",
+    "units",
+    "workloads",
+    "__version__",
+]

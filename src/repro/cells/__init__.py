@@ -1,0 +1,100 @@
+"""Cell-level NVM models and the paper's modeling heuristics (Section III).
+
+Public surface:
+
+- :class:`~repro.cells.base.NVMCell`, :class:`~repro.cells.base.CellClass`,
+  :class:`~repro.cells.base.Param`, :class:`~repro.cells.base.Provenance`
+- the Table II library in :mod:`repro.cells.library`
+- heuristics 1-3 in :mod:`repro.cells.heuristics`
+- NVSim-requirement validation in :mod:`repro.cells.validation`
+"""
+
+from repro.cells.base import (
+    PARAMETER_UNITS,
+    CellClass,
+    NVMCell,
+    Param,
+    Provenance,
+    electrical,
+    interpolated,
+    reported,
+    similarity,
+)
+from repro.cells.heuristics import (
+    DEFAULT_ACCESS_VOLTAGE_V,
+    apply_electrical_properties,
+    cell_size_f2_from_dims,
+    interpolate_from_cells,
+    interpolate_parameter,
+    read_current_from_pv,
+    read_power_from_iv,
+    similar_parameter,
+    write_current_from_energy,
+    write_energy_from_current,
+)
+from repro.cells.library import (
+    ALL_CELLS,
+    CHEN,
+    CHUNG,
+    CLOSE,
+    HAYAKAWA,
+    JAN,
+    KANG,
+    NVM_CELLS,
+    OH,
+    SRAM,
+    UMEKI,
+    XUE,
+    ZHANG,
+    cell_by_name,
+    cells_of_class,
+    table2_rows,
+)
+from repro.cells.validation import (
+    ValidationReport,
+    required_parameters,
+    require_complete,
+    validate_cell,
+)
+
+__all__ = [
+    "PARAMETER_UNITS",
+    "CellClass",
+    "NVMCell",
+    "Param",
+    "Provenance",
+    "reported",
+    "electrical",
+    "interpolated",
+    "similarity",
+    "DEFAULT_ACCESS_VOLTAGE_V",
+    "apply_electrical_properties",
+    "cell_size_f2_from_dims",
+    "interpolate_from_cells",
+    "interpolate_parameter",
+    "read_current_from_pv",
+    "read_power_from_iv",
+    "similar_parameter",
+    "write_current_from_energy",
+    "write_energy_from_current",
+    "ALL_CELLS",
+    "NVM_CELLS",
+    "OH",
+    "CHEN",
+    "KANG",
+    "CLOSE",
+    "CHUNG",
+    "JAN",
+    "UMEKI",
+    "XUE",
+    "HAYAKAWA",
+    "ZHANG",
+    "SRAM",
+    "cell_by_name",
+    "cells_of_class",
+    "table2_rows",
+    "ValidationReport",
+    "required_parameters",
+    "require_complete",
+    "validate_cell",
+]

@@ -1,0 +1,316 @@
+"""Core datatypes for cell-level NVM models (paper Section III, Table II).
+
+A :class:`NVMCell` carries the cell-level parameters that an NVSim-style
+circuit model needs, together with per-parameter *provenance*: whether the
+value was reported in the original VLSI paper or derived with one of the
+paper's three modeling heuristics.  Provenance is the paper's first
+contribution — it is what makes comparisons across technologies
+"apples-to-apples" — so the library treats it as first-class data rather
+than a footnote.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro import units
+from repro.errors import CellParameterError
+
+
+class CellClass(enum.Enum):
+    """Memory technology class."""
+
+    SRAM = "SRAM"
+    PCRAM = "PCRAM"
+    STTRAM = "STTRAM"
+    RRAM = "RRAM"
+
+    @property
+    def is_nvm(self) -> bool:
+        """Whether the class is non-volatile."""
+        return self is not CellClass.SRAM
+
+
+class Provenance(enum.Enum):
+    """Where a parameter value came from.
+
+    ``REPORTED``     — taken directly from the cited VLSI paper.
+    ``ELECTRICAL``   — derived via heuristic 1 (equations (1)-(3));
+                       marked with a dagger in Table II.
+    ``INTERPOLATED`` — derived via heuristic 2 (trend interpolation);
+                       marked with a star in Table II.
+    ``SIMILARITY``   — derived via heuristic 3 (same-class donor);
+                       marked with a star in Table II.
+    ``NOT_APPLICABLE`` — the parameter does not exist for this class
+                       (grayed-out cells in Table II).
+    """
+
+    REPORTED = "reported"
+    ELECTRICAL = "electrical"      # heuristic 1, dagger
+    INTERPOLATED = "interpolated"  # heuristic 2, star
+    SIMILARITY = "similarity"      # heuristic 3, star
+    NOT_APPLICABLE = "n/a"
+
+    @property
+    def table_mark(self) -> str:
+        """The symbol Table II uses for this provenance ('' / '†' / '*')."""
+        if self is Provenance.ELECTRICAL:
+            return "†"
+        if self in (Provenance.INTERPOLATED, Provenance.SIMILARITY):
+            return "*"
+        return ""
+
+    @property
+    def is_derived(self) -> bool:
+        """True when the value was produced by a heuristic."""
+        return self in (
+            Provenance.ELECTRICAL,
+            Provenance.INTERPOLATED,
+            Provenance.SIMILARITY,
+        )
+
+
+#: Parameter names understood by :class:`NVMCell` / the NVSim front end,
+#: with the engineering unit each is expressed in (matching Table II).
+PARAMETER_UNITS: Dict[str, str] = {
+    "process_nm": "nm",
+    "cell_size_f2": "F^2",
+    "cell_levels": "levels",
+    "read_current_ua": "uA",
+    "read_voltage_v": "V",
+    "read_power_uw": "uW",
+    "read_energy_pj": "pJ",
+    "reset_current_ua": "uA",
+    "reset_voltage_v": "V",
+    "reset_pulse_ns": "ns",
+    "reset_energy_pj": "pJ",
+    "set_current_ua": "uA",
+    "set_voltage_v": "V",
+    "set_pulse_ns": "ns",
+    "set_energy_pj": "pJ",
+}
+
+
+@dataclass(frozen=True)
+class Param:
+    """A single cell parameter value with provenance.
+
+    Attributes
+    ----------
+    value:
+        Numeric value in the engineering unit listed in
+        :data:`PARAMETER_UNITS` (e.g. pulse lengths in ns).
+    provenance:
+        How the value was obtained.
+    note:
+        Optional free-text note (e.g. which donor cell a similarity
+        estimate came from).
+    """
+
+    value: float
+    provenance: Provenance = Provenance.REPORTED
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value):
+            raise CellParameterError(f"parameter value must be finite, got {self.value!r}")
+
+    def marked(self) -> str:
+        """Render the value with its Table II provenance mark."""
+        return f"{self.value:g}{self.provenance.table_mark}"
+
+
+def reported(value: float, note: str = "") -> Param:
+    """Shorthand for a parameter reported in the cited paper."""
+    return Param(value, Provenance.REPORTED, note)
+
+
+def electrical(value: float, note: str = "") -> Param:
+    """Shorthand for a heuristic-1 (electrical properties) parameter."""
+    return Param(value, Provenance.ELECTRICAL, note)
+
+
+def interpolated(value: float, note: str = "") -> Param:
+    """Shorthand for a heuristic-2 (interpolation) parameter."""
+    return Param(value, Provenance.INTERPOLATED, note)
+
+
+def similarity(value: float, note: str = "") -> Param:
+    """Shorthand for a heuristic-3 (similarity) parameter."""
+    return Param(value, Provenance.SIMILARITY, note)
+
+
+@dataclass(frozen=True)
+class NVMCell:
+    """A cell-level memory technology model (one column of Table II).
+
+    Only the parameters applicable to the cell's class are set; the rest
+    stay ``None`` (Table II's grayed-out cells).  Parameter values use the
+    engineering units of :data:`PARAMETER_UNITS`.
+    """
+
+    name: str
+    citation: str
+    cell_class: CellClass
+    year: int
+    access_device: str = "CMOS"
+
+    process_nm: Optional[Param] = None
+    cell_size_f2: Optional[Param] = None
+    cell_levels: Optional[Param] = None
+
+    read_current_ua: Optional[Param] = None
+    read_voltage_v: Optional[Param] = None
+    read_power_uw: Optional[Param] = None
+    read_energy_pj: Optional[Param] = None
+
+    reset_current_ua: Optional[Param] = None
+    reset_voltage_v: Optional[Param] = None
+    reset_pulse_ns: Optional[Param] = None
+    reset_energy_pj: Optional[Param] = None
+
+    set_current_ua: Optional[Param] = None
+    set_voltage_v: Optional[Param] = None
+    set_pulse_ns: Optional[Param] = None
+    set_energy_pj: Optional[Param] = None
+
+    def __post_init__(self) -> None:
+        if self.year < 1990 or self.year > 2030:
+            raise CellParameterError(f"{self.name}: implausible year {self.year}")
+        for key in ("process_nm", "cell_size_f2", "cell_levels"):
+            param = getattr(self, key)
+            if param is not None and param.value <= 0:
+                raise CellParameterError(f"{self.name}: {key} must be positive")
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def display_name(self) -> str:
+        """Citation name plus class subscript, e.g. ``Zhang_R``."""
+        if self.cell_class is CellClass.SRAM:
+            return self.name
+        return f"{self.name}_{self.cell_class.value[0]}"
+
+    # -- parameter access ----------------------------------------------
+
+    def get(self, parameter: str) -> Optional[Param]:
+        """Return a parameter by Table II name, or None when unset."""
+        if parameter not in PARAMETER_UNITS:
+            raise CellParameterError(f"unknown parameter {parameter!r}")
+        return getattr(self, parameter)
+
+    def value(self, parameter: str) -> float:
+        """Return a parameter's numeric value; raise if unset."""
+        param = self.get(parameter)
+        if param is None:
+            raise CellParameterError(
+                f"{self.name}: parameter {parameter!r} is not set"
+            )
+        return param.value
+
+    def parameters(self) -> Iterator[Tuple[str, Param]]:
+        """Iterate over (name, Param) for every set parameter."""
+        for key in PARAMETER_UNITS:
+            param = getattr(self, key)
+            if param is not None:
+                yield key, param
+
+    def derived_parameters(self) -> Dict[str, Param]:
+        """Parameters whose values came from a heuristic."""
+        return {
+            key: param
+            for key, param in self.parameters()
+            if param.provenance.is_derived
+        }
+
+    def with_params(self, **updates: Param) -> "NVMCell":
+        """Return a copy with the given parameters replaced."""
+        for key in updates:
+            if key not in PARAMETER_UNITS:
+                raise CellParameterError(f"unknown parameter {key!r}")
+        return dataclasses.replace(self, **updates)
+
+    # -- derived physical quantities ------------------------------------
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Number of bits stored per cell.
+
+        Table II's ``cell levels`` row counts bits per cell: the two
+        entries with value 2 (Close, Xue) are the paper's MLC devices —
+        Close is a "2+ bit/cell" chip and Xue is described as storing two
+        levels per cell with roughly half the per-bit area.
+        """
+        if self.cell_levels is None:
+            return 1
+        return max(1, int(self.cell_levels.value))
+
+    @property
+    def is_mlc(self) -> bool:
+        """True for multi-level cells (more than one bit per cell)."""
+        return self.bits_per_cell > 1
+
+    def physical_cell_area_m2(self) -> float:
+        """Cell area in m^2 from cell size [F^2] and process [nm]."""
+        return units.feature_size_area(
+            self.value("cell_size_f2"), self.value("process_nm")
+        )
+
+    def read_energy_j(self) -> float:
+        """Per-bit read energy in joules.
+
+        Uses the reported read energy when present, otherwise derives it
+        from read power and a nominal sensing time, or from read current
+        and voltage.
+        """
+        if self.read_energy_pj is not None:
+            return self.read_energy_pj.value * units.PJ
+        if self.read_power_uw is not None:
+            # Nominal 1 ns sensing interval: consistent across cells, and
+            # the LLC-level read energy is dominated by periphery anyway.
+            return self.read_power_uw.value * units.UW * (1.0 * units.NS)
+        raise CellParameterError(f"{self.name}: no way to derive read energy")
+
+    def write_energy_j(self) -> float:
+        """Per-bit write energy in joules (mean of set and reset)."""
+        energies = []
+        for which in ("set", "reset"):
+            param = self.get(f"{which}_energy_pj")
+            if param is not None:
+                energies.append(param.value * units.PJ)
+        if not energies:
+            raise CellParameterError(f"{self.name}: no set/reset energy available")
+        return sum(energies) / len(energies)
+
+    def write_pulse_s(self) -> float:
+        """Worst-case programming pulse in seconds (max of set, reset)."""
+        pulses = []
+        for which in ("set", "reset"):
+            param = self.get(f"{which}_pulse_ns")
+            if param is not None:
+                pulses.append(param.value * units.NS)
+        if not pulses:
+            if self.cell_class is CellClass.SRAM:
+                return 0.0
+            raise CellParameterError(f"{self.name}: no set/reset pulse available")
+        return max(pulses)
+
+    def set_pulse_s(self) -> float:
+        """Set programming pulse in seconds (0 when not applicable)."""
+        if self.set_pulse_ns is None:
+            return 0.0
+        return self.set_pulse_ns.value * units.NS
+
+    def reset_pulse_s(self) -> float:
+        """Reset programming pulse in seconds (0 when not applicable)."""
+        if self.reset_pulse_ns is None:
+            return 0.0
+        return self.reset_pulse_ns.value * units.NS
+
+    def write_asymmetry(self) -> float:
+        """Ratio of write to read energy — the paper's key NVM property."""
+        return self.write_energy_j() / self.read_energy_j()

@@ -1,0 +1,215 @@
+"""``repro-cli`` — task-oriented command line for the library.
+
+Subcommands (each prints a small report to stdout):
+
+- ``characterize`` — PRISM features for a suite workload or a trace file
+- ``simulate``     — run a workload on an LLC model vs the SRAM baseline
+- ``model``        — generate an LLC model from a library cell
+- ``lifetime``     — project LLC lifetime for a workload on an NVM
+- ``techniques``   — evaluate the management techniques on a workload
+- ``workloads``    — list the benchmark suite
+
+``repro-experiments`` (see :mod:`repro.experiments.runner`) remains the
+paper-regeneration entry point; this CLI serves ad-hoc use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.cells.library import cell_by_name
+from repro.errors import ReproError
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.model import generate_llc_model
+from repro.nvsim.published import published_model, sram_baseline
+from repro.prism.profile import FEATURE_NAMES, extract_features
+from repro.sim.results import normalize
+from repro.sim.system import SimulationSession
+from repro.trace.io import load_npz, parse_text
+from repro.workloads.generators import generate_trace
+from repro.workloads.profiles import PROFILES
+from repro.workloads.registry import all_benchmarks
+
+
+def _get_trace(args: argparse.Namespace):
+    """Resolve --workload / --trace-file into a Trace."""
+    if getattr(args, "trace_file", None):
+        path = args.trace_file
+        if path.endswith(".npz"):
+            return load_npz(path)
+        return parse_text(path, name=path)
+    n = getattr(args, "accesses", None)
+    return generate_trace(args.workload, n_accesses=n)
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'suite':10s} {'threads':>7s} {'paper mpki':>10s}  description")
+    for name in all_benchmarks():
+        bench = PROFILES[name]
+        print(
+            f"{name:12s} {bench.suite:10s} {bench.n_threads:7d} "
+            f"{bench.paper_mpki:10.1f}  {bench.description}"
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    trace = _get_trace(args)
+    features = extract_features(trace)
+    print(f"workload: {trace.name or '(trace file)'}  accesses: {len(trace):,}")
+    for feature in FEATURE_NAMES:
+        print(f"  {feature:24s} {getattr(features, feature):14.3f}")
+    print(f"  {'write_intensity':24s} {features.write_intensity:14.3f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _get_trace(args)
+    session = SimulationSession(trace)
+    model = published_model(args.llc, args.configuration)
+    baseline = session.run(sram_baseline(args.configuration), args.configuration)
+    result = session.run(model, args.configuration)
+    norm = normalize(result, baseline)
+    print(f"workload {trace.name}: {model.name} vs SRAM ({args.configuration})")
+    print(f"  runtime    {result.runtime_s * 1e6:10.1f} us  (SRAM {baseline.runtime_s * 1e6:.1f} us)")
+    print(f"  LLC energy {result.llc_energy_j * 1e6:10.1f} uJ  (SRAM {baseline.llc_energy_j * 1e6:.1f} uJ)")
+    print(f"  mpki       {result.mpki:10.2f}")
+    print(f"  speedup      {norm.speedup:8.3f}")
+    print(f"  energy ratio {norm.energy_ratio:8.3f}")
+    print(f"  ED^2P ratio  {norm.ed2p_ratio:8.3f}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    cell = cell_by_name(args.cell)
+    design = CacheDesign(capacity_bytes=int(args.capacity_mb * units.MB))
+    model = generate_llc_model(cell, design)
+    print(f"{model.name} @ {model.capacity_mb:g} MB ({model.cell_class.value})")
+    print(f"  area        {model.area_mm2:10.3f} mm^2")
+    print(f"  tag         {model.tag_latency_s * 1e9:10.3f} ns")
+    print(f"  read        {model.read_latency_s * 1e9:10.3f} ns")
+    print(f"  write       {model.write_latency_s * 1e9:10.3f} ns (set "
+          f"{model.set_latency_s * 1e9:.3f} / reset {model.reset_latency_s * 1e9:.3f})")
+    print(f"  E_hit       {model.hit_energy_j * 1e9:10.4f} nJ")
+    print(f"  E_miss      {model.miss_energy_j * 1e9:10.4f} nJ")
+    print(f"  E_write     {model.write_energy_j * 1e9:10.4f} nJ")
+    print(f"  leakage     {model.leakage_w:10.4f} W")
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.endurance.lifetime import estimate_lifetime
+    from repro.endurance.wear import replay_with_wear
+    from repro.sim.config import gainestown
+
+    trace = _get_trace(args)
+    session = SimulationSession(trace)
+    model = published_model(args.llc, "fixed-capacity")
+    window = session.run(sram_baseline()).runtime_s
+    wear = replay_with_wear(
+        session.private.stream, model.capacity_bytes,
+        gainestown().llc_associativity,
+    )
+    estimate = estimate_lifetime(model.name, model.cell_class, wear, window)
+    print(f"{model.name} on {trace.name}:")
+    print(f"  data-array write rate {estimate.total_write_rate:.3e} /s")
+    if estimate.unleveled_years is None:
+        print("  lifetime: effectively unlimited (no wear-out)")
+    else:
+        print(f"  unleveled lifetime {estimate.unleveled_years:.3e} years")
+        print(f"  ideally leveled    {estimate.leveled_years:.3e} years "
+              f"({estimate.leveling_gain:.1f}x)")
+    return 0
+
+
+def _cmd_techniques(args: argparse.Namespace) -> int:
+    from repro.techniques import (
+        EarlyWriteTermination,
+        ReuseWriteBypass,
+        SetRotationLeveling,
+        evaluate_all,
+    )
+
+    trace = _get_trace(args)
+    model = published_model(args.llc, "fixed-capacity")
+    evaluations = evaluate_all(
+        trace,
+        model,
+        [SetRotationLeveling(), ReuseWriteBypass(), EarlyWriteTermination()],
+    )
+    print(f"{model.name} on {trace.name}:")
+    print(f"{'technique':26s} {'write cut':>10s} {'energy cut':>11s} {'dram+':>7s}")
+    for e in evaluations:
+        print(
+            f"{e.technique:26s} {e.write_reduction:10.1%} "
+            f"{e.energy_reduction:11.1%} {e.extra_dram_writes:7d}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli", description="NVM-LLC reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the benchmark suite")
+
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--workload", help="suite benchmark name")
+        group.add_argument("--trace-file", help=".npz or text trace file")
+        p.add_argument("--accesses", type=int, default=None,
+                       help="override trace length (suite workloads)")
+
+    p = sub.add_parser("characterize", help="PRISM features for a workload")
+    add_trace_args(p)
+
+    p = sub.add_parser("simulate", help="simulate a workload on an LLC")
+    add_trace_args(p)
+    p.add_argument("--llc", default="Xue_S", help="Table III model name")
+    p.add_argument("--configuration", default="fixed-capacity",
+                   choices=("fixed-capacity", "fixed-area"))
+
+    p = sub.add_parser("model", help="generate an LLC model from a cell")
+    p.add_argument("--cell", required=True, help="Table II cell name")
+    p.add_argument("--capacity-mb", type=float, default=2.0)
+
+    p = sub.add_parser("lifetime", help="project LLC lifetime")
+    add_trace_args(p)
+    p.add_argument("--llc", default="Kang_P")
+
+    p = sub.add_parser("techniques", help="evaluate management techniques")
+    add_trace_args(p)
+    p.add_argument("--llc", default="Kang_P")
+
+    return parser
+
+
+_HANDLERS = {
+    "workloads": _cmd_workloads,
+    "characterize": _cmd_characterize,
+    "simulate": _cmd_simulate,
+    "model": _cmd_model,
+    "lifetime": _cmd_lifetime,
+    "techniques": _cmd_techniques,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

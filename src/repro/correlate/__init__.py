@@ -1,0 +1,37 @@
+"""Workload-feature correlation framework (paper Section VI)."""
+
+from repro.correlate.features import RESPONSE_NAMES, AlignedData, align
+from repro.correlate.framework import (
+    FIGURE4_LLCS,
+    CorrelationReport,
+    dominant_feature_group,
+    run_framework,
+)
+from repro.correlate.linear import correlation_matrix, pearson, top_correlates
+from repro.correlate.stats import (
+    CorrelationInterval,
+    bootstrap_pearson,
+    jackknife_pearson,
+    linear_fit,
+    rankdata,
+    spearman,
+)
+
+__all__ = [
+    "RESPONSE_NAMES",
+    "AlignedData",
+    "align",
+    "FIGURE4_LLCS",
+    "CorrelationReport",
+    "dominant_feature_group",
+    "run_framework",
+    "correlation_matrix",
+    "pearson",
+    "top_correlates",
+    "CorrelationInterval",
+    "bootstrap_pearson",
+    "jackknife_pearson",
+    "linear_fit",
+    "rankdata",
+    "spearman",
+]

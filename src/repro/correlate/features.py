@@ -1,0 +1,106 @@
+"""Assembly of feature and response matrices for the framework.
+
+Bridges :mod:`repro.prism` (feature vectors per workload) and
+:mod:`repro.sim` (energy/speedup per workload per LLC) into the aligned
+matrices :func:`repro.correlate.linear.correlation_matrix` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CorrelationError
+from repro.prism.profile import FEATURE_NAMES, WorkloadFeatures
+from repro.sim.results import NormalizedResult
+
+#: Response columns for the normalised (Section V, Figure 4) analysis.
+RESPONSE_NAMES: Tuple[str, ...] = ("energy", "speedup")
+
+#: Response columns for the absolute (general-purpose) analysis: total
+#: LLC energy and system execution time, per the paper's Section VI
+#: wording for the general-purpose case.
+ABSOLUTE_RESPONSE_NAMES: Tuple[str, ...] = ("energy", "execution_time")
+
+
+@dataclass(frozen=True)
+class AlignedData:
+    """Feature and response matrices over a common workload ordering."""
+
+    workloads: Tuple[str, ...]
+    feature_names: Tuple[str, ...]
+    response_names: Tuple[str, ...]
+    features: np.ndarray  # (workloads x features)
+    responses: np.ndarray  # (workloads x responses)
+
+
+def align(
+    profiles: Dict[str, WorkloadFeatures],
+    results: Dict[str, NormalizedResult],
+    workloads: Sequence[str],
+) -> AlignedData:
+    """Align features and *normalised* results over a workload list.
+
+    Responses are the paper's Figure 4 axes: normalised LLC energy and
+    speedup.  Raises when a workload is missing from either side —
+    silent dropping would skew the correlations.
+    """
+    return align_responses(
+        profiles,
+        results,
+        workloads,
+        extractor=lambda r: (r.energy_ratio, r.speedup),
+        response_names=RESPONSE_NAMES,
+    )
+
+
+def align_absolute(
+    profiles: Dict[str, WorkloadFeatures],
+    results: Dict[str, "object"],
+    workloads: Sequence[str],
+) -> AlignedData:
+    """Align features against *absolute* responses (SimResult values).
+
+    Responses are total LLC energy [J] and execution time [s] — the
+    quantities the paper's general-purpose analysis names, which scale
+    with total read/write counts almost by construction.
+    """
+    return align_responses(
+        profiles,
+        results,
+        workloads,
+        extractor=lambda r: (r.llc_energy_j, r.runtime_s),
+        response_names=ABSOLUTE_RESPONSE_NAMES,
+    )
+
+
+def align_responses(
+    profiles: Dict[str, WorkloadFeatures],
+    results: Dict[str, "object"],
+    workloads: Sequence[str],
+    extractor,
+    response_names: Tuple[str, ...],
+) -> AlignedData:
+    """Generic alignment with a caller-chosen response extractor."""
+    if len(workloads) < 2:
+        raise CorrelationError("correlation needs at least two workloads")
+    missing_p = [w for w in workloads if w not in profiles]
+    missing_r = [w for w in workloads if w not in results]
+    if missing_p or missing_r:
+        raise CorrelationError(
+            f"missing profiles for {missing_p} / results for {missing_r}"
+        )
+    feature_rows = []
+    response_rows = []
+    for workload in workloads:
+        feature_rows.append(profiles[workload].as_array())
+        response_rows.append(list(extractor(results[workload])))
+    return AlignedData(
+        workloads=tuple(workloads),
+        feature_names=tuple(FEATURE_NAMES),
+        response_names=response_names,
+        features=np.vstack(feature_rows),
+        responses=np.array(response_rows, dtype=np.float64),
+    )

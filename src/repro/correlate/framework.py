@@ -1,0 +1,143 @@
+"""The workload-characterization framework (paper Section VI, Figure 3).
+
+Pipeline: per-workload feature arrays (PRISM) + per-workload normalised
+energy/speedup (simulation) -> linear correlation per (feature,
+response) pair, per LLC technology and configuration.
+
+Two system scopes, as in the paper:
+
+- *general purpose*: all characterized workloads together — here total
+  read/write counts dominate the correlations;
+- *specialised (AI)*: only the cpu2017 inference workloads — here write
+  entropy and write footprints dominate while totals decorrelate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.correlate.features import (
+    ABSOLUTE_RESPONSE_NAMES,
+    RESPONSE_NAMES,
+    AlignedData,
+    align,
+    align_absolute,
+)
+from repro.correlate.linear import correlation_matrix, top_correlates
+from repro.errors import CorrelationError
+from repro.prism.profile import FEATURE_NAMES, WorkloadFeatures
+from repro.sim.results import NormalizedResult
+
+#: The LLCs the paper's Figure 4 analyses (best performers).
+FIGURE4_LLCS: Tuple[str, ...] = ("Jan_S", "Xue_S", "Hayakawa_R")
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Correlation heatmap for one LLC technology and configuration.
+
+    ``matrix`` is (features x responses); rows follow
+    :data:`repro.prism.profile.FEATURE_NAMES`, columns follow
+    ``response_names`` (normalised analyses use energy/speedup, the
+    absolute general-purpose analysis energy/execution_time).
+    """
+
+    llc_name: str
+    configuration: str
+    scope: str
+    workloads: Tuple[str, ...]
+    matrix: np.ndarray
+    response_names: Tuple[str, ...] = RESPONSE_NAMES
+
+    def correlation(self, feature: str, response: str) -> float:
+        """One heatmap cell by name."""
+        try:
+            i = FEATURE_NAMES.index(feature)
+        except ValueError:
+            raise CorrelationError(f"unknown feature {feature!r}")
+        try:
+            j = self.response_names.index(response)
+        except ValueError:
+            raise CorrelationError(f"unknown response {response!r}")
+        return float(self.matrix[i, j])
+
+    def ranked_features(self, response: str = "energy") -> List[Tuple[str, float]]:
+        """Features ranked by |correlation| with a response."""
+        j = self.response_names.index(response)
+        return top_correlates(self.matrix, list(FEATURE_NAMES), response_index=j)
+
+
+def run_framework(
+    profiles: Dict[str, WorkloadFeatures],
+    results_by_llc: Dict[str, Dict[str, NormalizedResult]],
+    workloads: Sequence[str],
+    configuration: str,
+    scope: str,
+    llc_names: Optional[Sequence[str]] = None,
+    absolute: bool = False,
+) -> List[CorrelationReport]:
+    """Run the Figure 3 pipeline for a set of LLCs over a workload scope.
+
+    Parameters
+    ----------
+    profiles:
+        PRISM features per workload.
+    results_by_llc:
+        ``{llc_name: {workload: NormalizedResult}}`` from simulation.
+    workloads:
+        The workload scope (all characterized, or the AI subset).
+    configuration:
+        ``"fixed-capacity"`` or ``"fixed-area"`` (label only).
+    scope:
+        ``"general"`` or ``"ai"`` (label only).
+    llc_names:
+        LLCs to analyse; defaults to :data:`FIGURE4_LLCS`.
+    absolute:
+        Correlate against absolute LLC energy and execution time
+        (``results_by_llc`` then holds SimResults) instead of the
+        normalised energy/speedup pair — the paper's general-purpose
+        analysis mode.
+    """
+    names = list(llc_names) if llc_names is not None else list(FIGURE4_LLCS)
+    aligner = align_absolute if absolute else align
+    reports = []
+    for llc_name in names:
+        if llc_name not in results_by_llc:
+            raise CorrelationError(f"no results for LLC {llc_name!r}")
+        aligned = aligner(profiles, results_by_llc[llc_name], workloads)
+        matrix = correlation_matrix(aligned.features, aligned.responses)
+        reports.append(
+            CorrelationReport(
+                llc_name=llc_name,
+                configuration=configuration,
+                scope=scope,
+                workloads=aligned.workloads,
+                matrix=matrix,
+                response_names=aligned.response_names,
+            )
+        )
+    return reports
+
+
+def dominant_feature_group(report: CorrelationReport, response: str = "energy") -> str:
+    """Classify which feature family dominates a report's correlations.
+
+    Returns ``"totals"`` when total read/write counts carry the largest
+    absolute correlation and ``"write-behaviour"`` when write entropy or
+    write footprints do — the paper's general-purpose vs AI distinction.
+    """
+    ranked = report.ranked_features(response)
+    best_feature, _ = ranked[0]
+    if best_feature in ("total_reads", "total_writes"):
+        return "totals"
+    if best_feature in (
+        "write_global_entropy",
+        "write_local_entropy",
+        "unique_writes",
+        "footprint90_writes",
+    ):
+        return "write-behaviour"
+    return "other"

@@ -1,0 +1,91 @@
+"""Linear (Pearson) correlation utilities.
+
+The paper's framework "learns" which architecture-agnostic features
+predict NVM-LLC energy and speedup by computing linear correlation
+between each feature column and each response column across workloads
+(Figure 3).  Degenerate columns (zero variance) correlate as 0 rather
+than NaN so heatmaps stay well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CorrelationError
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns 0.0 when either sample has zero variance (a constant
+    feature cannot predict anything), and raises on length mismatch or
+    samples shorter than 2.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise CorrelationError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise CorrelationError("correlation needs at least two samples")
+    # A constant sample is degenerate by definition; test via the raw
+    # range, not the centred values, because the mean of identical floats
+    # can round to a slightly different value and leave a spurious
+    # constant residual.
+    if np.ptp(x) == 0.0 or np.ptp(y) == 0.0:
+        return 0.0
+    xc = x - x.mean()
+    yc = y - y.mean()
+    # Rescale to unit max-magnitude so subnormal inputs do not underflow
+    # the denominator to zero.
+    x_scale = np.abs(xc).max()
+    y_scale = np.abs(yc).max()
+    if x_scale == 0.0 or y_scale == 0.0:
+        return 0.0
+    xc = xc / x_scale
+    yc = yc / y_scale
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip((xc * yc).sum() / denom, -1.0, 1.0))
+
+
+def correlation_matrix(
+    features: np.ndarray, responses: np.ndarray
+) -> np.ndarray:
+    """Pairwise Pearson correlations: (n_features x n_responses).
+
+    ``features`` is (workloads x features); ``responses`` is
+    (workloads x responses).  Entry [i, j] is the correlation of feature
+    column i with response column j across workloads.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    responses = np.atleast_2d(np.asarray(responses, dtype=np.float64))
+    if features.shape[0] != responses.shape[0]:
+        raise CorrelationError(
+            "feature and response matrices must share the workload axis: "
+            f"{features.shape[0]} vs {responses.shape[0]}"
+        )
+    n_features = features.shape[1]
+    n_responses = responses.shape[1]
+    out = np.zeros((n_features, n_responses))
+    for i in range(n_features):
+        for j in range(n_responses):
+            out[i, j] = pearson(features[:, i], responses[:, j])
+    return out
+
+
+def top_correlates(
+    matrix: np.ndarray,
+    feature_names: list,
+    response_index: int = 0,
+    k: Optional[int] = None,
+) -> list:
+    """Features ranked by |correlation| with one response column."""
+    if matrix.shape[0] != len(feature_names):
+        raise CorrelationError("feature_names length must match matrix rows")
+    column = matrix[:, response_index]
+    order = np.argsort(-np.abs(column))
+    ranked = [(feature_names[i], float(column[i])) for i in order]
+    return ranked[:k] if k is not None else ranked

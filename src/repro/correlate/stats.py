@@ -1,0 +1,135 @@
+"""Statistical utilities beyond plain Pearson correlation.
+
+The paper's AI-scope correlations rest on three data points; anyone
+building on them should know how fragile that is.  This module provides
+the tools to quantify it: Spearman rank correlation (used to compare
+measured Table VI orderings with the paper's), jackknife/bootstrap
+confidence intervals for Pearson r, and simple least-squares fits for
+trend lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.correlate.linear import pearson
+from repro.errors import CorrelationError
+
+
+def rankdata(x: np.ndarray) -> np.ndarray:
+    """Average ranks of a sample (ties share the mean rank)."""
+    x = np.asarray(x, dtype=np.float64)
+    order = np.argsort(x, kind="mergesort")
+    ranks = np.empty(len(x), dtype=np.float64)
+    ranks[order] = np.arange(len(x), dtype=np.float64)
+    # Average tied groups.
+    sorted_values = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            mean_rank = (i + j) / 2.0
+            ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise CorrelationError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise CorrelationError("correlation needs at least two samples")
+    return pearson(rankdata(x), rankdata(y))
+
+
+@dataclass(frozen=True)
+class CorrelationInterval:
+    """A correlation estimate with a resampled confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    n_samples: int
+
+    @property
+    def is_stable(self) -> bool:
+        """True when the CI does not straddle zero."""
+        return (self.low > 0 and self.high > 0) or (self.low < 0 and self.high < 0)
+
+    @property
+    def width(self) -> float:
+        """CI width — 3-point correlations produce embarrassing widths."""
+        return self.high - self.low
+
+
+def bootstrap_pearson(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_resamples: int = 2000,
+    confidence: float = 0.9,
+    seed: int = 0,
+) -> CorrelationInterval:
+    """Percentile-bootstrap confidence interval for Pearson r.
+
+    Degenerate resamples (constant columns) contribute r = 0, which is
+    the honest value for "no information".
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise CorrelationError("bootstrap needs two equal samples of size >= 2")
+    if not 0.0 < confidence < 1.0:
+        raise CorrelationError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = x.size
+    estimates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        index = rng.integers(0, n, size=n)
+        estimates[i] = pearson(x[index], y[index])
+    alpha = (1.0 - confidence) / 2.0
+    return CorrelationInterval(
+        estimate=pearson(x, y),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        n_samples=n,
+    )
+
+
+def jackknife_pearson(x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+    """Leave-one-out range of Pearson r: (min, max) over deletions.
+
+    For the AI scope's three points this is the entire story: deleting
+    any point leaves two, whose correlation is +/-1 by construction.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 3:
+        raise CorrelationError("jackknife needs at least three samples")
+    values = []
+    for i in range(x.size):
+        mask = np.arange(x.size) != i
+        values.append(pearson(x[mask], y[mask]))
+    return (float(min(values)), float(max(values)))
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+    """Least-squares slope and intercept of y on x."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise CorrelationError("fit needs two equal samples of size >= 2")
+    xc = x - x.mean()
+    denom = (xc * xc).sum()
+    if denom == 0.0:
+        raise CorrelationError("fit needs a non-constant x")
+    slope = float((xc * (y - y.mean())).sum() / denom)
+    intercept = float(y.mean() - slope * x.mean())
+    return slope, intercept

@@ -1,0 +1,110 @@
+"""Lifetime estimation for NVM-based LLCs.
+
+Combines a wear distribution (writes per line over a simulated window),
+the simulated wall-clock duration of that window, and a technology's
+endurance spec into a projected time-to-first-failure:
+
+- *unleveled*: the hottest line keeps its observed write rate and fails
+  first;
+- *ideally leveled*: writes spread uniformly over all frames (the upper
+  bound wear leveling approaches).
+
+The gap between the two is the paper's motivation for the
+wear-leveling techniques it categorises (Section I, group 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cells.base import CellClass
+from repro.endurance.model import SECONDS_PER_YEAR, EnduranceSpec, endurance_of
+from repro.endurance.wear import WearSummary
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Projected LLC lifetime for one technology and workload.
+
+    ``None`` years means the technology does not wear out at cache
+    write rates (SRAM, and effectively STTRAM for most workloads).
+    """
+
+    llc_name: str
+    cell_class: CellClass
+    window_s: float
+    total_write_rate: float  # data-array writes per second
+    hottest_line_rate: float  # writes/second into the hottest frame
+    unleveled_years: Optional[float]
+    leveled_years: Optional[float]
+
+    @property
+    def leveling_gain(self) -> Optional[float]:
+        """Lifetime multiplier ideal wear leveling would buy."""
+        if self.unleveled_years is None or self.leveled_years is None:
+            return None
+        if self.unleveled_years == 0:
+            return float("inf")
+        return self.leveled_years / self.unleveled_years
+
+
+def estimate_lifetime(
+    llc_name: str,
+    cell_class: CellClass,
+    wear: WearSummary,
+    window_s: float,
+    spec: Optional[EnduranceSpec] = None,
+) -> LifetimeEstimate:
+    """Project lifetime from a simulated wear window.
+
+    Parameters
+    ----------
+    llc_name / cell_class:
+        Identity of the LLC model the wear was replayed against.
+    wear:
+        Wear distribution from :func:`repro.endurance.wear.replay_with_wear`.
+    window_s:
+        Simulated wall-clock time the wear window represents.
+    spec:
+        Endurance override; defaults to the class's Table I values.
+    """
+    if window_s <= 0:
+        raise SimulationError("wear window must have positive duration")
+    spec = spec or endurance_of(cell_class)
+
+    n_frames = wear.n_sets * wear.associativity
+    total_rate = wear.total_writes / window_s
+    hottest_rate = wear.hottest_line_writes / window_s
+
+    if not spec.is_limited:
+        return LifetimeEstimate(
+            llc_name=llc_name,
+            cell_class=cell_class,
+            window_s=window_s,
+            total_write_rate=total_rate,
+            hottest_line_rate=hottest_rate,
+            unleveled_years=None,
+            leveled_years=None,
+        )
+
+    # A frame is a block of cells written together; the frame's life is
+    # the per-cell budget (first-failure adjusted for the array size).
+    budget = spec.first_failure_budget(n_frames * 512)
+    assert budget is not None  # is_limited guarantees a numeric limit
+
+    unleveled = math.inf if hottest_rate == 0 else budget / hottest_rate
+    per_frame_rate = total_rate / n_frames if n_frames else 0.0
+    leveled = math.inf if per_frame_rate == 0 else budget / per_frame_rate
+
+    return LifetimeEstimate(
+        llc_name=llc_name,
+        cell_class=cell_class,
+        window_s=window_s,
+        total_write_rate=total_rate,
+        hottest_line_rate=hottest_rate,
+        unleveled_years=unleveled / SECONDS_PER_YEAR,
+        leveled_years=leveled / SECONDS_PER_YEAR,
+    )

@@ -1,0 +1,85 @@
+"""Endurance specifications per technology class.
+
+The paper's Table I lists write endurance as the key drawback of PCRAM
+("stuck-at faults after 10^7-10^8 writes") and RRAM ("issues occurring
+at 10^10 writes"); STTRAM's magnetic switching is effectively unlimited
+at cache lifetimes, and SRAM does not wear.  Section VII names lifetime
+characterization against architecture-agnostic features as future work —
+:mod:`repro.endurance` implements that study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cells.base import CellClass
+from repro.errors import ConfigurationError
+
+#: Seconds per year, for lifetime reporting.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class EnduranceSpec:
+    """Write-endurance parameters of one technology class.
+
+    Attributes
+    ----------
+    write_limit:
+        Writes a cell tolerates before stuck-at faults become likely
+        (None = effectively unlimited at cache lifetimes).
+    variability:
+        Lognormal sigma of per-cell limits; 0 means every cell fails at
+        exactly ``write_limit``.  Used by the failure model to estimate
+        the *first*-failure budget, which is earlier than the mean.
+    """
+
+    write_limit: Optional[float]
+    variability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.write_limit is not None and self.write_limit <= 0:
+            raise ConfigurationError("write_limit must be positive")
+        if self.variability < 0:
+            raise ConfigurationError("variability must be nonnegative")
+
+    @property
+    def is_limited(self) -> bool:
+        """True when the class wears out."""
+        return self.write_limit is not None
+
+    def first_failure_budget(self, n_cells: int) -> Optional[float]:
+        """Expected writes-to-first-failure for a population of cells.
+
+        With lognormal per-cell limits, the weakest of ``n_cells`` fails
+        roughly ``exp(-sigma * sqrt(2 ln n))`` below the median — the
+        standard extreme-value shift.  Returns None for unlimited
+        classes.
+        """
+        if self.write_limit is None:
+            return None
+        if n_cells <= 1 or self.variability == 0.0:
+            return self.write_limit
+        shift = math.exp(-self.variability * math.sqrt(2.0 * math.log(n_cells)))
+        return self.write_limit * shift
+
+
+#: Endurance limits per class (Table I / Section II).
+ENDURANCE: Dict[CellClass, EnduranceSpec] = {
+    # PCRAM: stuck-at faults at 10^7-10^8 writes; use the geometric
+    # middle of the paper's range.
+    CellClass.PCRAM: EnduranceSpec(write_limit=3.2e7),
+    # RRAM: "superior write endurance to PCRAM... issues at 10^10".
+    CellClass.RRAM: EnduranceSpec(write_limit=1e10),
+    # STTRAM: MTJ switching endurance >> cache-relevant write counts.
+    CellClass.STTRAM: EnduranceSpec(write_limit=1e15, variability=0.2),
+    # SRAM does not wear out.
+    CellClass.SRAM: EnduranceSpec(write_limit=None),
+}
+
+
+def endurance_of(cell_class: CellClass) -> EnduranceSpec:
+    """Endurance spec for a technology class."""
+    return ENDURANCE[cell_class]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CellParameterError(ReproError):
+    """A cell specification is missing or has an invalid parameter."""
+
+
+class HeuristicError(ReproError):
+    """A modeling heuristic could not be applied (e.g. no donor cell)."""
+
+
+class ModelGenerationError(ReproError):
+    """The circuit model could not produce an LLC model for a cell."""
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """An unknown workload was requested or a generator misbehaved."""
+
+
+class SimulationError(ReproError):
+    """The system simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture or cache configuration is invalid."""
+
+
+class CorrelationError(ReproError):
+    """The correlation framework received unusable inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be assembled or executed."""

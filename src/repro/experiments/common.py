@@ -1,0 +1,153 @@
+"""Shared infrastructure for the experiment drivers.
+
+An :class:`ExperimentContext` owns trace generation and simulation
+caching for one run of the experiment suite: each workload's trace is
+generated once, its private-level replay once, and its LLC replay once
+per distinct capacity.  ``scale`` shortens traces uniformly for quick
+runs (tests); note that below ~0.5 the capacity-sweep components no
+longer complete enough passes for fixed-area capacity effects to show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.nvsim.published import nvm_models, published_models, sram_baseline
+from repro.sim.config import ArchitectureConfig, gainestown
+from repro.sim.results import NormalizedResult, SimResult, normalize
+from repro.sim.system import SimulationSession
+from repro.trace.stream import Trace
+from repro.workloads.generators import DEFAULT_SEED, generate_from_profile
+from repro.workloads.profiles import profile
+
+
+class ExperimentContext:
+    """Caches traces and simulation sessions across experiments.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier on each profile's trace length (1.0 = full).
+    seed:
+        Trace-generation seed.
+    arch:
+        Architecture; defaults to the paper's 4-core Gainestown.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = DEFAULT_SEED,
+        arch: Optional[ArchitectureConfig] = None,
+    ) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ExperimentError("scale must be in (0, 1]")
+        self.scale = scale
+        self.seed = seed
+        self.arch = arch or gainestown()
+        self._traces: Dict[str, Trace] = {}
+        self._sessions: Dict[str, SimulationSession] = {}
+
+    def trace(self, workload: str) -> Trace:
+        """The (cached) trace for a workload at this context's scale."""
+        if workload not in self._traces:
+            bench = profile(workload)
+            n = max(5000, int(bench.n_accesses * self.scale))
+            self._traces[workload] = generate_from_profile(
+                bench, seed=self.seed, n_accesses=n
+            )
+        return self._traces[workload]
+
+    def session(self, workload: str) -> SimulationSession:
+        """The (cached) simulation session for a workload."""
+        if workload not in self._sessions:
+            self._sessions[workload] = SimulationSession(
+                self.trace(workload), arch=self.arch
+            )
+        return self._sessions[workload]
+
+    # -- sweeps ----------------------------------------------------------
+
+    def absolute_sweep(
+        self,
+        workloads: Sequence[str],
+        configuration: str,
+        llc_names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """Raw (unnormalised) results per LLC per workload.
+
+        Used by the general-purpose correlation analysis, which the
+        paper phrases over absolute LLC energy and execution time.
+        """
+        models = published_models(configuration)
+        if llc_names is not None:
+            wanted = set(llc_names)
+            models = [m for m in models if m.name in wanted]
+        out: Dict[str, Dict[str, SimResult]] = {m.name: {} for m in models}
+        for workload in workloads:
+            session = self.session(workload)
+            for model in models:
+                out[model.name][workload] = session.run(model, configuration)
+        return out
+
+    def normalized_sweep(
+        self,
+        workloads: Sequence[str],
+        configuration: str,
+        llc_names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Dict[str, NormalizedResult]]:
+        """Run every workload against every published LLC model.
+
+        Returns ``{llc_name: {workload: NormalizedResult}}``, normalised
+        per-workload against the SRAM baseline of the same configuration.
+        """
+        models = published_models(configuration)
+        if llc_names is not None:
+            wanted = set(llc_names)
+            models = [m for m in models if m.name in wanted]
+        baseline_model = sram_baseline(configuration)
+        out: Dict[str, Dict[str, NormalizedResult]] = {m.name: {} for m in models}
+        for workload in workloads:
+            session = self.session(workload)
+            baseline = session.run(baseline_model, configuration)
+            for model in models:
+                result = session.run(model, configuration)
+                out[model.name][workload] = normalize(result, baseline)
+        return out
+
+
+@dataclass
+class TableWriter:
+    """Minimal fixed-width / markdown table renderer for experiment CLI
+    output and EXPERIMENTS.md regeneration."""
+
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        """Append one row (cells are str()-ed)."""
+        if len(cells) != len(self.headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        widths = [
+            max(len(h), *(len(r[i]) for r in self.rows)) if self.rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        def line(cells: Iterable[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        out = [line(self.headers), line("-" * w for w in widths)]
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

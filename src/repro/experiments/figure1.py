@@ -1,0 +1,117 @@
+"""Experiment: regenerate Figure 1 (fixed-capacity speedup/energy/ED^2P).
+
+Simulates all twenty workloads on all ten NVM LLC models plus the SRAM
+baseline, fixed-capacity configuration, and reports the paper's three
+normalised metrics split into single-threaded (Figure 1a) and
+multi-threaded (Figure 1b) panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, TableWriter
+from repro.sim.results import NormalizedResult
+from repro.workloads.registry import all_benchmarks, multi_threaded, single_threaded
+
+#: Display order of the NVM LLC models in the figure panels.
+MODEL_ORDER = (
+    "Oh_P",
+    "Chen_P",
+    "Kang_P",
+    "Close_P",
+    "Chung_S",
+    "Jan_S",
+    "Umeki_S",
+    "Xue_S",
+    "Hayakawa_R",
+    "Zhang_R",
+)
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One figure's normalised results.
+
+    ``results[llc_name][workload]`` is the paper's normalised triple.
+    """
+
+    configuration: str
+    results: Dict[str, Dict[str, NormalizedResult]]
+
+    def panel(self, workloads: Sequence[str], metric: str) -> Dict[str, List[float]]:
+        """One sub-plot: {llc: [metric per workload]} over given order.
+
+        ``metric`` is ``"speedup"``, ``"energy_ratio"`` or ``"ed2p_ratio"``.
+        """
+        return {
+            llc: [getattr(self.results[llc][w], metric) for w in workloads]
+            for llc in self.results
+        }
+
+    def metric(self, llc: str, workload: str, metric: str) -> float:
+        """One bar of the figure."""
+        return getattr(self.results[llc][workload], metric)
+
+    def geometric_mean(self, llc: str, metric: str, workloads: Sequence[str]) -> float:
+        """Geomean of a metric over workloads (summary statistic)."""
+        values = [getattr(self.results[llc][w], metric) for w in workloads]
+        return float(np.exp(np.mean(np.log(values))))
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> FigureData:
+    """Regenerate Figure 1's data."""
+    context = context or ExperimentContext()
+    names = list(workloads) if workloads is not None else all_benchmarks()
+    results = context.normalized_sweep(names, "fixed-capacity")
+    results.pop("SRAM", None)
+    return FigureData(configuration="fixed-capacity", results=results)
+
+
+def render(data: FigureData) -> str:
+    """Render both panels as tables plus a geomean-energy bar chart."""
+    from repro.report.charts import bar_chart
+
+    out = []
+    for label, group in (
+        ("Figure 1a (single-threaded)", single_threaded()),
+        ("Figure 1b (multi-threaded)", multi_threaded()),
+    ):
+        group = [w for w in group if _have(data, w)]
+        if not group:
+            continue
+        for metric, name in (
+            ("speedup", "normalized speedup"),
+            ("energy_ratio", "normalized LLC energy"),
+            ("ed2p_ratio", "normalized ED^2P"),
+        ):
+            table = TableWriter(headers=["LLC"] + group)
+            for llc in MODEL_ORDER:
+                if llc not in data.results:
+                    continue
+                table.add(llc, *[data.metric(llc, w, metric) for w in group])
+            out.append(f"{label} — {name}\n{table.render()}")
+        geomeans = {
+            llc: data.geometric_mean(llc, "energy_ratio", group)
+            for llc in MODEL_ORDER
+            if llc in data.results
+        }
+        out.append(
+            bar_chart(
+                geomeans,
+                reference=1.0,
+                title=f"{label} — geomean normalized LLC energy (log scale)",
+                log_scale=True,
+            )
+        )
+    return "\n\n".join(out)
+
+
+def _have(data: FigureData, workload: str) -> bool:
+    return any(workload in per_workload for per_workload in data.results.values())

@@ -1,0 +1,53 @@
+"""Experiment: regenerate Figure 2 (fixed-area speedup/energy/ED^2P).
+
+Identical sweep to Figure 1 but with the fixed-area Table III models:
+every LLC fits the SRAM baseline's 6.55 mm^2 and takes the capacity that
+budget buys (1 MB for Jan_S up to 128 MB for Zhang_R), so dense NVMs can
+now win on misses what they lose on latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentContext, TableWriter
+from repro.experiments.figure1 import MODEL_ORDER, FigureData
+from repro.workloads.registry import all_benchmarks, multi_threaded, single_threaded
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> FigureData:
+    """Regenerate Figure 2's data."""
+    context = context or ExperimentContext()
+    names = list(workloads) if workloads is not None else all_benchmarks()
+    results = context.normalized_sweep(names, "fixed-area")
+    results.pop("SRAM", None)
+    return FigureData(configuration="fixed-area", results=results)
+
+
+def render(data: FigureData) -> str:
+    """Render both panels as tables (speedup / energy / ED^2P rows)."""
+    out = []
+    for label, group in (
+        ("Figure 2a (single-threaded)", single_threaded()),
+        ("Figure 2b (multi-threaded)", multi_threaded()),
+    ):
+        group = [
+            w
+            for w in group
+            if any(w in per_workload for per_workload in data.results.values())
+        ]
+        for metric, name in (
+            ("speedup", "normalized speedup"),
+            ("energy_ratio", "normalized LLC energy"),
+            ("ed2p_ratio", "normalized ED^2P"),
+        ):
+            table = TableWriter(headers=["LLC"] + group)
+            for llc in MODEL_ORDER:
+                if llc not in data.results:
+                    continue
+                table.add(llc, *[data.metric(llc, w, metric) for w in group])
+            out.append(f"{label} — {name}\n{table.render()}")
+    return "\n\n".join(out)

@@ -1,0 +1,121 @@
+"""Experiment: regenerate Figure 4 (feature correlation heatmaps).
+
+Runs the Section VI framework twice:
+
+- *general scope*: all characterized workloads, correlated against
+  absolute LLC energy and execution time — the paper finds total
+  read/write counts most correlated there;
+- *AI scope*: the three cpu2017 inference workloads, correlated against
+  normalised energy and speedup (the Figure 4 axes) — the paper finds
+  write entropy, unique write footprint and 90% write footprint ~99%
+  correlated while totals decorrelate.
+
+Six heatmap panels as in the paper: {Jan_S, Xue_S, Hayakawa_R} x
+{fixed-capacity, fixed-area} for the AI scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.correlate.framework import (
+    FIGURE4_LLCS,
+    CorrelationReport,
+    dominant_feature_group,
+    run_framework,
+)
+from repro.experiments.common import ExperimentContext, TableWriter
+from repro.experiments.table6 import Table6Result
+from repro.experiments.table6 import run as run_table6
+from repro.prism.profile import FEATURE_NAMES
+from repro.workloads.registry import ai_benchmarks, characterized_benchmarks
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """All correlation reports for both scopes and configurations."""
+
+    ai_reports: List[CorrelationReport]
+    general_reports: List[CorrelationReport]
+
+    def report(self, llc: str, configuration: str) -> CorrelationReport:
+        """One AI-scope panel (a)-(f) by LLC and configuration."""
+        for r in self.ai_reports:
+            if r.llc_name == llc and r.configuration == configuration:
+                return r
+        raise KeyError(f"no AI report for {llc}/{configuration}")
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    features: Optional[Table6Result] = None,
+) -> Figure4Result:
+    """Regenerate Figure 4's data (both scopes, both configurations)."""
+    context = context or ExperimentContext()
+    features = features or run_table6(context)
+    ai = ai_benchmarks()
+    general = characterized_benchmarks()
+
+    ai_reports: List[CorrelationReport] = []
+    general_reports: List[CorrelationReport] = []
+    for configuration in ("fixed-capacity", "fixed-area"):
+        results = context.normalized_sweep(
+            ai, configuration, llc_names=FIGURE4_LLCS
+        )
+        ai_reports.extend(
+            run_framework(
+                features.features, results, ai, configuration, scope="ai"
+            )
+        )
+        # The general-purpose analysis is phrased over absolute LLC
+        # energy and execution time (Section VI): totals dominate there.
+        absolute = context.absolute_sweep(
+            general, configuration, llc_names=FIGURE4_LLCS
+        )
+        general_reports.extend(
+            run_framework(
+                features.features,
+                absolute,
+                general,
+                configuration,
+                scope="general",
+                absolute=True,
+            )
+        )
+    return Figure4Result(ai_reports=ai_reports, general_reports=general_reports)
+
+
+def render(result: Figure4Result) -> str:
+    """Render the six AI panels (tables + heatmaps) plus the
+    general-scope summary."""
+    from repro.report.charts import correlation_heatmap
+
+    out = []
+    for report in result.ai_reports:
+        table = TableWriter(headers=["feature", "corr(energy)", "corr(speedup)"])
+        for i, feature in enumerate(FEATURE_NAMES):
+            table.add(feature, float(report.matrix[i, 0]), float(report.matrix[i, 1]))
+        heatmap = correlation_heatmap(
+            report.matrix,
+            list(FEATURE_NAMES),
+            list(report.response_names),
+        )
+        out.append(
+            f"Figure 4 — {report.llc_name}, {report.configuration} (AI scope)\n"
+            + table.render()
+            + "\n\n"
+            + heatmap
+        )
+    summary = TableWriter(
+        headers=["LLC", "configuration", "scope", "dominant features (energy)"]
+    )
+    for report in result.general_reports + result.ai_reports:
+        summary.add(
+            report.llc_name,
+            report.configuration,
+            report.scope,
+            dominant_feature_group(report, "energy"),
+        )
+    out.append("Dominant feature families\n" + summary.render())
+    return "\n\n".join(out)

@@ -1,0 +1,157 @@
+"""Run-everything CLI: ``repro-experiments`` / ``python -m repro.experiments.runner``.
+
+Regenerates every table and figure of the paper and prints them as
+text tables.  ``--scale`` shortens traces for quick runs; ``--only``
+restricts to a subset of experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    coresweep,
+    lifetime,
+    sensitivity,
+    techniques_study,
+    figure1,
+    figure2,
+    figure4,
+    table2,
+    table3,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentContext
+
+#: Experiment ids in run order.
+EXPERIMENTS = (
+    "table2",
+    "table3",
+    "table5",
+    "table6",
+    "figure1",
+    "figure2",
+    "figure4",
+    "coresweep",
+    "lifetime",
+    "techniques",
+    "sensitivity",
+)
+
+
+def run_all(
+    scale: float = 1.0,
+    only: Optional[str] = None,
+    stream=None,
+    write_path: Optional[str] = None,
+) -> None:
+    """Run the requested experiments; print renders and optionally write
+    a markdown report (``write_path``)."""
+    from repro.report.builder import ReportBuilder
+    from repro.workloads.generators import DEFAULT_SEED
+
+    if stream is None:
+        # Resolve at call time so test harnesses that swap sys.stdout
+        # capture the output.
+        stream = sys.stdout
+
+    context = ExperimentContext(scale=scale)
+    features = None
+    report = ReportBuilder(
+        title="NVM-LLC reproduction — experiment report",
+        scale=scale,
+        seed=DEFAULT_SEED,
+    )
+
+    def emit(title: str, text: str, elapsed: float) -> None:
+        stream.write(f"\n{'=' * 72}\n{title}  [{elapsed:.1f}s]\n{'=' * 72}\n")
+        stream.write(text + "\n")
+        report.add_section(title, text, elapsed_s=elapsed)
+
+    for name in EXPERIMENTS:
+        if only is not None and name != only:
+            continue
+        start = time.time()
+        if name == "table2":
+            emit("Table II", table2.render(table2.run()), time.time() - start)
+        elif name == "table3":
+            result = table3.run()
+            text = (
+                table3.render(result, "fixed-capacity")
+                + "\n\n"
+                + table3.render(result, "fixed-area")
+            )
+            emit("Table III", text, time.time() - start)
+        elif name == "table5":
+            emit("Table V", table5.render(table5.run(context)), time.time() - start)
+        elif name == "table6":
+            features = table6.run(context)
+            emit("Table VI", table6.render(features), time.time() - start)
+        elif name == "figure1":
+            emit("Figure 1", figure1.render(figure1.run(context)), time.time() - start)
+        elif name == "figure2":
+            emit("Figure 2", figure2.render(figure2.run(context)), time.time() - start)
+        elif name == "figure4":
+            result = figure4.run(context, features)
+            emit("Figure 4", figure4.render(result), time.time() - start)
+        elif name == "coresweep":
+            result = coresweep.run(scale=scale)
+            emit("Core sweep (Section V-C)", coresweep.render(result), time.time() - start)
+        elif name == "lifetime":
+            result = lifetime.run(context)
+            emit("Lifetime study (Section VII)", lifetime.render(result), time.time() - start)
+        elif name == "techniques":
+            result = techniques_study.run(context)
+            emit(
+                "Techniques study (extension)",
+                techniques_study.render(result),
+                time.time() - start,
+            )
+        elif name == "sensitivity":
+            result = sensitivity.run(scale=scale)
+            emit(
+                "Sensitivity study (extension)",
+                sensitivity.render(result),
+                time.time() - start,
+            )
+
+    if write_path is not None:
+        path = report.write(write_path)
+        stream.write(f"\nreport written to {path}\n")
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-length scale in (0, 1]; below ~0.5 capacity effects fade",
+    )
+    parser.add_argument(
+        "--only",
+        choices=EXPERIMENTS,
+        default=None,
+        help="run a single experiment",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        default=None,
+        help="also write a markdown report to PATH",
+    )
+    args = parser.parse_args(argv)
+    run_all(scale=args.scale, only=args.only, write_path=args.write)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Experiment: regenerate Table III (LLC models, both configurations).
+
+Two parts:
+
+1. the *published* Table III models (the exact experiment inputs), and
+2. the analytical circuit model run on the same cells, with per-quantity
+   ratios against the published values — quantifying how close the
+   simplified NVSim-equivalent lands (DESIGN.md documents this as a
+   methodology reproduction, validated on ordering/regime rather than
+   absolute values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.cells.library import NVM_CELLS, SRAM, cell_by_name
+from repro.experiments.common import TableWriter
+from repro.nvsim.config import CacheDesign, FIXED_AREA_BUDGET_MM2
+from repro.nvsim.model import LLCModel, generate_llc_model
+from repro.nvsim.published import published_models
+from repro.nvsim.sweep import generate_fixed_area_model
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Generated vs published model for one cell and configuration."""
+
+    name: str
+    configuration: str
+    generated: LLCModel
+    published: LLCModel
+
+    def ratio(self, attribute: str) -> float:
+        """generated / published for one numeric attribute."""
+        published_value = getattr(self.published, attribute)
+        generated_value = getattr(self.generated, attribute)
+        if published_value == 0:
+            return float("inf") if generated_value else 1.0
+        return generated_value / published_value
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Published models plus generated-model comparisons."""
+
+    published: Dict[str, List[LLCModel]]
+    comparisons: List[ModelComparison]
+
+
+def run() -> Table3Result:
+    """Regenerate Table III and compare the circuit model against it."""
+    published = {
+        configuration: published_models(configuration)
+        for configuration in ("fixed-capacity", "fixed-area")
+    }
+    comparisons: List[ModelComparison] = []
+    cells = list(NVM_CELLS) + [SRAM]
+    fixed_capacity_design = CacheDesign(capacity_bytes=2 * units.MB)
+    published_fc = {m.name: m for m in published["fixed-capacity"]}
+    published_fa = {m.name: m for m in published["fixed-area"]}
+    for cell in cells:
+        generated = generate_llc_model(cell, fixed_capacity_design)
+        comparisons.append(
+            ModelComparison(
+                name=cell.display_name,
+                configuration="fixed-capacity",
+                generated=generated,
+                published=published_fc[cell.display_name],
+            )
+        )
+        generated_fa = generate_fixed_area_model(cell, FIXED_AREA_BUDGET_MM2)
+        comparisons.append(
+            ModelComparison(
+                name=cell.display_name,
+                configuration="fixed-area",
+                generated=generated_fa,
+                published=published_fa[cell.display_name],
+            )
+        )
+    return Table3Result(published=published, comparisons=comparisons)
+
+
+_COLUMNS = (
+    ("capacity [MB]", "capacity_mb"),
+    ("area [mm2]", "area_mm2"),
+    ("tag [ns]", "tag_latency_s"),
+    ("read [ns]", "read_latency_s"),
+    ("write [ns]", "write_latency_s"),
+    ("E_hit [nJ]", "hit_energy_j"),
+    ("E_miss [nJ]", "miss_energy_j"),
+    ("E_write [nJ]", "write_energy_j"),
+    ("leak [W]", "leakage_w"),
+)
+
+_SCALE = {
+    "tag_latency_s": 1 / units.NS,
+    "read_latency_s": 1 / units.NS,
+    "write_latency_s": 1 / units.NS,
+    "hit_energy_j": 1 / units.NJ,
+    "miss_energy_j": 1 / units.NJ,
+    "write_energy_j": 1 / units.NJ,
+}
+
+
+def render(result: Table3Result, configuration: str = "fixed-capacity") -> str:
+    """Render one configuration's published table plus model ratios."""
+    table = TableWriter(headers=["model"] + [label for label, _ in _COLUMNS])
+    for model in result.published[configuration]:
+        table.add(
+            model.name,
+            *[
+                getattr(model, attr) * _SCALE.get(attr, 1.0)
+                for _, attr in _COLUMNS
+            ],
+        )
+    ratios = TableWriter(
+        headers=["model"] + [label for label, _ in _COLUMNS[1:]]
+    )
+    for comparison in result.comparisons:
+        if comparison.configuration != configuration:
+            continue
+        ratios.add(
+            comparison.name,
+            *[comparison.ratio(attr) for _, attr in _COLUMNS[1:]],
+        )
+    return (
+        f"Table III ({configuration}) — published LLC models\n"
+        + table.render()
+        + "\n\nGenerated/published ratios (circuit-model fidelity)\n"
+        + ratios.render()
+    )

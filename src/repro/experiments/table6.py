@@ -1,0 +1,121 @@
+"""Experiment: regenerate Table VI (workload memory-behaviour features).
+
+Runs the PRISM-equivalent profiler on every characterized workload's
+trace and reports the ten features next to the paper's values.  As
+DESIGN.md's scaling note explains, traces are ~10^4x shorter than the
+real executions, so absolute values differ; the preserved structure is
+checked by :func:`extreme_workloads` (which workload is each column's
+maximum) and the per-column rank correlations the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, TableWriter
+from repro.prism.profile import FEATURE_LABELS, FEATURE_NAMES, WorkloadFeatures, extract_features
+from repro.workloads.profiles import PAPER_FEATURE_LABELS, PROFILES
+from repro.workloads.registry import characterized_benchmarks
+
+#: Maps our feature names onto the paper's Table VI column attributes.
+PAPER_ATTR_OF = {
+    "read_global_entropy": "H_rg",
+    "read_local_entropy": "H_rl",
+    "write_global_entropy": "H_wg",
+    "write_local_entropy": "H_wl",
+    "unique_reads": "r_uniq_e6",
+    "unique_writes": "w_uniq_e6",
+    "footprint90_reads": "ft90_r_e3",
+    "footprint90_writes": "ft90_w_e3",
+    "total_reads": "r_total_e9",
+    "total_writes": "w_total_e9",
+}
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """Measured features for the sixteen characterized workloads."""
+
+    features: Dict[str, WorkloadFeatures]
+
+    def measured_column(self, feature: str) -> np.ndarray:
+        """One measured feature across workloads, in registry order."""
+        return np.array(
+            [getattr(self.features[w], feature) for w in self.workloads]
+        )
+
+    def paper_column(self, feature: str) -> np.ndarray:
+        """The paper's Table VI column aligned with the measured one."""
+        attr = PAPER_ATTR_OF[feature]
+        return np.array(
+            [getattr(PROFILES[w].paper_features, attr) for w in self.workloads]
+        )
+
+    @property
+    def workloads(self) -> List[str]:
+        """Characterized workloads, registry order."""
+        return [w for w in characterized_benchmarks() if w in self.features]
+
+
+def run(context: Optional[ExperimentContext] = None) -> Table6Result:
+    """Profile every characterized workload."""
+    context = context or ExperimentContext()
+    features = {
+        name: extract_features(context.trace(name))
+        for name in characterized_benchmarks()
+    }
+    return Table6Result(features=features)
+
+
+def extreme_workloads(result: Table6Result) -> Dict[str, Tuple[str, str]]:
+    """Per feature: (measured argmax workload, paper argmax workload).
+
+    The paper's heatmap extremes (GemsFDTD's footprints, exchange2's
+    totals, ...) should match where the scaling allows.
+    """
+    out = {}
+    workloads = result.workloads
+    for feature in FEATURE_NAMES:
+        measured = result.measured_column(feature)
+        paper = result.paper_column(feature)
+        out[feature] = (
+            workloads[int(np.argmax(measured))],
+            workloads[int(np.argmax(paper))],
+        )
+    return out
+
+
+def rank_correlation(result: Table6Result, feature: str) -> float:
+    """Spearman rank correlation of measured vs paper for one column."""
+    measured = result.measured_column(feature)
+    paper = result.paper_column(feature)
+    def ranks(x: np.ndarray) -> np.ndarray:
+        order = np.argsort(x)
+        r = np.empty_like(order, dtype=np.float64)
+        r[order] = np.arange(len(x))
+        return r
+    rm, rp = ranks(measured), ranks(paper)
+    rm -= rm.mean()
+    rp -= rp.mean()
+    denom = np.sqrt((rm * rm).sum() * (rp * rp).sum())
+    return float((rm * rp).sum() / denom) if denom else 0.0
+
+
+def render(result: Table6Result) -> str:
+    """Render measured Table VI."""
+    table = TableWriter(headers=["bmk"] + list(FEATURE_LABELS))
+    for name in result.workloads:
+        features = result.features[name]
+        table.add(name, *[getattr(features, f) for f in FEATURE_NAMES])
+    correlations = TableWriter(headers=["feature", "spearman vs paper"])
+    for feature in FEATURE_NAMES:
+        correlations.add(feature, rank_correlation(result, feature))
+    return (
+        "Table VI — measured workload features\n"
+        + table.render()
+        + "\n\nPer-column rank agreement with the paper\n"
+        + correlations.render()
+    )

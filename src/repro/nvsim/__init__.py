@@ -1,0 +1,78 @@
+"""NVSim-equivalent circuit model and the published Table III models.
+
+Two ways to obtain an :class:`~repro.nvsim.model.LLCModel`:
+
+- :func:`~repro.nvsim.model.generate_llc_model` runs the simplified
+  analytical circuit model on a cell (the *methodology* reproduction);
+- :func:`~repro.nvsim.published.published_model` returns the paper's
+  Table III values verbatim (the *experiment input* reproduction).
+"""
+
+from repro.nvsim.area import AreaBreakdown, compute_area
+from repro.nvsim.config import (
+    FIXED_AREA_BUDGET_MM2,
+    GAINESTOWN_LLC_DESIGN,
+    CacheDesign,
+)
+from repro.nvsim.energy import EnergyBreakdown, compute_energy
+from repro.nvsim.fidelity import (
+    FidelityReport,
+    ordering_agreements,
+    validate_fidelity,
+)
+from repro.nvsim.mlc import (
+    MLCComparison,
+    compare_slc_mlc,
+    derive_mlc_cell,
+)
+from repro.nvsim.model import LLCModel, generate_llc_model
+from repro.nvsim.organization import Organization, solve_organization
+from repro.nvsim.published import (
+    CONFIGURATIONS,
+    FIXED_AREA,
+    FIXED_CAPACITY,
+    nvm_models,
+    published_model,
+    published_models,
+    sram_baseline,
+)
+from repro.nvsim.sweep import (
+    CAPACITY_LADDER,
+    capacity_sweep,
+    generate_fixed_area_model,
+    solve_fixed_area_capacity,
+)
+from repro.nvsim.timing import TimingBreakdown, compute_timing
+
+__all__ = [
+    "AreaBreakdown",
+    "compute_area",
+    "FIXED_AREA_BUDGET_MM2",
+    "GAINESTOWN_LLC_DESIGN",
+    "CacheDesign",
+    "EnergyBreakdown",
+    "compute_energy",
+    "FidelityReport",
+    "ordering_agreements",
+    "validate_fidelity",
+    "MLCComparison",
+    "compare_slc_mlc",
+    "derive_mlc_cell",
+    "LLCModel",
+    "generate_llc_model",
+    "Organization",
+    "solve_organization",
+    "CONFIGURATIONS",
+    "FIXED_AREA",
+    "FIXED_CAPACITY",
+    "nvm_models",
+    "published_model",
+    "published_models",
+    "sram_baseline",
+    "CAPACITY_LADDER",
+    "capacity_sweep",
+    "generate_fixed_area_model",
+    "solve_fixed_area_capacity",
+    "TimingBreakdown",
+    "compute_timing",
+]

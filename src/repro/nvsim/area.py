@@ -1,0 +1,56 @@
+"""Area model for the circuit model.
+
+Area = data cells / placement efficiency + per-cell periphery + tag
+array, all in the cell's own process.  Equation (3) converts the cited
+cell size in F^2 to physical area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.cells.base import NVMCell
+from repro.nvsim import calibration as cal
+from repro.nvsim.config import CacheDesign
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of an LLC design, in square metres."""
+
+    data_array_m2: float
+    periphery_m2: float
+    tag_array_m2: float
+
+    @property
+    def total_m2(self) -> float:
+        """Total silicon area."""
+        return self.data_array_m2 + self.periphery_m2 + self.tag_array_m2
+
+    @property
+    def total_mm2(self) -> float:
+        """Total silicon area in mm^2 (Table III's unit)."""
+        return units.to_mm2(self.total_m2)
+
+
+def compute_area(cell: NVMCell, design: CacheDesign) -> AreaBreakdown:
+    """Area breakdown for a cell/design pair."""
+    cell_area = cell.physical_cell_area_m2()
+    feature = cell.value("process_nm") * units.NM
+    periphery_per_cell = cal.PERIPHERY_F2_PER_CELL * feature * feature
+
+    data_cells = design.data_bits // cell.bits_per_cell
+    data_array = data_cells * cell_area / cal.ARRAY_EFFICIENCY
+    periphery = data_cells * periphery_per_cell
+
+    tag_cells = design.tag_bits // cell.bits_per_cell
+    tag_array = tag_cells * (
+        cell_area / cal.ARRAY_EFFICIENCY + periphery_per_cell
+    )
+
+    return AreaBreakdown(
+        data_array_m2=data_array,
+        periphery_m2=periphery,
+        tag_array_m2=tag_array,
+    )

@@ -1,0 +1,130 @@
+"""Class-level calibration constants for the simplified circuit model.
+
+The real NVSim is a detailed transistor-level estimator; this library
+replaces it with an analytical model whose *class-level* constants are
+calibrated so that generated LLC models land in the same regime as the
+paper's published Table III (PCRAM writes in the hundreds of nJ, STTRAM
+and RRAM writes near 1 nJ, SRAM leakage ~two orders above NVM periphery
+leakage, etc.).  The constants live here, in one place, so the
+calibration is auditable and ablatable.
+
+All constants are in SI units unless the name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import units
+from repro.cells.base import CellClass
+
+
+@dataclass(frozen=True)
+class ClassConstants:
+    """Per-technology-class calibration constants.
+
+    Attributes
+    ----------
+    write_overhead:
+        Multiplier on the summed per-cell programming energy of a block
+        write, covering write drivers, wordline boost and charge pumps.
+        Fit against Table III: ~10x for PCRAM (current-mode programming
+        through long bitlines), ~3.5x STTRAM, ~2.8x RRAM.
+    read_bit_energy_j:
+        Baseline per-bit data-array read energy (bitline swing + sense).
+    read_voltage_energy_slope_j:
+        Additional per-bit read energy per volt of read voltage — the
+        reason Xue (1.2 V reads) burns more per hit than Umeki (0.38 V).
+    tag_fraction:
+        Tag-array access energy as a fraction of a block's data-read
+        energy; Table III's miss/hit ratios differ strongly by class.
+    sense_time_s:
+        Baseline mat sensing time.
+    write_pulses:
+        Number of programming pulses per write; RRAM uses 2 to model the
+        write-verify-write schemes its endurance requires.
+    leakage_per_bit_w:
+        Periphery (plus cell, for SRAM) leakage per stored bit.
+    """
+
+    write_overhead: float
+    read_bit_energy_j: float
+    read_voltage_energy_slope_j: float
+    tag_fraction: float
+    sense_time_s: float
+    write_pulses: int
+    leakage_per_bit_w: float
+
+
+CLASS_CONSTANTS: Dict[CellClass, ClassConstants] = {
+    CellClass.PCRAM: ClassConstants(
+        write_overhead=10.3,
+        read_bit_energy_j=1.0e-15,
+        read_voltage_energy_slope_j=0.0,
+        tag_fraction=0.05,
+        sense_time_s=0.55 * units.NS,
+        write_pulses=1,
+        leakage_per_bit_w=4.0e-9,
+    ),
+    CellClass.STTRAM: ClassConstants(
+        write_overhead=3.5,
+        read_bit_energy_j=160e-15,
+        read_voltage_energy_slope_j=75e-15,
+        tag_fraction=0.45,
+        sense_time_s=1.5 * units.NS,
+        write_pulses=1,
+        leakage_per_bit_w=9.0e-9,
+    ),
+    CellClass.RRAM: ClassConstants(
+        write_overhead=2.8,
+        read_bit_energy_j=250e-15,
+        read_voltage_energy_slope_j=120e-15,
+        tag_fraction=0.40,
+        sense_time_s=1.3 * units.NS,
+        write_pulses=2,
+        leakage_per_bit_w=10.0e-9,
+    ),
+    CellClass.SRAM: ClassConstants(
+        write_overhead=1.0,
+        read_bit_energy_j=1.05e-12,
+        read_voltage_energy_slope_j=0.0,
+        tag_fraction=0.02,
+        sense_time_s=0.2 * units.NS,
+        write_pulses=1,
+        leakage_per_bit_w=205e-9,
+    ),
+}
+
+#: Data-array cell placement efficiency (cell area / total mat area).
+ARRAY_EFFICIENCY = 0.7
+
+#: Periphery (decoders, sense amps, drivers, H-tree) area per *cell*, in
+#: squared feature sizes of the cell's process.
+PERIPHERY_F2_PER_CELL = 28.0
+
+#: Signal velocity on repeated global wires: delay per metre of H-tree.
+WIRE_DELAY_S_PER_M = 1.25e-7  # 125 ps/mm
+
+#: Energy to drive one bit across one metre of H-tree wire.
+WIRE_ENERGY_J_PER_BIT_M = 6.0e-11
+
+#: Row-decode latency scale: per mat row, at a 45 nm reference process.
+DECODE_S_PER_ROW = 1.3e-13
+
+#: Write-driver setup latency added to every data-array write.
+WRITE_DRIVER_S = 0.5 * units.NS
+
+#: PCRAM sense time reference current: t_sense scales as (ref / I_read).
+PCRAM_SENSE_REF_UA = 60.0
+
+#: STTRAM/RRAM sense time reference voltage: lower read voltage means a
+#: smaller signal and a slower sense amplifier resolution.
+SENSE_REF_V = 0.4
+
+#: Exponent of the sense-time vs read-voltage relationship.  Sub-linear:
+#: sense amplifiers recover part of a weak signal with staging.
+SENSE_VOLTAGE_EXPONENT = 0.35
+
+#: Sense-time multiplier for multi-level cells (two-step sensing).
+MLC_SENSE_PENALTY = 1.8

@@ -1,0 +1,94 @@
+"""Cache design-point configuration for the circuit model.
+
+A :class:`CacheDesign` describes the organisational knobs the paper's
+NVSim runs used (Section IV, Table IV): a 16-way, 64-byte-block, shared
+LLC with H-tree routed banks.  The circuit model consumes a design plus
+an :class:`~repro.cells.NVMCell` and produces an
+:class:`~repro.nvsim.model.LLCModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheDesign:
+    """Organisational parameters of an LLC design point.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total data capacity in bytes.
+    block_bytes:
+        Cache block (line) size in bytes; the paper uses 64.
+    associativity:
+        Set associativity; the paper's LLC is 16-way.
+    mat_bits:
+        Target number of data bits per mat (subarray).  The organisation
+        solver picks the mat count from this; 512x512 is NVSim's default
+        neighbourhood.
+    tag_bits_per_block:
+        Width of one tag entry including state bits.
+    """
+
+    capacity_bytes: int
+    block_bytes: int = 64
+    associativity: int = 16
+    mat_bits: int = 512 * 512
+    tag_bits_per_block: int = 40
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not _is_power_of_two(self.block_bytes):
+            raise ConfigurationError("block size must be a power of two")
+        if not _is_power_of_two(self.associativity):
+            raise ConfigurationError("associativity must be a power of two")
+        if self.capacity_bytes % (self.block_bytes * self.associativity):
+            raise ConfigurationError(
+                "capacity must be a whole number of sets "
+                f"(capacity={self.capacity_bytes}, block={self.block_bytes}, "
+                f"assoc={self.associativity})"
+            )
+        if self.mat_bits < 4096:
+            raise ConfigurationError("mats below 4 Kbit are not modelled")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of cache blocks."""
+        return self.capacity_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_blocks // self.associativity
+
+    @property
+    def data_bits(self) -> int:
+        """Total data-array bits."""
+        return self.capacity_bytes * 8
+
+    @property
+    def tag_bits(self) -> int:
+        """Total tag-array bits."""
+        return self.n_blocks * self.tag_bits_per_block
+
+    @property
+    def capacity_mb(self) -> float:
+        """Capacity in MiB."""
+        return units.to_mb(self.capacity_bytes)
+
+
+#: The paper's baseline LLC design: 2 MB, 64 B blocks, 16-way.
+GAINESTOWN_LLC_DESIGN = CacheDesign(capacity_bytes=2 * units.MB)
+
+#: The fixed-area budget (mm^2) — the 2 MB 45 nm SRAM baseline's area.
+FIXED_AREA_BUDGET_MM2 = 6.548

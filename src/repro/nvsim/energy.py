@@ -1,0 +1,110 @@
+"""Energy model: equations (6)-(8) plus leakage.
+
+- ``E_dyn_hit   = E_dyn_tag + E_dyn_data_read``   (equation 6)
+- ``E_dyn_miss  = E_dyn_tag``                      (equation 7)
+- ``E_dyn_write = E_dyn_tag + E_dyn_data_write``   (equation 8)
+
+Data-array energies are built from per-cell read/programming energy
+(Table II, possibly heuristic-derived) times the block's cell count,
+scaled by class-level periphery overheads; leakage is per-bit periphery
+leakage (plus cell leakage for SRAM) times capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.base import CellClass, NVMCell
+from repro.errors import ModelGenerationError
+from repro.nvsim import calibration as cal
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.organization import htree_wire_length_m, solve_organization
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-access dynamic energies and total leakage of an LLC design.
+
+    All energies in joules, leakage in watts.
+    """
+
+    tag_energy_j: float
+    data_read_energy_j: float
+    data_write_energy_j: float
+    leakage_w: float
+
+    @property
+    def hit_energy_j(self) -> float:
+        """Equation (6): tag lookup plus data read."""
+        return self.tag_energy_j + self.data_read_energy_j
+
+    @property
+    def miss_energy_j(self) -> float:
+        """Equation (7): tag lookup only."""
+        return self.tag_energy_j
+
+    @property
+    def write_energy_j(self) -> float:
+        """Equation (8): tag lookup plus data write."""
+        return self.tag_energy_j + self.data_write_energy_j
+
+
+def data_read_energy(cell: NVMCell, design: CacheDesign) -> float:
+    """Dynamic energy to read one block from the data array."""
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    bits = design.block_bytes * 8
+    per_bit = constants.read_bit_energy_j
+    if constants.read_voltage_energy_slope_j and cell.read_voltage_v is not None:
+        per_bit += constants.read_voltage_energy_slope_j * cell.value("read_voltage_v")
+    if cell.cell_class is CellClass.PCRAM:
+        # PCRAM papers report per-bit read energy directly.
+        per_bit += 0.6 * cell.read_energy_j()
+    array_energy = bits * per_bit
+    wire_energy = bits * cal.WIRE_ENERGY_J_PER_BIT_M * _wire_length(cell, design)
+    return array_energy + wire_energy
+
+
+def data_write_energy(cell: NVMCell, design: CacheDesign) -> float:
+    """Dynamic energy to program one block into the data array."""
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    cells = (design.block_bytes * 8) // cell.bits_per_cell
+    if cells <= 0:
+        raise ModelGenerationError("block smaller than one cell")
+    per_cell = cell.write_energy_j() * constants.write_pulses
+    array_energy = cells * per_cell * constants.write_overhead
+    bits = design.block_bytes * 8
+    wire_energy = bits * cal.WIRE_ENERGY_J_PER_BIT_M * _wire_length(cell, design)
+    return array_energy + wire_energy
+
+
+def tag_energy(cell: NVMCell, design: CacheDesign) -> float:
+    """Dynamic energy of one associative tag lookup."""
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    return constants.tag_fraction * data_read_energy(cell, design)
+
+
+def leakage_power(cell: NVMCell, design: CacheDesign) -> float:
+    """Total standby leakage of the LLC (data + tags) in watts.
+
+    NVM cells themselves do not leak; the per-bit constants cover the
+    CMOS periphery.  For SRAM they additionally cover the cell, which is
+    why the SRAM baseline leaks roughly two orders of magnitude more
+    than same-capacity NVMs (Table III).
+    """
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    total_bits = design.data_bits + design.tag_bits
+    return constants.leakage_per_bit_w * total_bits
+
+
+def compute_energy(cell: NVMCell, design: CacheDesign) -> EnergyBreakdown:
+    """Full energy breakdown for a cell/design pair."""
+    return EnergyBreakdown(
+        tag_energy_j=tag_energy(cell, design),
+        data_read_energy_j=data_read_energy(cell, design),
+        data_write_energy_j=data_write_energy(cell, design),
+        leakage_w=leakage_power(cell, design),
+    )
+
+
+def _wire_length(cell: NVMCell, design: CacheDesign) -> float:
+    return htree_wire_length_m(solve_organization(cell, design))

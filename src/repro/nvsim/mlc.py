@@ -1,0 +1,146 @@
+"""Multi-level-cell derivation (paper Sections II-D and V-B).
+
+Two of Table II's cells (Close, Xue) store two bits per cell, and the
+paper credits MLC with the fixed-area study's largest area savings
+("MLC NVMs result in significant area savings").  This module derives an
+MLC variant from any SLC cell so the SLC-vs-MLC trade-off can be swept
+for the whole library:
+
+- capacity per area doubles (same F^2 footprint, two bits);
+- sensing slows (two-step reference resolution — the circuit model's
+  ``MLC_SENSE_PENALTY`` applies automatically once ``cell_levels`` is 2);
+- programming needs tighter resistance targeting: program-and-verify
+  stretches the pulse and raises energy per cell.
+
+The derivation constants are literature-typical and live here as module
+constants so they are auditable and sweepable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.cells.base import CellClass, NVMCell, Param, Provenance
+from repro.cells.heuristics import apply_electrical_properties
+from repro.errors import ModelGenerationError
+from repro.nvsim.config import CacheDesign, FIXED_AREA_BUDGET_MM2
+from repro.nvsim.model import LLCModel, generate_llc_model
+from repro.nvsim.sweep import generate_fixed_area_model
+
+#: Program-and-verify pulse stretch for 2-bit targeting.
+MLC_PULSE_FACTOR = 2.5
+
+#: Per-cell programming-energy increase for 2-bit targeting.
+MLC_ENERGY_FACTOR = 1.8
+
+
+def _scaled(param: Optional[Param], factor: float) -> Optional[Param]:
+    if param is None:
+        return None
+    return Param(
+        param.value * factor,
+        Provenance.INTERPOLATED,
+        note=f"MLC derivation: x{factor:g} from SLC",
+    )
+
+
+def derive_mlc_cell(cell: NVMCell) -> NVMCell:
+    """Derive a 2-bit MLC variant of an SLC cell.
+
+    SRAM cannot be MLC; already-MLC cells are returned unchanged.
+    """
+    if cell.cell_class is CellClass.SRAM:
+        raise ModelGenerationError("SRAM has no multi-level variant")
+    if cell.bits_per_cell > 1:
+        return cell
+    cell = apply_electrical_properties(cell)
+    updates = {
+        "cell_levels": Param(2, Provenance.INTERPOLATED, note="MLC derivation"),
+    }
+    for which in ("set", "reset"):
+        pulse = cell.get(f"{which}_pulse_ns")
+        energy = cell.get(f"{which}_energy_pj")
+        if pulse is not None:
+            updates[f"{which}_pulse_ns"] = _scaled(pulse, MLC_PULSE_FACTOR)
+        if energy is not None:
+            updates[f"{which}_energy_pj"] = _scaled(energy, MLC_ENERGY_FACTOR)
+    derived = cell.with_params(**updates)
+    return NVMCell(
+        name=f"{cell.name}MLC",
+        citation=f"2-bit MLC derivation of {cell.citation}",
+        cell_class=cell.cell_class,
+        year=cell.year,
+        access_device=cell.access_device,
+        **{
+            key: getattr(derived, key)
+            for key in (
+                "process_nm",
+                "cell_size_f2",
+                "cell_levels",
+                "read_current_ua",
+                "read_voltage_v",
+                "read_power_uw",
+                "read_energy_pj",
+                "reset_current_ua",
+                "reset_voltage_v",
+                "reset_pulse_ns",
+                "reset_energy_pj",
+                "set_current_ua",
+                "set_voltage_v",
+                "set_pulse_ns",
+                "set_energy_pj",
+            )
+        },
+    )
+
+
+@dataclass(frozen=True)
+class MLCComparison:
+    """SLC vs derived-MLC LLC models for one cell."""
+
+    slc_fixed_capacity: LLCModel
+    mlc_fixed_capacity: LLCModel
+    slc_fixed_area: LLCModel
+    mlc_fixed_area: LLCModel
+
+    @property
+    def capacity_gain(self) -> float:
+        """Fixed-area capacity multiplier MLC buys."""
+        return (
+            self.mlc_fixed_area.capacity_bytes
+            / self.slc_fixed_area.capacity_bytes
+        )
+
+    @property
+    def read_latency_penalty(self) -> float:
+        """Fixed-capacity read-latency multiplier MLC costs."""
+        return (
+            self.mlc_fixed_capacity.read_latency_s
+            / self.slc_fixed_capacity.read_latency_s
+        )
+
+    @property
+    def write_latency_penalty(self) -> float:
+        """Fixed-capacity write-latency multiplier MLC costs."""
+        return (
+            self.mlc_fixed_capacity.write_latency_s
+            / self.slc_fixed_capacity.write_latency_s
+        )
+
+
+def compare_slc_mlc(
+    cell: NVMCell,
+    capacity_bytes: int = 2 * units.MB,
+    area_budget_mm2: float = FIXED_AREA_BUDGET_MM2,
+) -> MLCComparison:
+    """Generate the SLC and MLC models at fixed capacity and fixed area."""
+    mlc = derive_mlc_cell(cell)
+    design = CacheDesign(capacity_bytes=capacity_bytes)
+    return MLCComparison(
+        slc_fixed_capacity=generate_llc_model(cell, design),
+        mlc_fixed_capacity=generate_llc_model(mlc, design),
+        slc_fixed_area=generate_fixed_area_model(cell, area_budget_mm2),
+        mlc_fixed_area=generate_fixed_area_model(mlc, area_budget_mm2),
+    )

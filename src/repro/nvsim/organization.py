@@ -1,0 +1,103 @@
+"""Mat/bank organisation solver for the circuit model.
+
+NVSim organises a memory as a grid of *mats* (self-contained subarrays
+with local decoders and sense amplifiers) connected by an H-tree.  This
+module picks a mat grid for a :class:`~repro.nvsim.config.CacheDesign`
+and computes the physical quantities the timing/energy/area models need:
+mat dimensions in cells, H-tree depth, and edge lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.cells.base import NVMCell
+from repro.errors import ModelGenerationError
+from repro.nvsim.config import CacheDesign
+
+
+@dataclass(frozen=True)
+class Organization:
+    """Solved physical organisation of a cache data array.
+
+    Attributes
+    ----------
+    n_mats:
+        Number of mats (power of two).
+    mat_rows, mat_cols:
+        Cell-array dimensions of one mat, in cells.
+    htree_levels:
+        Depth of the H-tree connecting the mats (0 for a single mat).
+    mat_edge_m:
+        Physical edge length of one (square-ish) mat in metres.
+    array_edge_m:
+        Physical edge length of the whole data array in metres.
+    """
+
+    n_mats: int
+    mat_rows: int
+    mat_cols: int
+    htree_levels: int
+    mat_edge_m: float
+    array_edge_m: float
+
+    @property
+    def bits_per_mat(self) -> int:
+        """Data bits stored in one mat."""
+        return self.mat_rows * self.mat_cols
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def solve_organization(cell: NVMCell, design: CacheDesign) -> Organization:
+    """Choose a mat grid for the design and compute physical dimensions.
+
+    The solver targets ``design.mat_bits`` cells per mat, yielding an
+    H-tree whose depth grows with capacity — which is what makes large
+    fixed-area NVM caches slower to traverse (paper Table III, bottom).
+    """
+    total_cells = design.data_bits // cell.bits_per_cell
+    if total_cells <= 0:
+        raise ModelGenerationError("design has no data bits")
+
+    n_mats = _next_power_of_two(max(1, round(total_cells / design.mat_bits)))
+    cells_per_mat = math.ceil(total_cells / n_mats)
+    rows = _next_power_of_two(int(math.sqrt(cells_per_mat)))
+    cols = _next_power_of_two(math.ceil(cells_per_mat / rows))
+
+    # Physical dimensions from the cell footprint.  Mats are modelled as
+    # square with area = cells * cell_area / efficiency; the efficiency
+    # accounts for local decoders and sense amps inside the mat.
+    cell_area = cell.physical_cell_area_m2()
+    mat_area = rows * cols * cell_area / 0.7
+    mat_edge = math.sqrt(mat_area)
+    # H-tree: each level doubles the tiled edge in one dimension.
+    levels = max(0, int(math.log2(n_mats)))
+    array_edge = mat_edge * math.sqrt(n_mats)
+
+    return Organization(
+        n_mats=n_mats,
+        mat_rows=rows,
+        mat_cols=cols,
+        htree_levels=levels,
+        mat_edge_m=mat_edge,
+        array_edge_m=array_edge,
+    )
+
+
+def htree_wire_length_m(org: Organization) -> float:
+    """Total one-way H-tree wire length from the array port to a mat.
+
+    Each H-tree level spans half the remaining array edge; summing the
+    geometric series gives roughly one array edge of wire.
+    """
+    length = 0.0
+    span = org.array_edge_m / 2.0
+    for _ in range(org.htree_levels):
+        length += span
+        span /= 2.0
+    return length

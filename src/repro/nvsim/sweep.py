@@ -1,0 +1,69 @@
+"""Design-space sweeps: fixed-area capacity solving and capacity sweeps.
+
+The paper's *fixed-area* configuration asks: given the SRAM baseline's
+silicon budget (6.55 mm^2), how much capacity does each NVM buy?  This
+module answers that with the analytical circuit model, mirroring the
+methodology behind Table III's bottom half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro import units
+from repro.cells.base import NVMCell
+from repro.errors import ModelGenerationError
+from repro.nvsim.area import compute_area
+from repro.nvsim.config import CacheDesign, FIXED_AREA_BUDGET_MM2
+from repro.nvsim.model import LLCModel, generate_llc_model
+
+#: Candidate LLC capacities considered by the fixed-area solver, bytes.
+CAPACITY_LADDER = tuple(int(mb * units.MB) for mb in (1, 2, 4, 8, 16, 32, 64, 128, 256))
+
+
+def solve_fixed_area_capacity(
+    cell: NVMCell,
+    area_budget_mm2: float = FIXED_AREA_BUDGET_MM2,
+    design_template: Optional[CacheDesign] = None,
+) -> int:
+    """Largest ladder capacity whose modelled area fits the budget.
+
+    Returns the capacity in bytes.  The smallest ladder step (1 MB) is
+    returned even if it exceeds the budget slightly — matching the paper,
+    where Jan_S occupies 9.17 mm^2 at 2 MB and is assigned 1 MB in the
+    fixed-area study rather than being dropped.
+    """
+    template = design_template or CacheDesign(capacity_bytes=CAPACITY_LADDER[0])
+    best = CAPACITY_LADDER[0]
+    for capacity in CAPACITY_LADDER:
+        design = replace(template, capacity_bytes=capacity)
+        area = compute_area(cell, design).total_mm2
+        if area <= area_budget_mm2:
+            best = capacity
+        else:
+            break
+    return best
+
+
+def generate_fixed_area_model(
+    cell: NVMCell,
+    area_budget_mm2: float = FIXED_AREA_BUDGET_MM2,
+    design_template: Optional[CacheDesign] = None,
+) -> LLCModel:
+    """Circuit-model LLC at the capacity the area budget buys."""
+    capacity = solve_fixed_area_capacity(cell, area_budget_mm2, design_template)
+    template = design_template or CacheDesign(capacity_bytes=capacity)
+    design = replace(template, capacity_bytes=capacity)
+    return generate_llc_model(cell, design)
+
+
+def capacity_sweep(cell: NVMCell, capacities_bytes: List[int]) -> List[LLCModel]:
+    """Generate models for a cell at each requested capacity."""
+    if not capacities_bytes:
+        raise ModelGenerationError("capacity sweep needs at least one point")
+    models = []
+    for capacity in capacities_bytes:
+        design = CacheDesign(capacity_bytes=capacity)
+        models.append(generate_llc_model(cell, design))
+    return models

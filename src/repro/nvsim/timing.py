@@ -1,0 +1,109 @@
+"""Latency model: equations (4)-(5) plus mat-level timing.
+
+The paper models a parallel-access LLC with H-tree routing:
+
+- ``t_read  ~ 2 * t_htree + t_read_mat``   (request in, data out)
+- ``t_write ~ 1 * t_htree + t_write_mat``  (write data rides the request)
+
+``t_htree`` and the mat latencies come from the organisation solver and
+the class calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.base import CellClass, NVMCell
+from repro.nvsim import calibration as cal
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.organization import Organization, htree_wire_length_m, solve_organization
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Component latencies of one LLC design (seconds).
+
+    ``write_latency_s`` is the worst of set/reset; the set/reset split is
+    kept for PCRAM, whose two operations differ by an order of magnitude
+    (Table III reports them separately).
+    """
+
+    tag_latency_s: float
+    htree_s: float
+    read_mat_s: float
+    read_latency_s: float
+    set_latency_s: float
+    reset_latency_s: float
+
+    @property
+    def write_latency_s(self) -> float:
+        """Worst-case data write latency (max of set and reset)."""
+        return max(self.set_latency_s, self.reset_latency_s)
+
+
+def htree_latency(org: Organization) -> float:
+    """One-way H-tree traversal latency in seconds."""
+    return htree_wire_length_m(org) * cal.WIRE_DELAY_S_PER_M
+
+
+def decode_latency(cell: NVMCell, org: Organization) -> float:
+    """Wordline decode + drive latency for one mat access."""
+    process_scale = cell.value("process_nm") / 45.0
+    return cal.DECODE_S_PER_ROW * org.mat_rows * process_scale
+
+
+def sense_latency(cell: NVMCell) -> float:
+    """Sense-amplifier resolution time for the cell's read mechanism.
+
+    PCRAM senses a read current: smaller current, slower resolution.
+    STTRAM/RRAM sense a voltage division: lower read voltage, smaller
+    signal, slower resolution (this is why Jan, read at 0.08 V, has the
+    slowest reads in Table III despite fast writes).
+    """
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    base = constants.sense_time_s
+    if cell.is_mlc:
+        # Multi-level cells resolve two bits with staged references.
+        base *= cal.MLC_SENSE_PENALTY
+    if cell.cell_class is CellClass.PCRAM:
+        current = cell.value("read_current_ua")
+        return base * (cal.PCRAM_SENSE_REF_UA / current)
+    if cell.cell_class in (CellClass.STTRAM, CellClass.RRAM):
+        voltage = cell.value("read_voltage_v")
+        return base * (cal.SENSE_REF_V / voltage) ** cal.SENSE_VOLTAGE_EXPONENT
+    return base
+
+
+def compute_timing(cell: NVMCell, design: CacheDesign) -> TimingBreakdown:
+    """Full timing breakdown for a cell/design pair."""
+    org = solve_organization(cell, design)
+    t_htree = htree_latency(org)
+    t_decode = decode_latency(cell, org)
+    t_sense = sense_latency(cell)
+
+    read_mat = t_decode + t_sense
+    read_latency = 2.0 * t_htree + read_mat  # equation (4)
+
+    constants = cal.CLASS_CONSTANTS[cell.cell_class]
+    pulses = constants.write_pulses
+    write_base = t_htree + t_decode + cal.WRITE_DRIVER_S  # equation (5)
+    set_latency = write_base + pulses * cell.set_pulse_s()
+    reset_latency = write_base + pulses * cell.reset_pulse_s()
+
+    # Tag array: a small same-technology array; model it as one mat of
+    # tag bits with a shallow tree.
+    tag_design_bits = design.tag_bits
+    tag_rows = max(64, int(tag_design_bits**0.5))
+    process_scale = cell.value("process_nm") / 45.0
+    tag_latency = (
+        cal.DECODE_S_PER_ROW * tag_rows * process_scale + t_sense * 0.8
+    )
+
+    return TimingBreakdown(
+        tag_latency_s=tag_latency,
+        htree_s=t_htree,
+        read_mat_s=read_mat,
+        read_latency_s=read_latency,
+        set_latency_s=set_latency,
+        reset_latency_s=reset_latency,
+    )

@@ -1,0 +1,47 @@
+"""PRISM-equivalent workload characterization (paper Section IV-B)."""
+
+from repro.prism.entropy import (
+    LOCAL_ENTROPY_SKIP_BITS,
+    global_entropy,
+    local_entropy,
+    max_entropy,
+    shannon_entropy,
+)
+from repro.prism.footprint import (
+    WORKING_SET_COVERAGE,
+    coverage_footprint,
+    total_footprint,
+    unique_footprint,
+)
+from repro.prism.reuse import (
+    ReuseProfile,
+    capacity_knee_blocks,
+    reuse_profile,
+)
+from repro.prism.profile import (
+    FEATURE_LABELS,
+    FEATURE_NAMES,
+    WorkloadFeatures,
+    extract_features,
+    feature_matrix,
+)
+
+__all__ = [
+    "LOCAL_ENTROPY_SKIP_BITS",
+    "global_entropy",
+    "local_entropy",
+    "max_entropy",
+    "shannon_entropy",
+    "WORKING_SET_COVERAGE",
+    "coverage_footprint",
+    "total_footprint",
+    "unique_footprint",
+    "FEATURE_LABELS",
+    "FEATURE_NAMES",
+    "WorkloadFeatures",
+    "extract_features",
+    "feature_matrix",
+    "ReuseProfile",
+    "capacity_knee_blocks",
+    "reuse_profile",
+]

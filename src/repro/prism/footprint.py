@@ -1,0 +1,49 @@
+"""Footprint metrics (paper Section IV-B).
+
+- *unique footprint*: distinct addresses touched over the execution;
+- *90% footprint*: the number of distinct addresses, taken from most- to
+  least-accessed, needed to cover 90% of all accesses — an estimate of
+  the working set;
+- *total footprint*: the raw access count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+
+#: The working-set coverage threshold the paper uses.
+WORKING_SET_COVERAGE = 0.90
+
+
+def unique_footprint(addresses: np.ndarray) -> int:
+    """Number of distinct addresses in the sample."""
+    if len(addresses) == 0:
+        return 0
+    return int(len(np.unique(np.asarray(addresses, dtype=np.uint64))))
+
+
+def coverage_footprint(
+    addresses: np.ndarray, coverage: float = WORKING_SET_COVERAGE
+) -> int:
+    """Distinct addresses covering ``coverage`` of all accesses.
+
+    Addresses are ranked by access count, descending; the footprint is
+    the smallest prefix of that ranking whose cumulative count reaches
+    ``coverage`` of the total (the paper's "90% memory footprint").
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise TraceError("coverage must be in (0, 1]")
+    if len(addresses) == 0:
+        return 0
+    _, counts = np.unique(np.asarray(addresses, dtype=np.uint64), return_counts=True)
+    counts = np.sort(counts)[::-1]
+    cumulative = np.cumsum(counts)
+    threshold = coverage * cumulative[-1]
+    return int(np.searchsorted(cumulative, threshold) + 1)
+
+
+def total_footprint(addresses: np.ndarray) -> int:
+    """Total number of accesses (the paper's ``r_total`` / ``w_total``)."""
+    return int(len(addresses))

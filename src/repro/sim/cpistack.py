@@ -1,0 +1,109 @@
+"""CPI stacks — where the cycles go.
+
+Sniper's signature output is the CPI stack: cycles per instruction
+decomposed into base work and each stall class.  The interval model in
+:mod:`repro.sim.timing` already computes the components; this module
+aggregates them per run and renders the comparison that explains the
+paper's results (e.g. why slow NVM writes vanish — no write component
+on the critical path — while LLC-hit latency shows up for hit-heavy
+workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.results import SimResult
+
+#: Stack component order (bottom to top).
+COMPONENTS: Tuple[str, ...] = ("base", "l2", "llc_hit", "llc_miss")
+
+
+@dataclass(frozen=True)
+class CPIStack:
+    """Cycles-per-instruction decomposition of one simulation.
+
+    Components are aggregated over the cores weighted by their
+    instruction counts, so the stack reflects the whole system.
+    """
+
+    workload: str
+    llc_name: str
+    base: float
+    l2: float
+    llc_hit: float
+    llc_miss: float
+
+    @property
+    def total(self) -> float:
+        """Total CPI (sum of components)."""
+        return self.base + self.l2 + self.llc_hit + self.llc_miss
+
+    def component(self, name: str) -> float:
+        """One component by name."""
+        if name not in COMPONENTS:
+            raise SimulationError(f"unknown CPI component {name!r}")
+        return getattr(self, name)
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of total CPI per component."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in COMPONENTS}
+        return {name: self.component(name) / total for name in COMPONENTS}
+
+    @property
+    def memory_boundedness(self) -> float:
+        """Fraction of cycles stalled on the memory system (non-base)."""
+        total = self.total
+        return 1.0 - self.base / total if total else 0.0
+
+
+def cpi_stack(result: SimResult) -> CPIStack:
+    """Aggregate a SimResult's per-core breakdowns into one CPI stack."""
+    instructions = result.total_instructions
+    if instructions <= 0:
+        raise SimulationError("CPI stack needs a positive instruction count")
+    base = l2 = hit = miss = 0.0
+    for breakdown in result.timing.core_breakdowns:
+        base += breakdown.base_cycles
+        l2 += breakdown.l2_stall_cycles
+        hit += breakdown.llc_hit_stall_cycles
+        miss += breakdown.llc_miss_stall_cycles
+    return CPIStack(
+        workload=result.workload,
+        llc_name=result.llc_name,
+        base=base / instructions,
+        l2=l2 / instructions,
+        llc_hit=hit / instructions,
+        llc_miss=miss / instructions,
+    )
+
+
+def render_stacks(stacks: Sequence[CPIStack], width: int = 50) -> str:
+    """Render CPI stacks as horizontal proportional bars.
+
+    One row per stack; segments use a distinct glyph per component:
+    ``.`` base, ``:`` L2, ``h`` LLC hits, ``M`` LLC misses.
+    """
+    if not stacks:
+        raise SimulationError("render_stacks needs at least one stack")
+    glyphs = {"base": ".", "l2": ":", "llc_hit": "h", "llc_miss": "M"}
+    peak = max(stack.total for stack in stacks)
+    if peak == 0:
+        raise SimulationError("all stacks are empty")
+    label_width = max(len(f"{s.workload}/{s.llc_name}") for s in stacks)
+    lines = [
+        f"{'CPI stacks'.ljust(label_width)} "
+        f"[{' '.join(f'{glyphs[c]}={c}' for c in COMPONENTS)}]"
+    ]
+    for stack in stacks:
+        row = []
+        for name in COMPONENTS:
+            segment = int(round(stack.component(name) / peak * width))
+            row.append(glyphs[name] * segment)
+        label = f"{stack.workload}/{stack.llc_name}".ljust(label_width)
+        lines.append(f"{label} {''.join(row)} {stack.total:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Full-map directory for private-cache coherence (Table IV, DRAM row).
+
+The paper's Sniper configuration uses full-map directories at the
+memory controllers.  In this trace-driven reproduction the directory's
+observable effect is coherence traffic between private L2s: a store to a
+block cached by other cores invalidates their copies (forcing later
+re-misses), and a load to a block another core holds dirty forces a
+downgrade writeback.  Both effects are tracked so multi-threaded
+workloads see sharing-dependent LLC traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class DirectoryStats:
+    """Coherence event counters."""
+
+    invalidations_sent: int = 0
+    downgrades_sent: int = 0
+    sharing_misses: int = 0
+
+
+class FullMapDirectory:
+    """Tracks which cores' private hierarchies hold each block.
+
+    The directory is conservative and block-grain: it does not model
+    transient states or NACKs, only steady-state sharer sets and the
+    owner (a core holding the block modifiable).
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        self.n_cores = n_cores
+        self._sharers: Dict[int, Set[int]] = {}
+        self._owner: Dict[int, int] = {}
+        self.stats = DirectoryStats()
+
+    def on_fill(self, core: int, block: int, exclusive: bool) -> List[int]:
+        """Record a private fill; returns cores whose copies to invalidate.
+
+        ``exclusive`` fills (stores) invalidate all other sharers; shared
+        fills (loads) downgrade a dirty owner, if any.
+        """
+        sharers = self._sharers.setdefault(block, set())
+        victims: List[int] = []
+        if exclusive:
+            victims = [c for c in sharers if c != core]
+            if victims:
+                self.stats.invalidations_sent += len(victims)
+                self.stats.sharing_misses += 1
+            sharers.clear()
+            sharers.add(core)
+            self._owner[block] = core
+        else:
+            owner = self._owner.get(block)
+            if owner is not None and owner != core:
+                self.stats.downgrades_sent += 1
+                victims = [owner]
+                self._owner.pop(block, None)
+            sharers.add(core)
+        return victims
+
+    def on_evict(self, core: int, block: int) -> None:
+        """Record that a core no longer holds a block."""
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(core)
+            if not sharers:
+                self._sharers.pop(block, None)
+        if self._owner.get(block) == core:
+            self._owner.pop(block, None)
+
+    def sharers_of(self, block: int) -> Set[int]:
+        """Cores currently recorded as holding the block."""
+        return set(self._sharers.get(block, ()))

@@ -1,0 +1,216 @@
+"""Alternative LLC replacement policies.
+
+The paper's related-work survey opens with the LLC-management literature
+(refs [1]-[5]: insertion, bypass and dead-block policies).  The baseline
+simulator uses LRU; this module adds two standard alternatives so policy
+sensitivity can be measured against the NVM results:
+
+- :class:`RandomCache` — random victim selection (the lower bound a
+  policy must beat);
+- :class:`SRRIPCache` — static re-reference interval prediction
+  (Jaleel-style 2-bit RRPV), which resists scans like the streaming
+  components of our workloads.
+
+All policies share :class:`repro.sim.cache.SetAssocCache`'s interface
+(``access``/``fill``/``contains``/``invalidate``/``occupancy``/``stats``)
+so they drop into the hierarchy and LLC replay unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import AccessOutcome, CacheStats, SetAssocCache
+
+
+class RandomCache:
+    """Set-associative cache with uniform-random victim selection."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int,
+        associativity: int,
+        seed: int = 0xC0FFEE,
+    ) -> None:
+        if capacity_bytes % (block_bytes * associativity):
+            raise ConfigurationError("capacity must be a whole number of sets")
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.n_sets = capacity_bytes // (block_bytes * associativity)
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        self._rng = random.Random(seed)
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity."""
+        return self.n_sets * self.associativity * self.block_bytes
+
+    def access(self, block: int, is_write: bool) -> AccessOutcome:
+        """Access one block; random eviction on a full set."""
+        lines = self._sets[block % self.n_sets]
+        if block in lines:
+            lines[block] = lines[block] or is_write
+            self.stats.hits += 1
+            return AccessOutcome(hit=True, dirty_victim=None)
+        self.stats.misses += 1
+        victim_block: Optional[int] = None
+        if len(lines) >= self.associativity:
+            victim = self._rng.choice(list(lines))
+            victim_dirty = lines.pop(victim)
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_block = victim
+        lines[block] = is_write
+        return AccessOutcome(hit=False, dirty_victim=victim_block)
+
+    def fill(self, block: int, dirty: bool = False) -> Optional[int]:
+        """Insert without counting a demand access."""
+        lines = self._sets[block % self.n_sets]
+        if block in lines:
+            lines[block] = lines[block] or dirty
+            return None
+        victim_block: Optional[int] = None
+        if len(lines) >= self.associativity:
+            victim = self._rng.choice(list(lines))
+            victim_dirty = lines.pop(victim)
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_block = victim
+        lines[block] = dirty
+        return victim_block
+
+    def contains(self, block: int) -> bool:
+        """Presence check."""
+        return block in self._sets[block % self.n_sets]
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block; returns True if it was dirty."""
+        dirty = self._sets[block % self.n_sets].pop(block, None)
+        if dirty is None:
+            return False
+        self.stats.invalidations += 1
+        return dirty
+
+    def occupancy(self) -> int:
+        """Valid lines held."""
+        return sum(len(lines) for lines in self._sets)
+
+
+#: SRRIP re-reference prediction values (2-bit).
+_RRPV_MAX = 3
+_RRPV_INSERT = 2  # long re-reference interval on insertion
+_RRPV_HIT = 0  # near-immediate on hit
+
+
+class SRRIPCache:
+    """Static RRIP (2-bit) set-associative cache.
+
+    Lines carry a re-reference prediction value; victims are lines with
+    the maximum RRPV, aging the set when none qualifies.  Scanning
+    streams insert at a long interval and get evicted before they
+    displace the reused working set.
+    """
+
+    def __init__(
+        self, capacity_bytes: int, block_bytes: int, associativity: int
+    ) -> None:
+        if capacity_bytes % (block_bytes * associativity):
+            raise ConfigurationError("capacity must be a whole number of sets")
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.n_sets = capacity_bytes // (block_bytes * associativity)
+        # tag -> [rrpv, dirty]
+        self._sets: List[Dict[int, List[int]]] = [
+            dict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity."""
+        return self.n_sets * self.associativity * self.block_bytes
+
+    def _evict(self, lines: Dict[int, List[int]]) -> Optional[int]:
+        """Pick and remove an RRPV-max victim; return it if dirty."""
+        while True:
+            for tag, state in lines.items():
+                if state[0] >= _RRPV_MAX:
+                    dirty = bool(state[1])
+                    del lines[tag]
+                    if dirty:
+                        self.stats.writebacks += 1
+                        return tag
+                    return None
+            for state in lines.values():
+                state[0] += 1
+
+    def access(self, block: int, is_write: bool) -> AccessOutcome:
+        """Access one block under SRRIP."""
+        lines = self._sets[block % self.n_sets]
+        state = lines.get(block)
+        if state is not None:
+            state[0] = _RRPV_HIT
+            state[1] = state[1] or int(is_write)
+            self.stats.hits += 1
+            return AccessOutcome(hit=True, dirty_victim=None)
+        self.stats.misses += 1
+        victim_block: Optional[int] = None
+        if len(lines) >= self.associativity:
+            victim_block = self._evict(lines)
+        lines[block] = [_RRPV_INSERT, int(is_write)]
+        return AccessOutcome(hit=False, dirty_victim=victim_block)
+
+    def fill(self, block: int, dirty: bool = False) -> Optional[int]:
+        """Insert without counting a demand access."""
+        lines = self._sets[block % self.n_sets]
+        state = lines.get(block)
+        if state is not None:
+            state[1] = state[1] or int(dirty)
+            return None
+        victim_block: Optional[int] = None
+        if len(lines) >= self.associativity:
+            victim_block = self._evict(lines)
+        lines[block] = [_RRPV_INSERT, int(dirty)]
+        return victim_block
+
+    def contains(self, block: int) -> bool:
+        """Presence check."""
+        return block in self._sets[block % self.n_sets]
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block; returns True if it was dirty."""
+        state = self._sets[block % self.n_sets].pop(block, None)
+        if state is None:
+            return False
+        self.stats.invalidations += 1
+        return bool(state[1])
+
+    def occupancy(self) -> int:
+        """Valid lines held."""
+        return sum(len(lines) for lines in self._sets)
+
+
+#: Replacement policies available to :func:`make_cache`.
+POLICIES = ("lru", "random", "srrip")
+
+
+def make_cache(
+    capacity_bytes: int,
+    block_bytes: int,
+    associativity: int,
+    policy: str = "lru",
+):
+    """Construct a cache with the requested replacement policy."""
+    if policy == "lru":
+        return SetAssocCache(capacity_bytes, block_bytes, associativity)
+    if policy == "random":
+        return RandomCache(capacity_bytes, block_bytes, associativity)
+    if policy == "srrip":
+        return SRRIPCache(capacity_bytes, block_bytes, associativity)
+    raise ConfigurationError(
+        f"unknown replacement policy {policy!r}; known: {', '.join(POLICIES)}"
+    )

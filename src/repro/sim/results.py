@@ -1,0 +1,87 @@
+"""Simulation results and the paper's reported metrics.
+
+The paper reports three per-workload metrics, each normalised to the
+SRAM baseline: overall system *speedup*, *LLC total energy*, and
+*ED^2P* (energy x delay^2).  :class:`SimResult` carries the raw values;
+:func:`normalize` produces the paper's normalised triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.energy import LLCEnergy
+from repro.sim.llc import LLCCounts
+from repro.sim.timing import SystemTiming
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Complete outcome of simulating one workload on one LLC model."""
+
+    workload: str
+    llc_name: str
+    configuration: str
+    runtime_s: float
+    energy: LLCEnergy
+    counts: LLCCounts
+    timing: SystemTiming
+    total_instructions: int
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle across cores."""
+        cycles = self.timing.runtime_cycles
+        return self.total_instructions / cycles if cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """LLC demand misses per kilo-instruction."""
+        return self.counts.mpki(self.total_instructions)
+
+    @property
+    def llc_energy_j(self) -> float:
+        """Total LLC energy (dynamic + leakage)."""
+        return self.energy.total_j
+
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay-squared product, J*s^2."""
+        return self.energy.total_j * self.runtime_s**2
+
+
+@dataclass(frozen=True)
+class NormalizedResult:
+    """The paper's reported triple, normalised to a baseline run.
+
+    ``speedup`` > 1 is faster than baseline; ``energy_ratio`` and
+    ``ed2p_ratio`` < 1 are better than baseline.
+    """
+
+    workload: str
+    llc_name: str
+    configuration: str
+    speedup: float
+    energy_ratio: float
+    ed2p_ratio: float
+
+
+def normalize(result: SimResult, baseline: SimResult) -> NormalizedResult:
+    """Normalise a result against the SRAM baseline run."""
+    if result.workload != baseline.workload:
+        raise SimulationError(
+            "normalisation requires the same workload: "
+            f"{result.workload!r} vs {baseline.workload!r}"
+        )
+    if baseline.runtime_s <= 0 or baseline.energy.total_j <= 0:
+        raise SimulationError("baseline has degenerate runtime or energy")
+    return NormalizedResult(
+        workload=result.workload,
+        llc_name=result.llc_name,
+        configuration=result.configuration,
+        speedup=baseline.runtime_s / result.runtime_s,
+        energy_ratio=result.energy.total_j / baseline.energy.total_j,
+        ed2p_ratio=result.ed2p / baseline.ed2p,
+    )

@@ -1,0 +1,141 @@
+"""Top-level system simulation: wiring the pipeline together.
+
+``simulate_system`` is the one-call entry point; the staged functions
+(:func:`repro.sim.hierarchy.filter_private`,
+:func:`repro.sim.llc.simulate_llc`, :func:`assemble_result`) are public
+so experiment drivers can reuse the technology-independent stages across
+many LLC models — private filtering depends only on the architecture,
+and LLC replay only on the geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.nvsim.model import LLCModel
+from repro.sim.config import ArchitectureConfig, gainestown
+from repro.sim.energy import llc_energy
+from repro.sim.hierarchy import PrivateResult, filter_private
+from repro.sim.llc import LLCCounts, simulate_llc
+from repro.sim.results import SimResult
+from repro.sim.timing import resolve_timing
+from repro.trace.stream import Trace
+
+
+def replay_llc(
+    private: PrivateResult, llc_model: LLCModel, arch: ArchitectureConfig
+) -> LLCCounts:
+    """Replay the LLC stream at this model's geometry."""
+    return simulate_llc(
+        private.stream,
+        capacity_bytes=llc_model.capacity_bytes,
+        associativity=arch.llc_associativity,
+        block_bytes=arch.llc_block_bytes,
+        n_cores=arch.n_cores,
+        mlp_window=arch.mlp_window_instructions,
+        mlp_ceiling=arch.max_mlp,
+        policy=arch.llc_replacement,
+    )
+
+
+def assemble_result(
+    workload: str,
+    configuration: str,
+    private: PrivateResult,
+    counts: LLCCounts,
+    llc_model: LLCModel,
+    arch: ArchitectureConfig,
+) -> SimResult:
+    """Resolve timing and energy from precomputed counts."""
+    timing = resolve_timing(private, counts, llc_model, arch)
+    energy = llc_energy(
+        counts, llc_model, timing.runtime_s,
+        include_fill_writes=arch.llc_fill_writes,
+    )
+    return SimResult(
+        workload=workload,
+        llc_name=llc_model.name,
+        configuration=configuration,
+        runtime_s=timing.runtime_s,
+        energy=energy,
+        counts=counts,
+        timing=timing,
+        total_instructions=private.total_instructions,
+    )
+
+
+def simulate_system(
+    trace: Trace,
+    llc_model: LLCModel,
+    arch: Optional[ArchitectureConfig] = None,
+    configuration: str = "fixed-capacity",
+    private: Optional[PrivateResult] = None,
+    llc_counts: Optional[LLCCounts] = None,
+) -> SimResult:
+    """Simulate one workload trace on one LLC model.
+
+    ``private`` and ``llc_counts`` may be supplied to skip the heavy
+    stages (the experiment drivers cache them across LLC sweeps); when
+    omitted they are computed here.
+    """
+    arch = arch or gainestown()
+    if private is None:
+        private = filter_private(trace, arch)
+    if llc_counts is None:
+        llc_counts = replay_llc(private, llc_model, arch)
+    return assemble_result(
+        workload=trace.name or "trace",
+        configuration=configuration,
+        private=private,
+        counts=llc_counts,
+        llc_model=llc_model,
+        arch=arch,
+    )
+
+
+class SimulationSession:
+    """Caches technology-independent stages across an LLC sweep.
+
+    One session per (trace, architecture).  ``run(llc_model)`` reuses
+    the private-level replay for every model and the LLC replay for
+    every model with the same capacity.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        arch: Optional[ArchitectureConfig] = None,
+        configuration: str = "fixed-capacity",
+    ) -> None:
+        self.trace = trace
+        self.arch = arch or gainestown()
+        self.configuration = configuration
+        self._private: Optional[PrivateResult] = None
+        self._llc_cache: Dict[Tuple[int, int], LLCCounts] = {}
+
+    @property
+    def private(self) -> PrivateResult:
+        """The private-level replay (computed once)."""
+        if self._private is None:
+            self._private = filter_private(self.trace, self.arch)
+        return self._private
+
+    def counts_for(self, llc_model: LLCModel) -> LLCCounts:
+        """LLC counts for this model's geometry (cached by capacity)."""
+        key = (llc_model.capacity_bytes, self.arch.llc_associativity)
+        if key not in self._llc_cache:
+            self._llc_cache[key] = replay_llc(self.private, llc_model, self.arch)
+        return self._llc_cache[key]
+
+    def run(
+        self, llc_model: LLCModel, configuration: Optional[str] = None
+    ) -> SimResult:
+        """Simulate this session's workload on one LLC model."""
+        return assemble_result(
+            workload=self.trace.name or "trace",
+            configuration=configuration or self.configuration,
+            private=self.private,
+            counts=self.counts_for(llc_model),
+            llc_model=llc_model,
+            arch=self.arch,
+        )

@@ -1,0 +1,188 @@
+"""System timing: interval-style core model plus shared-resource limits.
+
+Per-core cycles follow an interval model (Sniper's abstraction level):
+
+- instructions retire at ``base_cpi`` while the pipeline is unstalled;
+- L2 hits add a fixed private-hit penalty;
+- LLC read hits expose a fraction of their latency (OoO hides the rest);
+- LLC demand misses pay the DRAM round trip divided by the measured
+  memory-level parallelism of that core's miss stream.
+
+LLC *writes* are off the critical path (the paper notes Sniper assumes
+this) — they cost no core stalls, but they occupy LLC banks.  Runtime is
+therefore the maximum of: slowest core, total LLC bank occupancy, and
+DRAM bandwidth service time; DRAM queueing feeds back into the miss
+penalty through a short fixed-point iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nvsim.model import LLCModel
+from repro.sim.config import ArchitectureConfig
+from repro.sim.hierarchy import PrivateResult
+from repro.sim.llc import LLCCounts
+
+
+@dataclass(frozen=True)
+class CoreBreakdown:
+    """Cycle breakdown for one core."""
+
+    base_cycles: float
+    l2_stall_cycles: float
+    llc_hit_stall_cycles: float
+    llc_miss_stall_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles for this core."""
+        return (
+            self.base_cycles
+            + self.l2_stall_cycles
+            + self.llc_hit_stall_cycles
+            + self.llc_miss_stall_cycles
+        )
+
+
+@dataclass(frozen=True)
+class SystemTiming:
+    """Resolved timing of one simulation.
+
+    ``bound`` records which resource set the runtime: ``"core"`` (the
+    slowest core's critical path), ``"llc"`` (bank occupancy — the write
+    backpressure case) or ``"dram"`` (bandwidth saturation).
+    """
+
+    runtime_s: float
+    core_breakdowns: List[CoreBreakdown]
+    dram_latency_s: float
+    dram_utilization: float
+    llc_busy_s: float
+    bound: str
+
+    @property
+    def runtime_cycles(self) -> float:
+        """Runtime expressed in core cycles (set by the binding core)."""
+        return max(b.total_cycles for b in self.core_breakdowns)
+
+
+def _core_cycles(
+    instructions: int,
+    l2_hits: int,
+    llc_read_hits: int,
+    llc_read_misses: int,
+    mlp: float,
+    llc_model: LLCModel,
+    arch: ArchitectureConfig,
+    dram_latency_s: float,
+) -> CoreBreakdown:
+    base = instructions * arch.base_cpi
+    l2_stall = l2_hits * arch.l2_hit_cycles
+    hit_latency_cycles = (
+        arch.cycles(llc_model.tag_latency_s + llc_model.read_latency_s)
+        + arch.llc_network_cycles
+    )
+    hit_stall = llc_read_hits * hit_latency_cycles * arch.llc_hit_exposure
+    miss_latency_cycles = (
+        arch.cycles(llc_model.tag_latency_s + dram_latency_s)
+        + arch.llc_network_cycles
+    )
+    miss_stall = llc_read_misses * miss_latency_cycles / max(1.0, mlp)
+    return CoreBreakdown(
+        base_cycles=base,
+        l2_stall_cycles=l2_stall,
+        llc_hit_stall_cycles=hit_stall,
+        llc_miss_stall_cycles=miss_stall,
+    )
+
+
+def llc_bank_busy_s(
+    counts: LLCCounts, llc_model: LLCModel, write_backpressure: float = 1.0
+) -> float:
+    """LLC service time demanded, summed over accesses.
+
+    Read hits occupy tag+data read; misses probe the tag only; every
+    data write (writeback or fill) occupies tag plus the mean write
+    latency (set/reset mix averages out across a block's bits).
+    ``write_backpressure`` scales how much of the write occupancy is
+    charged: the paper's Sniper setup buffers LLC writes off the
+    critical path (0.0), a conservative memory system charges all of it
+    (1.0).
+    """
+    read_hit_service = llc_model.tag_latency_s + llc_model.read_latency_s
+    miss_service = llc_model.tag_latency_s
+    write_service = llc_model.tag_latency_s + llc_model.mean_write_latency_s
+    return (
+        counts.read_hits * read_hit_service
+        + counts.read_misses * miss_service
+        + counts.data_writes * write_service * write_backpressure
+    )
+
+
+def resolve_timing(
+    private: PrivateResult,
+    counts: LLCCounts,
+    llc_model: LLCModel,
+    arch: ArchitectureConfig,
+    iterations: int = 4,
+) -> SystemTiming:
+    """Fixed-point timing solve for one (workload, LLC) pair."""
+    dram = arch.dram
+    dram_latency = dram.base_latency_s
+    busy = llc_bank_busy_s(
+        counts, llc_model, write_backpressure=arch.llc_write_backpressure
+    )
+    llc_min_time = busy / arch.llc_banks
+    traffic_bytes = (counts.dram_reads + counts.dram_writes) * arch.llc_block_bytes
+    dram_min_time = traffic_bytes / dram.total_bandwidth
+
+    runtime_s = 0.0
+    utilization = 0.0
+    breakdowns: List[CoreBreakdown] = []
+    bound = "core"
+    for _ in range(max(1, iterations)):
+        breakdowns = []
+        for core, counter in enumerate(private.per_core):
+            mlp = (
+                counts.per_core_mlp[core]
+                if core < len(counts.per_core_mlp)
+                else 1.0
+            )
+            breakdowns.append(
+                _core_cycles(
+                    instructions=counter.instructions,
+                    l2_hits=counter.l2_hits,
+                    llc_read_hits=_per_core(counts.per_core_read_hits, core),
+                    llc_read_misses=_per_core(counts.per_core_read_misses, core),
+                    mlp=mlp,
+                    llc_model=llc_model,
+                    arch=arch,
+                    dram_latency_s=dram_latency,
+                )
+            )
+        core_time = max(b.total_cycles for b in breakdowns) * arch.cycle_s
+        runtime_s, bound = max(
+            (core_time, "core"), (llc_min_time, "llc"), (dram_min_time, "dram")
+        )
+        utilization = min(
+            dram.max_utilization,
+            traffic_bytes / (runtime_s * dram.total_bandwidth) if runtime_s else 0.0,
+        )
+        dram_latency = dram.base_latency_s * (
+            1.0 + dram.queue_factor * utilization / (1.0 - utilization)
+        )
+
+    return SystemTiming(
+        runtime_s=runtime_s,
+        core_breakdowns=breakdowns,
+        dram_latency_s=dram_latency,
+        dram_utilization=utilization,
+        llc_busy_s=busy,
+        bound=bound,
+    )
+
+
+def _per_core(values: List[int], core: int) -> int:
+    return values[core] if core < len(values) else 0

@@ -1,0 +1,47 @@
+"""Technique interface for NVM-friendly LLC management.
+
+The paper's Section I sorts prior NVM-LLC work into three groups:
+
+1. existing architectural techniques adapted for NVMs (e.g. wear
+   leveling [20]),
+2. novel architectural techniques (e.g. cache bypassing [14,16,17,21]),
+3. device-level techniques (e.g. relaxed/terminated writes [15,18,19,22,23]).
+
+:class:`Technique` is the hook interface the technique replay engine
+(:mod:`repro.techniques.replay`) drives; one concrete class per group
+lives in this subpackage.  The default hooks are no-ops, so a bare
+``Technique()`` reproduces the baseline LLC exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Technique:
+    """Base class: a baseline LLC with no management technique."""
+
+    #: Human-readable identifier used in evaluation tables.
+    name = "baseline"
+
+    def map_set(self, block: int, n_sets: int) -> int:
+        """Physical set index for a block (wear leveling remaps here)."""
+        return block % n_sets
+
+    def should_bypass_write(self, block: int) -> bool:
+        """Whether a writeback should skip the LLC and go to DRAM."""
+        return False
+
+    def observe_read(self, block: int) -> None:
+        """Called on every demand read reaching the LLC (reuse hints)."""
+
+    def observe_write(self, block: int) -> None:
+        """Called on every data-array write that actually happens."""
+
+    def write_energy_factor(self) -> float:
+        """Multiplier on per-write dynamic energy (device techniques)."""
+        return 1.0
+
+    def write_latency_factor(self) -> float:
+        """Multiplier on per-write latency (device techniques)."""
+        return 1.0

@@ -1,0 +1,230 @@
+"""Way-partitioned hybrid SRAM/NVM LLC (paper ref [7]'s family).
+
+The adaptive-placement literature the paper cites (Wang et al., HPCA'14)
+splits each LLC set into a few SRAM ways and many NVM ways: write-hot
+blocks live in SRAM (fast, symmetric, wear-free), read-mostly capacity
+lives in NVM (dense, low leakage).  This module implements the static
+way-partitioned variant with write-triggered placement:
+
+- writebacks allocate into the SRAM ways;
+- demand fills allocate into the NVM ways;
+- a block written while resident in NVM migrates to SRAM (one extra
+  SRAM write), vacating its NVM frame.
+
+The replay reports the split of data-array writes between the two
+regions, the energy/leakage blend, and the NVM wear reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.nvsim.model import LLCModel
+from repro.nvsim.published import sram_baseline
+from repro.sim.hierarchy import LLCStream
+
+
+@dataclass
+class HybridCounts:
+    """Event counts from a hybrid-LLC replay."""
+
+    n_sets: int
+    sram_ways: int
+    nvm_ways: int
+    read_hits: int = 0
+    read_misses: int = 0
+    write_accesses: int = 0
+    dirty_evictions: int = 0
+    sram_writes: int = 0
+    nvm_writes: int = 0
+    migrations: int = 0
+
+    @property
+    def total_data_writes(self) -> int:
+        """Writes into either region's data array."""
+        return self.sram_writes + self.nvm_writes
+
+    @property
+    def nvm_write_share(self) -> float:
+        """Fraction of data-array writes absorbed by the NVM region."""
+        total = self.total_data_writes
+        return self.nvm_writes / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate."""
+        lookups = self.read_hits + self.read_misses
+        return self.read_misses / lookups if lookups else 0.0
+
+
+class HybridLLC:
+    """A set-associative LLC with per-set SRAM/NVM way partitions."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int,
+        associativity: int,
+        sram_ways: int,
+    ) -> None:
+        if not 0 < sram_ways < associativity:
+            raise ConfigurationError(
+                "sram_ways must leave at least one NVM way"
+            )
+        if capacity_bytes % (block_bytes * associativity):
+            raise ConfigurationError("capacity must be a whole number of sets")
+        self.associativity = associativity
+        self.sram_ways = sram_ways
+        self.nvm_ways = associativity - sram_ways
+        self.n_sets = capacity_bytes // (block_bytes * associativity)
+        # Per set, per region: tag -> dirty, insertion-ordered (LRU).
+        self._sram: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        self._nvm: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        self.counts = HybridCounts(
+            n_sets=self.n_sets, sram_ways=sram_ways, nvm_ways=self.nvm_ways
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _touch(self, region: Dict[int, bool], block: int, dirty: bool) -> None:
+        was_dirty = region.pop(block)
+        region[block] = was_dirty or dirty
+
+    def _insert(
+        self, region: Dict[int, bool], ways: int, block: int, dirty: bool
+    ) -> Optional[int]:
+        victim: Optional[int] = None
+        if len(region) >= ways:
+            victim_tag = next(iter(region))
+            victim_dirty = region.pop(victim_tag)
+            if victim_dirty:
+                victim = victim_tag
+        region[block] = dirty
+        return victim
+
+    # -- accesses ----------------------------------------------------------
+
+    def access(self, block: int, is_write: bool) -> None:
+        """One LLC access under the hybrid placement policy."""
+        index = block % self.n_sets
+        sram = self._sram[index]
+        nvm = self._nvm[index]
+        counts = self.counts
+
+        if is_write:
+            counts.write_accesses += 1
+            if block in sram:
+                self._touch(sram, block, True)
+                counts.sram_writes += 1
+                return
+            if block in nvm:
+                # Write-triggered migration into SRAM.
+                del nvm[block]
+                counts.migrations += 1
+                victim = self._insert(sram, self.sram_ways, block, True)
+                counts.sram_writes += 1
+                if victim is not None:
+                    counts.dirty_evictions += 1
+                return
+            victim = self._insert(sram, self.sram_ways, block, True)
+            counts.sram_writes += 1
+            if victim is not None:
+                counts.dirty_evictions += 1
+            return
+
+        # Demand read.
+        if block in sram:
+            self._touch(sram, block, False)
+            counts.read_hits += 1
+            return
+        if block in nvm:
+            self._touch(nvm, block, False)
+            counts.read_hits += 1
+            return
+        counts.read_misses += 1
+        victim = self._insert(nvm, self.nvm_ways, block, False)
+        counts.nvm_writes += 1  # the fill programs NVM cells
+        if victim is not None:
+            counts.dirty_evictions += 1
+
+
+@dataclass(frozen=True)
+class HybridEvaluation:
+    """Hybrid vs pure-NVM comparison for one stream and NVM model."""
+
+    llc_name: str
+    sram_ways: int
+    counts: HybridCounts
+    pure_nvm_writes: int
+    hybrid_write_energy_j: float
+    pure_write_energy_j: float
+    hybrid_leakage_w: float
+    pure_leakage_w: float
+
+    @property
+    def nvm_write_reduction(self) -> float:
+        """Fraction of NVM data-array writes the hybrid removes."""
+        if self.pure_nvm_writes == 0:
+            return 0.0
+        return 1.0 - self.counts.nvm_writes / self.pure_nvm_writes
+
+    @property
+    def write_energy_reduction(self) -> float:
+        """Fraction of write energy removed."""
+        if self.pure_write_energy_j == 0:
+            return 0.0
+        return 1.0 - self.hybrid_write_energy_j / self.pure_write_energy_j
+
+    @property
+    def leakage_increase(self) -> float:
+        """Leakage multiplier the SRAM ways cost."""
+        if self.pure_leakage_w == 0:
+            return 0.0
+        return self.hybrid_leakage_w / self.pure_leakage_w
+
+
+def evaluate_hybrid(
+    stream: LLCStream,
+    nvm_model: LLCModel,
+    sram_ways: int = 2,
+    associativity: int = 16,
+    block_bytes: int = 64,
+) -> HybridEvaluation:
+    """Replay a stream on the hybrid LLC and price it against pure NVM.
+
+    The SRAM region's per-write energy and per-bit leakage come from
+    the published SRAM baseline, prorated by the way split.
+    """
+    hybrid = HybridLLC(
+        nvm_model.capacity_bytes, block_bytes, associativity, sram_ways
+    )
+    blocks = stream.blocks
+    writes = stream.writes
+    for i in range(len(stream)):
+        hybrid.access(int(blocks[i]), bool(writes[i]))
+    counts = hybrid.counts
+
+    sram = sram_baseline("fixed-capacity")
+    sram_fraction = sram_ways / associativity
+    hybrid_write_energy = (
+        counts.nvm_writes * nvm_model.write_energy_j
+        + counts.sram_writes * sram.write_energy_j
+    )
+    pure_nvm_writes = counts.total_data_writes
+    pure_write_energy = pure_nvm_writes * nvm_model.write_energy_j
+    hybrid_leakage = (
+        (1 - sram_fraction) * nvm_model.leakage_w
+        + sram_fraction * sram.leakage_w
+    )
+    return HybridEvaluation(
+        llc_name=nvm_model.name,
+        sram_ways=sram_ways,
+        counts=counts,
+        pure_nvm_writes=pure_nvm_writes,
+        hybrid_write_energy_j=hybrid_write_energy,
+        pure_write_energy_j=pure_write_energy,
+        hybrid_leakage_w=hybrid_leakage,
+        pure_leakage_w=nvm_model.leakage_w,
+    )

@@ -1,0 +1,43 @@
+"""Memory trace representation and synthetic stream primitives."""
+
+from repro.trace.access import (
+    BLOCK_BITS,
+    BLOCK_BYTES,
+    AccessType,
+    MemoryAccess,
+    block_of,
+)
+from repro.trace.io import dump_text, load_npz, parse_text, save_npz
+from repro.trace.stream import Trace, interleave_threads
+from repro.trace.synth import (
+    PAGE_BYTES,
+    WORD_BYTES,
+    StreamComponent,
+    compose_trace,
+    pointer_chase_sampler,
+    pooled_sampler,
+    strided_sampler,
+    zipf_weights,
+)
+
+__all__ = [
+    "BLOCK_BITS",
+    "BLOCK_BYTES",
+    "AccessType",
+    "MemoryAccess",
+    "block_of",
+    "dump_text",
+    "load_npz",
+    "parse_text",
+    "save_npz",
+    "Trace",
+    "interleave_threads",
+    "PAGE_BYTES",
+    "WORD_BYTES",
+    "StreamComponent",
+    "compose_trace",
+    "pointer_chase_sampler",
+    "pooled_sampler",
+    "strided_sampler",
+    "zipf_weights",
+]

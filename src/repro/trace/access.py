@@ -1,0 +1,68 @@
+"""Memory access primitives.
+
+A trace is a sequence of data-memory accesses, each an address, a
+read/write direction, an issuing thread, and the count of non-memory
+instructions executed since the previous access (so instruction counts —
+and therefore mpki — can be recovered from a trace).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Cache block size used throughout the reproduction (paper Table IV).
+BLOCK_BYTES = 64
+
+#: log2 of the block size — low bits dropped for block addresses.
+BLOCK_BITS = 6
+
+
+class AccessType(enum.Enum):
+    """Direction of a memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self is AccessType.WRITE
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory access (scalar view; traces store columns, not rows).
+
+    Attributes
+    ----------
+    address:
+        Virtual byte address.
+    access_type:
+        Read or write.
+    thread_id:
+        Issuing thread (0-based).
+    gap:
+        Non-memory instructions executed since the previous access on
+        the same thread.
+    """
+
+    address: int
+    access_type: AccessType
+    thread_id: int = 0
+    gap: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self.access_type.is_write
+
+    @property
+    def block_address(self) -> int:
+        """Cache-block address (byte address with block offset dropped)."""
+        return self.address >> BLOCK_BITS
+
+
+def block_of(address: int) -> int:
+    """Cache-block address of a byte address."""
+    return address >> BLOCK_BITS

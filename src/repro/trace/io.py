@@ -1,0 +1,116 @@
+"""Trace persistence.
+
+Two formats:
+
+- **npz** (binary, lossless, fast): the four column arrays plus the
+  trace name; the format for checkpointing generated traces and for
+  importing traces converted from external profilers.
+- **text** (one access per line, human-readable): ``R|W <hex-address>
+  <thread> <gap>``, with ``#`` comments — convenient for hand-written
+  test vectors and for eyeballing.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.stream import Trace
+
+#: Required arrays in a trace .npz file.
+_NPZ_KEYS = ("addresses", "writes", "thread_ids", "gaps")
+
+
+def save_npz(trace: Trace, path: Union[str, Path]) -> None:
+    """Save a trace to an ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        addresses=trace.addresses,
+        writes=trace.writes,
+        thread_ids=trace.thread_ids,
+        gaps=trace.gaps,
+        name=np.array(trace.name or ""),
+    )
+
+
+def load_npz(path: Union[str, Path]) -> Trace:
+    """Load a trace from an ``.npz`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        missing = [k for k in _NPZ_KEYS if k not in data]
+        if missing:
+            raise TraceError(f"{path} is not a trace file (missing {missing})")
+        name = str(data["name"]) if "name" in data else ""
+        return Trace(
+            addresses=data["addresses"],
+            writes=data["writes"],
+            thread_ids=data["thread_ids"],
+            gaps=data["gaps"],
+            name=name,
+        )
+
+
+def dump_text(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace as one access per line."""
+    with open(Path(path), "w") as handle:
+        handle.write(f"# trace: {trace.name or '(unnamed)'}\n")
+        handle.write("# op address thread gap\n")
+        for i in range(len(trace)):
+            op = "W" if trace.writes[i] else "R"
+            handle.write(
+                f"{op} 0x{int(trace.addresses[i]):x} "
+                f"{int(trace.thread_ids[i])} {int(trace.gaps[i])}\n"
+            )
+
+
+def parse_text(source: Union[str, Path, io.TextIOBase], name: str = "") -> Trace:
+    """Parse the text format from a path, string, or file object.
+
+    Lines: ``R|W <address> [thread] [gap]``; addresses accept ``0x``
+    hex or decimal; blank lines and ``#`` comments are skipped.
+    """
+    if isinstance(source, (str, Path)) and "\n" not in str(source):
+        with open(Path(source)) as handle:
+            lines = handle.readlines()
+    elif isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = list(source)
+
+    addresses: List[int] = []
+    writes: List[bool] = []
+    threads: List[int] = []
+    gaps: List[int] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) < 2 or parts[0].upper() not in ("R", "W"):
+            raise TraceError(f"line {lineno}: expected 'R|W address ...', got {raw!r}")
+        try:
+            address = int(parts[1], 0)
+        except ValueError:
+            raise TraceError(f"line {lineno}: bad address {parts[1]!r}")
+        thread = int(parts[2]) if len(parts) > 2 else 0
+        gap = int(parts[3]) if len(parts) > 3 else 0
+        if address < 0 or thread < 0 or gap < 0:
+            raise TraceError(f"line {lineno}: negative field")
+        addresses.append(address)
+        writes.append(parts[0].upper() == "W")
+        threads.append(thread)
+        gaps.append(gap)
+
+    return Trace(
+        addresses=np.array(addresses, dtype=np.uint64),
+        writes=np.array(writes, dtype=bool),
+        thread_ids=np.array(threads, dtype=np.uint16),
+        gaps=np.array(gaps, dtype=np.uint32),
+        name=name,
+    )

@@ -1,0 +1,219 @@
+"""Synthetic address-stream primitives.
+
+Building blocks used by :mod:`repro.workloads.generators` to compose
+per-benchmark traces with controllable memory-behaviour features:
+
+- *footprint* is set by region sizes,
+- *global entropy* by the skew of the page-popularity distribution,
+- *local entropy* by the spread of offsets within a page,
+- *mpki* emerges from footprint relative to the cache hierarchy,
+- the read/write mix and instruction gaps are explicit parameters.
+
+All samplers are vectorised over numpy and driven by a caller-supplied
+:class:`numpy.random.Generator`, so traces are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.stream import Trace
+
+#: Page size used for locality structure (matches the profiler's M=10).
+PAGE_BYTES = 1024
+
+#: Word size: synthetic addresses are word-aligned.
+WORD_BYTES = 8
+
+AddressSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def zipf_weights(n_items: int, skew: float) -> np.ndarray:
+    """Normalised bounded-Zipf popularity weights over ``n_items`` ranks.
+
+    ``skew=0`` is uniform; larger skews concentrate probability on the
+    first ranks (hot pages), which lowers global entropy and shrinks the
+    90% footprint relative to the unique footprint.
+    """
+    if n_items <= 0:
+        raise TraceError("zipf_weights needs a positive item count")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-float(skew))
+    return weights / weights.sum()
+
+
+def pooled_sampler(
+    base: int,
+    n_pages: int,
+    skew: float = 0.0,
+    offsets_per_page: int = PAGE_BYTES // WORD_BYTES,
+    permute_pages: bool = True,
+) -> AddressSampler:
+    """Sampler over a page pool with Zipf popularity.
+
+    Each sample picks a page by popularity rank and a word offset inside
+    it.  ``offsets_per_page`` controls intra-page spread: 1 pins every
+    access to the page head (minimal local entropy), the default sweeps
+    the whole page (maximal local entropy).
+    """
+    if n_pages <= 0:
+        raise TraceError("pooled_sampler needs at least one page")
+    if not 1 <= offsets_per_page <= PAGE_BYTES // WORD_BYTES:
+        raise TraceError("offsets_per_page out of range")
+    weights = zipf_weights(n_pages, skew)
+
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        pages = rng.choice(n_pages, size=count, p=weights)
+        if permute_pages:
+            # Map popularity rank -> scattered page index so hot pages are
+            # not physically adjacent (keeps global entropy honest).
+            permutation = np.random.RandomState(n_pages % (2**31)).permutation(n_pages)
+            pages = permutation[pages]
+        offsets = rng.integers(0, offsets_per_page, size=count)
+        addresses = (
+            np.uint64(base)
+            + pages.astype(np.uint64) * np.uint64(PAGE_BYTES)
+            + offsets.astype(np.uint64) * np.uint64(WORD_BYTES)
+        )
+        return addresses
+
+    return sample
+
+
+def strided_sampler(
+    base: int,
+    stride_bytes: int,
+    region_bytes: int,
+) -> AddressSampler:
+    """Sequential streaming sampler: walks the region with a fixed stride,
+    wrapping around — classic stencil/array-sweep behaviour (high unique
+    footprint, low temporal reuse, low local entropy per page)."""
+    if stride_bytes <= 0 or region_bytes < stride_bytes:
+        raise TraceError("invalid stride/region for strided_sampler")
+    steps = region_bytes // stride_bytes
+    cursor = {"position": 0}
+
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        start = cursor["position"]
+        indexes = (start + np.arange(count, dtype=np.uint64)) % np.uint64(steps)
+        cursor["position"] = int((start + count) % steps)
+        return np.uint64(base) + indexes * np.uint64(stride_bytes)
+
+    return sample
+
+
+def pointer_chase_sampler(
+    base: int,
+    region_bytes: int,
+) -> AddressSampler:
+    """Uniform random accesses over a region: a pointer-chasing / graph
+    traversal pattern (maximal global and local entropy for its size)."""
+    if region_bytes < WORD_BYTES:
+        raise TraceError("region too small for pointer_chase_sampler")
+    words = region_bytes // WORD_BYTES
+
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        offsets = rng.integers(0, words, size=count, dtype=np.uint64)
+        return np.uint64(base) + offsets * np.uint64(WORD_BYTES)
+
+    return sample
+
+
+@dataclass(frozen=True)
+class StreamComponent:
+    """One weighted component of a synthetic access stream.
+
+    Attributes
+    ----------
+    sampler:
+        Address sampler for this component.
+    weight:
+        Relative share of accesses drawn from this component.
+    write_fraction:
+        Probability that a component access is a write.
+    """
+
+    sampler: AddressSampler
+    weight: float
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise TraceError("component weight must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise TraceError("write_fraction must be in [0, 1]")
+
+
+def compose_trace(
+    rng: np.random.Generator,
+    components: Sequence[StreamComponent],
+    n_accesses: int,
+    mean_gap: float,
+    n_threads: int = 1,
+    name: str = "",
+    shared_fraction: float = 0.0,
+) -> Trace:
+    """Compose a trace from weighted components.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (seed it for reproducibility).
+    components:
+        Weighted address stream components.
+    n_accesses:
+        Total accesses to generate.
+    mean_gap:
+        Mean non-memory instructions between accesses (geometric).
+    n_threads:
+        Accesses are dealt round-robin to this many threads.
+    name:
+        Trace label.
+    shared_fraction:
+        For multi-threaded traces, the fraction of accesses redirected
+        to a common shared region (models true sharing/communication).
+    """
+    if n_accesses <= 0:
+        raise TraceError("n_accesses must be positive")
+    if not components:
+        raise TraceError("compose_trace needs at least one component")
+    if mean_gap < 0:
+        raise TraceError("mean_gap must be nonnegative")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise TraceError("shared_fraction must be in [0, 1]")
+
+    weights = np.array([c.weight for c in components], dtype=np.float64)
+    weights /= weights.sum()
+    choice = rng.choice(len(components), size=n_accesses, p=weights)
+
+    addresses = np.zeros(n_accesses, dtype=np.uint64)
+    writes = np.zeros(n_accesses, dtype=bool)
+    for index, component in enumerate(components):
+        mask = choice == index
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        addresses[mask] = component.sampler(rng, count)
+        writes[mask] = rng.random(count) < component.write_fraction
+
+    thread_ids = (np.arange(n_accesses) % max(1, n_threads)).astype(np.uint16)
+    if n_threads > 1:
+        # Give each thread a private offset so per-thread working sets are
+        # disjoint except for an explicit shared region.
+        private_stripe = np.uint64(1) << np.uint64(36)
+        addresses = addresses + thread_ids.astype(np.uint64) * private_stripe
+        if shared_fraction > 0.0:
+            shared_mask = rng.random(n_accesses) < shared_fraction
+            addresses[shared_mask] %= private_stripe
+
+    if mean_gap == 0:
+        gaps = np.zeros(n_accesses, dtype=np.uint32)
+    else:
+        gaps = rng.geometric(1.0 / (1.0 + mean_gap), size=n_accesses) - 1
+        gaps = gaps.astype(np.uint32)
+
+    return Trace(addresses, writes, thread_ids, gaps, name=name)

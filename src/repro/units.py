@@ -1,0 +1,104 @@
+"""Unit constants and conversion helpers.
+
+All internal computation in :mod:`repro` uses SI base units (seconds,
+joules, amperes, volts, watts, square metres).  The VLSI literature the
+paper draws from reports values in engineering units (ns, pJ, uA, mm^2,
+F^2), so this module provides named constants and converters to keep
+call sites readable and to avoid silent order-of-magnitude mistakes.
+
+Example
+-------
+>>> from repro import units
+>>> 10 * units.NS
+1e-08
+>>> units.to_ns(2e-9)
+2.0
+"""
+
+from __future__ import annotations
+
+# --- time -----------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+# --- energy ---------------------------------------------------------------
+J = 1.0
+MJ = 1e-3
+UJ = 1e-6
+NJ = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+
+# --- current --------------------------------------------------------------
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+NA = 1e-9
+
+# --- voltage --------------------------------------------------------------
+V = 1.0
+MV = 1e-3
+
+# --- power ----------------------------------------------------------------
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+NW = 1e-9
+
+# --- length / area --------------------------------------------------------
+M = 1.0
+MM = 1e-3
+UM = 1e-6
+NM = 1e-9
+MM2 = 1e-6  # square metres per square millimetre
+UM2 = 1e-12
+
+# --- capacity -------------------------------------------------------------
+BYTE = 1
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NS
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules / PJ
+
+
+def to_nj(joules: float) -> float:
+    """Convert joules to nanojoules."""
+    return joules / NJ
+
+
+def to_uw(watts: float) -> float:
+    """Convert watts to microwatts."""
+    return watts / UW
+
+
+def to_mm2(square_metres: float) -> float:
+    """Convert square metres to square millimetres."""
+    return square_metres / MM2
+
+
+def to_mb(n_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return n_bytes / MB
+
+
+def feature_size_area(cell_size_f2: float, process_nm: float) -> float:
+    """Physical area in m^2 of a cell given its size in F^2.
+
+    ``F`` is the process feature size, so a cell of ``A`` F^2 at process
+    ``s`` nm occupies ``A * (s nm)^2`` (the paper's equation (3) solved
+    for physical area).
+    """
+    feature = process_nm * NM
+    return cell_size_f2 * feature * feature

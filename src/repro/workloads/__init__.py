@@ -1,0 +1,61 @@
+"""Benchmark profiles and synthetic trace generators (Tables V & VI)."""
+
+from repro.workloads.generators import (
+    DEFAULT_SEED,
+    generate_from_profile,
+    generate_trace,
+)
+from repro.workloads.profiles import (
+    AI_BENCHMARKS,
+    PAPER_FEATURE_LABELS,
+    PRISM_EXCLUDED,
+    PROFILES,
+    BenchmarkProfile,
+    ComponentSpec,
+    PaperFeatures,
+    profile,
+)
+from repro.workloads.scaling import (
+    EXTENSIVE_FEATURES,
+    INTENSIVE_FEATURES,
+    ScalingReport,
+    scaling_report,
+)
+from repro.workloads.registry import (
+    SUITES,
+    all_benchmarks,
+    ai_benchmarks,
+    benchmarks_in_suite,
+    characterized_benchmarks,
+    multi_threaded,
+    profiles_by_suite,
+    single_threaded,
+    suite_of,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "generate_from_profile",
+    "generate_trace",
+    "AI_BENCHMARKS",
+    "PAPER_FEATURE_LABELS",
+    "PRISM_EXCLUDED",
+    "PROFILES",
+    "BenchmarkProfile",
+    "ComponentSpec",
+    "PaperFeatures",
+    "profile",
+    "SUITES",
+    "all_benchmarks",
+    "ai_benchmarks",
+    "benchmarks_in_suite",
+    "characterized_benchmarks",
+    "multi_threaded",
+    "profiles_by_suite",
+    "single_threaded",
+    "suite_of",
+    "EXTENSIVE_FEATURES",
+    "INTENSIVE_FEATURES",
+    "ScalingReport",
+    "scaling_report",
+]

@@ -1,0 +1,113 @@
+"""Trace generation from benchmark profiles.
+
+Turns the declarative :class:`~repro.workloads.profiles.ComponentSpec`
+lists of each :class:`~repro.workloads.profiles.BenchmarkProfile` into a
+concrete :class:`~repro.trace.Trace` via the samplers in
+:mod:`repro.trace.synth`.  Generation is deterministic given the seed,
+so every experiment in the suite sees the same trace for a benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.stream import Trace
+from repro.trace.synth import (
+    StreamComponent,
+    compose_trace,
+    pointer_chase_sampler,
+    pooled_sampler,
+    strided_sampler,
+)
+from repro.workloads.profiles import BenchmarkProfile, ComponentSpec, profile
+
+#: Default seed for the whole workload suite.
+DEFAULT_SEED = 20190901  # the paper's IISWC year/month
+
+
+def _build_component(spec: ComponentSpec) -> StreamComponent:
+    if spec.kind == "pool":
+        n_pages = max(1, spec.region_bytes // 1024)
+        sampler = pooled_sampler(
+            base=spec.base,
+            n_pages=n_pages,
+            skew=spec.skew,
+            offsets_per_page=spec.offsets_per_page,
+        )
+    elif spec.kind == "stride":
+        sampler = strided_sampler(
+            base=spec.base,
+            stride_bytes=spec.stride_bytes,
+            region_bytes=spec.region_bytes,
+        )
+    elif spec.kind == "sweep":
+        # Block-granular cyclic loop: LRU's capacity knee primitive.
+        sampler = strided_sampler(
+            base=spec.base,
+            stride_bytes=64,
+            region_bytes=spec.region_bytes,
+        )
+    elif spec.kind == "chase":
+        sampler = pointer_chase_sampler(base=spec.base, region_bytes=spec.region_bytes)
+    else:  # pragma: no cover - ComponentSpec validates kind
+        raise WorkloadError(f"unknown component kind {spec.kind!r}")
+    return StreamComponent(
+        sampler=sampler, weight=spec.weight, write_fraction=spec.write_fraction
+    )
+
+
+def generate_trace(
+    benchmark: str,
+    seed: int = DEFAULT_SEED,
+    n_accesses: Optional[int] = None,
+) -> Trace:
+    """Generate the synthetic trace for a benchmark.
+
+    Parameters
+    ----------
+    benchmark:
+        Name from Table V (e.g. ``"deepsjeng"``).
+    seed:
+        RNG seed; the suite default makes runs reproducible.
+    n_accesses:
+        Override the profile's trace length (tests use short traces).
+    """
+    bench = profile(benchmark)
+    return generate_from_profile(bench, seed=seed, n_accesses=n_accesses)
+
+
+def generate_from_profile(
+    bench: BenchmarkProfile,
+    seed: int = DEFAULT_SEED,
+    n_accesses: Optional[int] = None,
+    n_threads: Optional[int] = None,
+) -> Trace:
+    """Generate a trace from an explicit profile object.
+
+    ``n_threads`` overrides the profile's thread count — the core-sweep
+    sensitivity study re-generates each multi-threaded workload with one
+    thread per simulated core.
+    """
+    rng = np.random.default_rng([seed, _stable_hash(bench.name)])
+    components = [_build_component(spec) for spec in bench.components]
+    return compose_trace(
+        rng=rng,
+        components=components,
+        n_accesses=n_accesses or bench.n_accesses,
+        mean_gap=bench.mean_gap,
+        n_threads=n_threads or bench.n_threads,
+        name=bench.name,
+        shared_fraction=bench.shared_fraction,
+    )
+
+
+def _stable_hash(name: str) -> int:
+    """Deterministic small hash of a benchmark name (not Python's hash,
+    which is salted per process)."""
+    value = 0
+    for char in name:
+        value = (value * 131 + ord(char)) % (2**31)
+    return value

@@ -1,0 +1,63 @@
+"""Workload registry: suite groupings and iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (
+    AI_BENCHMARKS,
+    PRISM_EXCLUDED,
+    PROFILES,
+    BenchmarkProfile,
+)
+
+#: Benchmark suite names in Table V order.
+SUITES = ("cpu2006", "PARSEC3.0", "NPB3.3.1", "cpu2017")
+
+
+def all_benchmarks() -> List[str]:
+    """All 20 benchmark names, in Table V order."""
+    return list(PROFILES)
+
+
+def benchmarks_in_suite(suite: str) -> List[str]:
+    """Benchmark names belonging to one suite."""
+    if suite not in SUITES:
+        raise WorkloadError(f"unknown suite {suite!r}; known: {', '.join(SUITES)}")
+    return [name for name, p in PROFILES.items() if p.suite == suite]
+
+
+def single_threaded() -> List[str]:
+    """The paper's s.t. workloads."""
+    return [name for name, p in PROFILES.items() if not p.multithreaded]
+
+
+def multi_threaded() -> List[str]:
+    """The paper's m.t. workloads."""
+    return [name for name, p in PROFILES.items() if p.multithreaded]
+
+
+def ai_benchmarks() -> List[str]:
+    """The cpu2017 AI subset used for the specialised analysis."""
+    return list(AI_BENCHMARKS)
+
+
+def characterized_benchmarks() -> List[str]:
+    """The 16 PRISM-compatible workloads of Table VI."""
+    return [name for name, p in PROFILES.items() if p.prism_compatible]
+
+
+def suite_of(benchmark: str) -> str:
+    """Suite a benchmark belongs to."""
+    if benchmark not in PROFILES:
+        raise WorkloadError(f"unknown benchmark {benchmark!r}")
+    return PROFILES[benchmark].suite
+
+
+def profiles_by_suite() -> Dict[str, List[BenchmarkProfile]]:
+    """Profiles grouped by suite, in Table V order."""
+    grouped: Dict[str, List[BenchmarkProfile]] = {suite: [] for suite in SUITES}
+    for bench in PROFILES.values():
+        grouped[bench.suite].append(bench)
+    return grouped

@@ -1,0 +1,105 @@
+"""Trace-scaling stability analysis.
+
+DESIGN.md's scaling note claims the synthetic workloads preserve their
+*relative structure* when trace length shrinks.  This module makes that
+claim measurable: generate one benchmark at several scales, extract the
+Table VI features at each, and report per-feature drift.  Intensive
+features (entropies, write intensity) should be nearly scale-invariant;
+extensive features (totals, unique counts) scale with length by
+construction and are reported as ratios to the expected linear trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.prism.profile import FEATURE_NAMES, WorkloadFeatures, extract_features
+from repro.workloads.generators import DEFAULT_SEED, generate_from_profile
+from repro.workloads.profiles import profile
+
+#: Features whose values should not move with trace length.
+INTENSIVE_FEATURES: Tuple[str, ...] = (
+    "read_global_entropy",
+    "read_local_entropy",
+    "write_global_entropy",
+    "write_local_entropy",
+)
+
+#: Features expected to grow ~linearly with trace length.
+EXTENSIVE_FEATURES: Tuple[str, ...] = (
+    "total_reads",
+    "total_writes",
+)
+
+
+@dataclass(frozen=True)
+class ScalingReport:
+    """Feature values of one benchmark across trace scales."""
+
+    benchmark: str
+    scales: Tuple[float, ...]
+    features: Tuple[WorkloadFeatures, ...]
+
+    def values(self, feature: str) -> List[float]:
+        """One feature across the scales."""
+        if feature not in FEATURE_NAMES:
+            raise WorkloadError(f"unknown feature {feature!r}")
+        return [float(getattr(f, feature)) for f in self.features]
+
+    def intensive_drift(self, feature: str) -> float:
+        """Max relative deviation of an intensive feature from its
+        full-scale value (0 = perfectly stable)."""
+        values = self.values(feature)
+        reference = values[-1]
+        if reference == 0:
+            return 0.0 if all(v == 0 for v in values) else float("inf")
+        return max(abs(v - reference) / abs(reference) for v in values)
+
+    def extensive_linearity(self, feature: str) -> float:
+        """Max relative deviation of an extensive feature from the
+        linear-in-scale trend anchored at full scale."""
+        values = self.values(feature)
+        reference = values[-1]
+        full = self.scales[-1]
+        if reference == 0:
+            return 0.0
+        worst = 0.0
+        for scale, value in zip(self.scales, values):
+            expected = reference * (scale / full)
+            if expected:
+                worst = max(worst, abs(value - expected) / expected)
+        return worst
+
+    def stable(
+        self, intensive_tolerance: float = 0.15, extensive_tolerance: float = 0.1
+    ) -> bool:
+        """Whether the benchmark passes the DESIGN.md scaling claim."""
+        return all(
+            self.intensive_drift(f) <= intensive_tolerance
+            for f in INTENSIVE_FEATURES
+        ) and all(
+            self.extensive_linearity(f) <= extensive_tolerance
+            for f in EXTENSIVE_FEATURES
+        )
+
+
+def scaling_report(
+    benchmark: str,
+    scales: Sequence[float] = (0.25, 0.5, 1.0),
+    seed: int = DEFAULT_SEED,
+) -> ScalingReport:
+    """Generate the benchmark at each scale and profile it."""
+    if not scales or any(not 0.0 < s <= 1.0 for s in scales):
+        raise WorkloadError("scales must be in (0, 1]")
+    ordered = tuple(sorted(scales))
+    bench = profile(benchmark)
+    features = []
+    for scale in ordered:
+        n = max(2000, int(bench.n_accesses * scale))
+        trace = generate_from_profile(bench, seed=seed, n_accesses=n)
+        features.append(extract_features(trace))
+    return ScalingReport(
+        benchmark=benchmark, scales=ordered, features=tuple(features)
+    )

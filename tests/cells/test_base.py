@@ -1,0 +1,130 @@
+"""Tests for cell datatypes and provenance handling."""
+
+import math
+
+import pytest
+
+from repro.cells.base import (
+    CellClass,
+    NVMCell,
+    Param,
+    Provenance,
+    electrical,
+    interpolated,
+    reported,
+    similarity,
+)
+from repro.cells.library import CHUNG, CLOSE, OH, SRAM, XUE, ZHANG
+from repro.errors import CellParameterError
+
+
+class TestProvenance:
+    def test_table_marks(self):
+        assert Provenance.REPORTED.table_mark == ""
+        assert Provenance.ELECTRICAL.table_mark == "†"
+        assert Provenance.INTERPOLATED.table_mark == "*"
+        assert Provenance.SIMILARITY.table_mark == "*"
+
+    def test_is_derived(self):
+        assert not Provenance.REPORTED.is_derived
+        assert Provenance.ELECTRICAL.is_derived
+        assert Provenance.INTERPOLATED.is_derived
+        assert Provenance.SIMILARITY.is_derived
+
+    def test_class_is_nvm(self):
+        assert not CellClass.SRAM.is_nvm
+        for cls in (CellClass.PCRAM, CellClass.STTRAM, CellClass.RRAM):
+            assert cls.is_nvm
+
+
+class TestParam:
+    def test_marked_rendering(self):
+        assert reported(10).marked() == "10"
+        assert electrical(0.52).marked() == "0.52†"
+        assert similarity(2).marked() == "2*"
+        assert interpolated(60).marked() == "60*"
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(CellParameterError):
+            Param(float("nan"))
+        with pytest.raises(CellParameterError):
+            Param(float("inf"))
+
+
+class TestNVMCell:
+    def test_display_name_has_class_subscript(self):
+        assert OH.display_name == "Oh_P"
+        assert CHUNG.display_name == "Chung_S"
+        assert ZHANG.display_name == "Zhang_R"
+        assert SRAM.display_name == "SRAM"
+
+    def test_get_known_parameter(self):
+        assert OH.get("reset_current_ua").value == 600
+
+    def test_get_unknown_parameter_raises(self):
+        with pytest.raises(CellParameterError):
+            OH.get("bogus_parameter")
+
+    def test_value_of_unset_parameter_raises(self):
+        with pytest.raises(CellParameterError):
+            OH.value("read_voltage_v")  # PCRAM reports current, not voltage
+
+    def test_parameters_iterates_only_set(self):
+        names = {name for name, _ in OH.parameters()}
+        assert "reset_current_ua" in names
+        assert "read_voltage_v" not in names
+
+    def test_derived_parameters_subset(self):
+        derived = OH.derived_parameters()
+        assert "cell_size_f2" in derived  # similarity-derived in Table II
+        assert "reset_current_ua" not in derived  # reported
+
+    def test_with_params_replaces(self):
+        modified = OH.with_params(reset_current_ua=reported(500))
+        assert modified.value("reset_current_ua") == 500
+        assert OH.value("reset_current_ua") == 600  # original untouched
+
+    def test_with_params_rejects_unknown(self):
+        with pytest.raises(CellParameterError):
+            OH.with_params(nonsense=reported(1))
+
+    def test_bits_per_cell_mlc(self):
+        assert OH.bits_per_cell == 1
+        assert CLOSE.bits_per_cell == 2
+        assert XUE.bits_per_cell == 2
+        assert XUE.is_mlc
+        assert not OH.is_mlc
+
+    def test_physical_cell_area(self):
+        # Zhang: 4 F^2 at 22 nm.
+        assert ZHANG.physical_cell_area_m2() == pytest.approx(4 * (22e-9) ** 2)
+
+    def test_write_pulse_is_worst_of_set_reset(self):
+        # Oh: set 180 ns, reset 10 ns.
+        assert OH.write_pulse_s() == pytest.approx(180e-9)
+
+    def test_write_asymmetry_positive(self):
+        for cell in (CHUNG, XUE, ZHANG):
+            assert cell.write_asymmetry() > 0
+
+    def test_read_energy_from_power_fallback(self):
+        # Chung has read power, not read energy: derived via 1 ns sensing.
+        expected = 24.1e-6 * 1e-9
+        assert CHUNG.read_energy_j() == pytest.approx(expected)
+
+    def test_read_energy_reported_preferred(self):
+        assert OH.read_energy_j() == pytest.approx(2e-12)
+
+    def test_implausible_year_rejected(self):
+        with pytest.raises(CellParameterError):
+            NVMCell(name="X", citation="", cell_class=CellClass.RRAM, year=1960)
+
+    def test_nonpositive_process_rejected(self):
+        with pytest.raises(CellParameterError):
+            NVMCell(
+                name="X",
+                citation="",
+                cell_class=CellClass.RRAM,
+                year=2015,
+                process_nm=Param(-1.0),
+            )

@@ -1,0 +1,142 @@
+"""Tests for the Table II cell library."""
+
+import pytest
+
+from repro.cells.base import CellClass, Provenance
+from repro.cells.library import (
+    ALL_CELLS,
+    NVM_CELLS,
+    CHUNG,
+    HAYAKAWA,
+    JAN,
+    KANG,
+    OH,
+    SRAM,
+    UMEKI,
+    XUE,
+    ZHANG,
+    cell_by_name,
+    cells_of_class,
+    table2_rows,
+)
+from repro.errors import CellParameterError
+
+
+class TestLibraryContents:
+    def test_ten_nvm_cells(self):
+        assert len(NVM_CELLS) == 10
+
+    def test_class_counts_match_table2(self):
+        assert len(cells_of_class(CellClass.PCRAM)) == 4
+        assert len(cells_of_class(CellClass.STTRAM)) == 4
+        assert len(cells_of_class(CellClass.RRAM)) == 2
+        assert len(cells_of_class(CellClass.SRAM)) == 1
+
+    def test_all_cells_includes_sram(self):
+        assert SRAM in ALL_CELLS
+        assert len(ALL_CELLS) == 11
+
+    def test_table2_order(self):
+        names = [c.name for c in NVM_CELLS]
+        assert names == [
+            "Oh", "Chen", "Kang", "Close", "Chung", "Jan", "Umeki", "Xue",
+            "Hayakawa", "Zhang",
+        ]
+
+
+class TestTable2Values:
+    """Spot-check transcription against the paper's Table II."""
+
+    def test_process_nodes(self):
+        expected = {
+            "Oh": 120, "Chen": 60, "Kang": 100, "Close": 90, "Chung": 54,
+            "Jan": 90, "Umeki": 65, "Xue": 45, "Hayakawa": 40, "Zhang": 22,
+        }
+        for cell in NVM_CELLS:
+            assert cell.value("process_nm") == expected[cell.name]
+
+    def test_years_monotone_within_class(self):
+        pcram = cells_of_class(CellClass.PCRAM)
+        assert [c.year for c in pcram] == sorted(c.year for c in pcram)
+
+    def test_kang_set_current_is_papers_worked_example(self):
+        param = KANG.get("set_current_ua")
+        assert param.value == 200
+        assert param.provenance is Provenance.SIMILARITY
+
+    def test_chung_dagger_values(self):
+        assert CHUNG.get("read_power_uw").provenance is Provenance.ELECTRICAL
+        assert CHUNG.get("reset_energy_pj").value == pytest.approx(0.52)
+        assert CHUNG.get("set_energy_pj").value == pytest.approx(0.75)
+
+    def test_umeki_cell_size_dagger(self):
+        param = UMEKI.get("cell_size_f2")
+        assert param.value == 48
+        assert param.provenance is Provenance.ELECTRICAL
+
+    def test_zhang_reported_row(self):
+        assert ZHANG.get("read_voltage_v").value == pytest.approx(0.2)
+        assert ZHANG.get("reset_pulse_ns").value == 150
+        assert ZHANG.get("set_energy_pj").value == pytest.approx(0.4)
+
+    def test_pcram_has_current_not_voltage_reads(self):
+        for cell in cells_of_class(CellClass.PCRAM):
+            assert cell.read_current_ua is not None
+            assert cell.read_voltage_v is None
+
+    def test_rram_has_voltage_not_current_writes(self):
+        for cell in (HAYAKAWA, ZHANG):
+            assert cell.set_voltage_v is not None
+            assert cell.set_current_ua is None
+
+    def test_write_asymmetry_pcram_dominates(self):
+        # PCRAM writes are orders of magnitude above its reads (after
+        # heuristic 1 derives the programming energies); STTRAM
+        # asymmetry is about an order (paper Section II-B).
+        from repro.cells.heuristics import apply_electrical_properties
+
+        oh = apply_electrical_properties(OH)
+        assert oh.write_energy_j() / oh.read_energy_j() > 1.0
+        chung = CHUNG.write_energy_j() / CHUNG.read_energy_j()
+        assert chung > 5.0
+
+
+class TestLookup:
+    def test_by_citation_name(self):
+        assert cell_by_name("Kang") is KANG
+        assert cell_by_name("kang") is KANG
+
+    def test_by_display_name(self):
+        assert cell_by_name("Kang_P") is KANG
+        assert cell_by_name("xue_s") is XUE
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(CellParameterError) as excinfo:
+            cell_by_name("nonexistent")
+        assert "Zhang_R" in str(excinfo.value)
+
+
+class TestTable2Rendering:
+    def test_rows_cover_all_parameters(self):
+        rows = table2_rows()
+        # header + one row per parameter in PARAMETER_UNITS
+        from repro.cells.base import PARAMETER_UNITS
+
+        assert len(rows) == 1 + len(PARAMETER_UNITS)
+
+    def test_grayed_cells_are_none(self):
+        rows = table2_rows()
+        read_voltage_row = next(
+            r for r in rows if str(r["parameter"]).startswith("read_voltage_v")
+        )
+        assert read_voltage_row["Oh_P"] is None  # PCRAM: grayed out
+        assert read_voltage_row["Chung_S"] == "0.65"
+
+    def test_marks_present(self):
+        rows = table2_rows()
+        cell_size_row = next(
+            r for r in rows if str(r["parameter"]).startswith("cell_size_f2")
+        )
+        assert cell_size_row["Umeki_S"].endswith("†")
+        assert cell_size_row["Oh_P"].endswith("*")
+        assert cell_size_row["Kang_P"] == "16.6"

@@ -1,0 +1,40 @@
+"""Consistency tests between the parameter registry and the cell type."""
+
+import dataclasses
+
+from repro.cells.base import PARAMETER_UNITS, NVMCell
+from repro.cells.library import ALL_CELLS
+
+
+def test_registry_matches_dataclass_fields():
+    """Every registered parameter is an NVMCell field and vice versa
+    (identity fields excluded)."""
+    field_names = {f.name for f in dataclasses.fields(NVMCell)}
+    identity = {"name", "citation", "cell_class", "year", "access_device"}
+    assert set(PARAMETER_UNITS) == field_names - identity
+
+
+def test_units_are_table2_units():
+    assert PARAMETER_UNITS["reset_pulse_ns"] == "ns"
+    assert PARAMETER_UNITS["set_energy_pj"] == "pJ"
+    assert PARAMETER_UNITS["read_power_uw"] == "uW"
+    assert PARAMETER_UNITS["cell_size_f2"] == "F^2"
+
+
+def test_every_set_parameter_is_positive():
+    for cell in ALL_CELLS:
+        for name, param in cell.parameters():
+            assert param.value > 0, (cell.display_name, name)
+
+
+def test_class_exclusive_parameters():
+    """Current-mode parameters never coexist with voltage-mode ones for
+    the same operation (Table II's grayed-out structure)."""
+    for cell in ALL_CELLS:
+        for op in ("set", "reset"):
+            current = cell.get(f"{op}_current_ua")
+            voltage = cell.get(f"{op}_voltage_v")
+            assert not (current is not None and voltage is not None), (
+                cell.display_name,
+                op,
+            )

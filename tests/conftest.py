@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures cache the expensive artefacts (traces, private
+replays) so the whole suite stays fast while still exercising the real
+pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.nvsim.published import published_model, sram_baseline
+from repro.sim.config import gainestown
+from repro.sim.system import SimulationSession
+from repro.trace.stream import Trace
+from repro.workloads.generators import generate_trace
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic RNG for test-local synthesis."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """Experiment context with shortened traces (fast integration runs)."""
+    return ExperimentContext(scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def leela_trace():
+    """A short but realistic single-threaded trace."""
+    return generate_trace("leela", n_accesses=30_000)
+
+
+@pytest.fixture(scope="session")
+def cg_trace():
+    """A short multi-threaded trace (4 threads, sharing)."""
+    return generate_trace("cg", n_accesses=30_000)
+
+
+@pytest.fixture(scope="session")
+def leela_session(leela_trace):
+    """Cached simulation session for the leela trace."""
+    return SimulationSession(leela_trace, arch=gainestown())
+
+
+@pytest.fixture(scope="session")
+def cg_session(cg_trace):
+    """Cached simulation session for the cg trace."""
+    return SimulationSession(cg_trace, arch=gainestown())
+
+
+@pytest.fixture(scope="session")
+def sram_model():
+    """The published fixed-capacity SRAM baseline."""
+    return sram_baseline("fixed-capacity")
+
+
+@pytest.fixture(scope="session")
+def xue_model():
+    """A representative STTRAM model."""
+    return published_model("Xue_S", "fixed-capacity")
+
+
+@pytest.fixture(scope="session")
+def kang_model():
+    """The PCRAM model with the paper's worst write energy."""
+    return published_model("Kang_P", "fixed-capacity")

@@ -1,0 +1,59 @@
+"""Tests for feature/response matrix alignment."""
+
+import numpy as np
+import pytest
+
+from repro.correlate.features import RESPONSE_NAMES, align
+from repro.errors import CorrelationError
+from repro.prism.profile import FEATURE_NAMES, WorkloadFeatures
+from repro.sim.results import NormalizedResult
+
+
+def _features(name, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(1, 10, size=10)
+    return WorkloadFeatures(name, *values)
+
+
+def _result(name, speedup, energy):
+    return NormalizedResult(
+        workload=name,
+        llc_name="Xue_S",
+        configuration="fixed-capacity",
+        speedup=speedup,
+        energy_ratio=energy,
+        ed2p_ratio=energy / speedup**2,
+    )
+
+
+class TestAlign:
+    def test_shapes_and_order(self):
+        workloads = ["a", "b", "c"]
+        profiles = {w: _features(w, i) for i, w in enumerate(workloads)}
+        results = {w: _result(w, 1.0 + i * 0.1, 0.5 - i * 0.1)
+                   for i, w in enumerate(workloads)}
+        aligned = align(profiles, results, workloads)
+        assert aligned.features.shape == (3, len(FEATURE_NAMES))
+        assert aligned.responses.shape == (3, len(RESPONSE_NAMES))
+        assert aligned.workloads == ("a", "b", "c")
+        # Responses are (energy, speedup) in RESPONSE_NAMES order.
+        assert aligned.responses[1, 0] == pytest.approx(0.4)
+        assert aligned.responses[1, 1] == pytest.approx(1.1)
+
+    def test_missing_profile_raises(self):
+        profiles = {"a": _features("a", 0)}
+        results = {w: _result(w, 1.0, 0.5) for w in ("a", "b")}
+        with pytest.raises(CorrelationError):
+            align(profiles, results, ["a", "b"])
+
+    def test_missing_result_raises(self):
+        profiles = {w: _features(w, 0) for w in ("a", "b")}
+        results = {"a": _result("a", 1.0, 0.5)}
+        with pytest.raises(CorrelationError):
+            align(profiles, results, ["a", "b"])
+
+    def test_single_workload_rejected(self):
+        profiles = {"a": _features("a", 0)}
+        results = {"a": _result("a", 1.0, 0.5)}
+        with pytest.raises(CorrelationError):
+            align(profiles, results, ["a"])

@@ -1,0 +1,154 @@
+"""Tests for the Section VI correlation framework."""
+
+import numpy as np
+import pytest
+
+from repro.correlate.framework import (
+    FIGURE4_LLCS,
+    CorrelationReport,
+    dominant_feature_group,
+    run_framework,
+)
+from repro.errors import CorrelationError
+from repro.prism.profile import FEATURE_NAMES, WorkloadFeatures
+from repro.sim.results import NormalizedResult
+
+
+def _profile(name, write_entropy, totals):
+    values = {f: 1.0 for f in FEATURE_NAMES}
+    values["write_global_entropy"] = write_entropy
+    values["write_local_entropy"] = write_entropy * 0.6
+    values["total_reads"] = totals
+    values["total_writes"] = totals * 0.4
+    values["unique_reads"] = write_entropy * 100
+    values["unique_writes"] = write_entropy * 110
+    values["footprint90_reads"] = write_entropy * 10
+    values["footprint90_writes"] = write_entropy * 11
+    # Read-side features follow totals, not write entropy, so the
+    # dominant-group classifier has a genuine distinction to make.
+    values["read_global_entropy"] = totals * 0.01
+    values["read_local_entropy"] = totals * 0.007
+    return WorkloadFeatures(name, **values)
+
+
+def _results(workloads, energies, speedups, llc="Jan_S"):
+    return {
+        llc: {
+            w: NormalizedResult(w, llc, "fixed-capacity", s, e, e / s**2)
+            for w, e, s in zip(workloads, energies, speedups)
+        }
+    }
+
+
+class TestRunFramework:
+    def test_write_entropy_drives_energy(self):
+        workloads = ["w1", "w2", "w3", "w4"]
+        entropies = [2.0, 4.0, 6.0, 8.0]
+        totals = [100.0, 90.0, 400.0, 50.0]
+        profiles = {
+            w: _profile(w, h, t)
+            for w, h, t in zip(workloads, entropies, totals)
+        }
+        energies = [0.1, 0.2, 0.3, 0.4]  # linear in entropy
+        results = _results(workloads, energies, [1.0, 0.99, 0.98, 0.97])
+        reports = run_framework(
+            profiles, results, workloads, "fixed-capacity", "ai",
+            llc_names=["Jan_S"],
+        )
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.correlation("write_global_entropy", "energy") == pytest.approx(1.0)
+        assert abs(report.correlation("total_reads", "energy")) < 0.5
+        assert dominant_feature_group(report, "energy") == "write-behaviour"
+
+    def test_ranked_features_sorted(self):
+        workloads = ["w1", "w2", "w3"]
+        profiles = {w: _profile(w, h, 10.0) for w, h in zip(workloads, [1, 2, 3])}
+        results = _results(workloads, [0.1, 0.2, 0.3], [1.0, 1.0, 1.0])
+        report = run_framework(
+            profiles, results, workloads, "fixed-capacity", "ai",
+            llc_names=["Jan_S"],
+        )[0]
+        ranked = report.ranked_features("energy")
+        magnitudes = [abs(v) for _, v in ranked]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_unknown_llc_raises(self):
+        workloads = ["w1", "w2"]
+        profiles = {w: _profile(w, 1.0, 1.0) for w in workloads}
+        results = _results(workloads, [0.1, 0.2], [1.0, 1.0])
+        with pytest.raises(CorrelationError):
+            run_framework(
+                profiles, results, workloads, "fixed-capacity", "ai",
+                llc_names=["Chen_P"],
+            )
+
+    def test_default_llcs_are_papers_best(self):
+        assert FIGURE4_LLCS == ("Jan_S", "Xue_S", "Hayakawa_R")
+
+    def test_unknown_feature_or_response_raises(self):
+        report = CorrelationReport(
+            llc_name="Jan_S",
+            configuration="fixed-capacity",
+            scope="ai",
+            workloads=("a", "b"),
+            matrix=np.zeros((len(FEATURE_NAMES), 2)),
+        )
+        with pytest.raises(CorrelationError):
+            report.correlation("bogus", "energy")
+        with pytest.raises(CorrelationError):
+            report.correlation("total_reads", "latency")
+
+
+class TestAbsoluteMode:
+    def test_absolute_uses_sim_results(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class FakeSimResult:
+            llc_energy_j: float
+            runtime_s: float
+
+        workloads = ["w1", "w2", "w3"]
+        # Only the totals columns follow the 10/20/30 trend; everything
+        # else is non-monotone so totals alone can win the ranking.
+        base = {
+            f: v
+            for f, v in zip(FEATURE_NAMES, [3.0, 1.0, 2.5, 0.5, 7, 2, 9, 4, 0, 0])
+        }
+        profiles = {}
+        for w, t, bump in zip(workloads, [10.0, 20.0, 30.0], [0.0, 1.0, -1.0]):
+            values = {f: v + bump for f, v in base.items()}
+            values["total_reads"] = t
+            values["total_writes"] = t * 0.4
+            profiles[w] = WorkloadFeatures(w, **values)
+        results = {
+            "Jan_S": {
+                w: FakeSimResult(llc_energy_j=t * 1e-6, runtime_s=t * 1e-3)
+                for w, t in zip(workloads, [10.0, 20.0, 30.0])
+            }
+        }
+        reports = run_framework(
+            profiles, results, workloads, "fixed-capacity", "general",
+            llc_names=["Jan_S"], absolute=True,
+        )
+        report = reports[0]
+        assert report.response_names == ("energy", "execution_time")
+        # Energy and time scale with totals by construction here.
+        assert report.correlation("total_reads", "energy") == pytest.approx(1.0)
+        assert report.correlation("total_reads", "execution_time") == pytest.approx(1.0)
+        assert dominant_feature_group(report, "execution_time") == "totals"
+
+
+class TestDominantGroup:
+    def test_totals_detected(self):
+        matrix = np.zeros((len(FEATURE_NAMES), 2))
+        matrix[FEATURE_NAMES.index("total_reads"), 0] = 0.95
+        report = CorrelationReport("X", "fixed-capacity", "general", ("a",), matrix)
+        assert dominant_feature_group(report) == "totals"
+
+    def test_other_detected(self):
+        matrix = np.zeros((len(FEATURE_NAMES), 2))
+        matrix[FEATURE_NAMES.index("read_global_entropy"), 0] = 0.95
+        report = CorrelationReport("X", "fixed-capacity", "general", ("a",), matrix)
+        assert dominant_feature_group(report) == "other"

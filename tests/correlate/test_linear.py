@@ -1,0 +1,84 @@
+"""Tests for Pearson correlation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.correlate.linear import correlation_matrix, pearson, top_correlates
+from repro.errors import CorrelationError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, 2 * x + 5) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_orthogonal_near_zero(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        y = np.array([1.0, -2.0, 1.0])  # symmetric around centre
+        assert pearson(x, y) == pytest.approx(0.0)
+
+    def test_constant_column_is_zero(self):
+        x = np.array([1.0, 1.0, 1.0])
+        y = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, y) == 0.0
+
+    def test_clipped_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.normal(size=10)
+            y = rng.normal(size=10)
+            assert -1.0 <= pearson(x, y) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=8), rng.normal(size=8)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.zeros(3), np.zeros(4))
+
+    def test_too_short_raises(self):
+        with pytest.raises(CorrelationError):
+            pearson(np.array([1.0]), np.array([2.0]))
+
+
+class TestCorrelationMatrix:
+    def test_shape(self):
+        features = np.random.default_rng(2).normal(size=(6, 4))
+        responses = np.random.default_rng(3).normal(size=(6, 2))
+        matrix = correlation_matrix(features, responses)
+        assert matrix.shape == (4, 2)
+
+    def test_entries_match_pearson(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(5, 3))
+        responses = rng.normal(size=(5, 2))
+        matrix = correlation_matrix(features, responses)
+        assert matrix[1, 0] == pytest.approx(
+            pearson(features[:, 1], responses[:, 0])
+        )
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(CorrelationError):
+            correlation_matrix(np.zeros((4, 2)), np.zeros((5, 1)))
+
+
+class TestTopCorrelates:
+    def test_ranked_by_magnitude(self):
+        matrix = np.array([[0.2], [-0.9], [0.5]])
+        ranked = top_correlates(matrix, ["a", "b", "c"])
+        assert [name for name, _ in ranked] == ["b", "c", "a"]
+        assert ranked[0][1] == pytest.approx(-0.9)
+
+    def test_k_limits(self):
+        matrix = np.array([[0.2], [-0.9], [0.5]])
+        assert len(top_correlates(matrix, ["a", "b", "c"], k=2)) == 2
+
+    def test_name_length_mismatch(self):
+        with pytest.raises(CorrelationError):
+            top_correlates(np.zeros((3, 1)), ["a", "b"])

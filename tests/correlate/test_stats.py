@@ -1,0 +1,109 @@
+"""Tests for the statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.correlate.stats import (
+    bootstrap_pearson,
+    jackknife_pearson,
+    linear_fit,
+    rankdata,
+    spearman,
+)
+from repro.errors import CorrelationError
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert list(rankdata(np.array([30.0, 10.0, 20.0]))) == [2.0, 0.0, 1.0]
+
+    def test_ties_share_mean_rank(self):
+        ranks = rankdata(np.array([5.0, 5.0, 1.0]))
+        assert ranks[0] == ranks[1] == pytest.approx(1.5)
+        assert ranks[2] == 0.0
+
+    def test_all_equal(self):
+        ranks = rankdata(np.array([2.0, 2.0, 2.0, 2.0]))
+        assert np.allclose(ranks, 1.5)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.arange(10.0)
+        assert spearman(x, -(x**3)) == pytest.approx(-1.0)
+
+    def test_matches_pearson_on_ranks(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=12), rng.normal(size=12)
+        from repro.correlate.linear import pearson
+
+        assert spearman(x, y) == pytest.approx(
+            pearson(rankdata(x), rankdata(y))
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CorrelationError):
+            spearman(np.zeros(3), np.zeros(4))
+
+
+class TestBootstrap:
+    def test_tight_interval_for_strong_linear(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 1, 40)
+        y = 2 * x + rng.normal(scale=0.01, size=40)
+        interval = bootstrap_pearson(x, y, n_resamples=300, seed=2)
+        assert interval.estimate > 0.99
+        assert interval.is_stable
+        assert interval.width < 0.05
+
+    def test_three_point_interval_is_embarrassing(self):
+        # The AI scope's sample size: the CI must be enormous.
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([0.1, 0.25, 0.3])
+        interval = bootstrap_pearson(x, y, n_resamples=500, seed=3)
+        assert interval.width > 0.5
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(4)
+        x, y = rng.normal(size=15), rng.normal(size=15)
+        interval = bootstrap_pearson(x, y, n_resamples=400, seed=5)
+        assert interval.low - 1e-9 <= interval.estimate <= interval.high + 1e-9
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(CorrelationError):
+            bootstrap_pearson(np.zeros(3), np.zeros(3), confidence=1.5)
+
+
+class TestJackknife:
+    def test_three_points_span_unity(self):
+        # Deleting one of three points leaves two -> r = +/-1.
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([0.1, 0.4, 0.2])
+        low, high = jackknife_pearson(x, y)
+        assert low == pytest.approx(-1.0) or high == pytest.approx(1.0)
+
+    def test_stable_for_many_points(self):
+        x = np.linspace(0, 1, 50)
+        y = 3 * x + 1
+        low, high = jackknife_pearson(x, y)
+        assert low > 0.99 and high > 0.99
+
+    def test_too_few_rejected(self):
+        with pytest.raises(CorrelationError):
+            jackknife_pearson(np.zeros(2), np.zeros(2))
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0])
+        slope, intercept = linear_fit(x, 3 * x + 5)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(5.0)
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(CorrelationError):
+            linear_fit(np.ones(5), np.arange(5.0))

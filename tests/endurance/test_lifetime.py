@@ -1,0 +1,74 @@
+"""Tests for lifetime estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cells.base import CellClass
+from repro.endurance.lifetime import estimate_lifetime
+from repro.endurance.model import SECONDS_PER_YEAR, EnduranceSpec
+from repro.endurance.wear import WearSummary
+from repro.errors import SimulationError
+
+
+def _wear(total=1000, hottest=50, n_sets=128, assoc=16):
+    set_writes = np.full(n_sets, total // n_sets, dtype=np.int64)
+    return WearSummary(
+        n_sets=n_sets,
+        associativity=assoc,
+        total_writes=total,
+        set_writes=set_writes,
+        hottest_line_writes=hottest,
+    )
+
+
+class TestEstimateLifetime:
+    def test_unlimited_class_returns_none(self):
+        estimate = estimate_lifetime("SRAM", CellClass.SRAM, _wear(), 1e-3)
+        assert estimate.unleveled_years is None
+        assert estimate.leveled_years is None
+        assert estimate.leveling_gain is None
+
+    def test_leveling_never_hurts(self):
+        estimate = estimate_lifetime("Kang_P", CellClass.PCRAM, _wear(), 1e-3)
+        assert estimate.leveled_years >= estimate.unleveled_years
+
+    def test_hot_line_shortens_life(self):
+        mild = estimate_lifetime(
+            "Kang_P", CellClass.PCRAM, _wear(hottest=10), 1e-3
+        )
+        hot = estimate_lifetime(
+            "Kang_P", CellClass.PCRAM, _wear(hottest=500), 1e-3
+        )
+        assert hot.unleveled_years < mild.unleveled_years
+        # Leveled lifetime ignores the hot line (same totals).
+        assert hot.leveled_years == pytest.approx(mild.leveled_years)
+
+    def test_rram_outlives_pcram(self):
+        wear = _wear()
+        pcram = estimate_lifetime("Kang_P", CellClass.PCRAM, wear, 1e-3)
+        rram = estimate_lifetime("Zhang_R", CellClass.RRAM, wear, 1e-3)
+        # Table I: ~10^10 vs ~10^7-10^8 -> orders of magnitude.
+        assert rram.unleveled_years / pcram.unleveled_years > 50
+
+    def test_lifetime_scales_inverse_with_rate(self):
+        # Same wear in half the time = double rate = half the life.
+        slow = estimate_lifetime("Kang_P", CellClass.PCRAM, _wear(), 2e-3)
+        fast = estimate_lifetime("Kang_P", CellClass.PCRAM, _wear(), 1e-3)
+        assert slow.unleveled_years == pytest.approx(2 * fast.unleveled_years)
+
+    def test_custom_spec_override(self):
+        tough = EnduranceSpec(write_limit=1e12, variability=0.0)
+        default = estimate_lifetime("Kang_P", CellClass.PCRAM, _wear(), 1e-3)
+        overridden = estimate_lifetime(
+            "Kang_P", CellClass.PCRAM, _wear(), 1e-3, spec=tough
+        )
+        assert overridden.unleveled_years > default.unleveled_years
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(SimulationError):
+            estimate_lifetime("Kang_P", CellClass.PCRAM, _wear(), 0.0)
+
+    def test_idle_cache_lives_forever(self):
+        idle = _wear(total=0, hottest=0)
+        estimate = estimate_lifetime("Kang_P", CellClass.PCRAM, idle, 1e-3)
+        assert estimate.unleveled_years == float("inf") / SECONDS_PER_YEAR

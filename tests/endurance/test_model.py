@@ -1,0 +1,56 @@
+"""Tests for endurance specifications."""
+
+import pytest
+
+from repro.cells.base import CellClass
+from repro.endurance.model import ENDURANCE, EnduranceSpec, endurance_of
+from repro.errors import ConfigurationError
+
+
+class TestEnduranceTable:
+    def test_all_classes_covered(self):
+        for cell_class in CellClass:
+            assert cell_class in ENDURANCE
+
+    def test_paper_orderings(self):
+        # Table I: PCRAM 10^7-10^8 << RRAM 10^10 << STTRAM; SRAM unlimited.
+        pcram = endurance_of(CellClass.PCRAM)
+        rram = endurance_of(CellClass.RRAM)
+        sttram = endurance_of(CellClass.STTRAM)
+        assert pcram.write_limit < rram.write_limit < sttram.write_limit
+        assert 1e7 <= pcram.write_limit <= 1e8
+        assert rram.write_limit == pytest.approx(1e10)
+        assert not endurance_of(CellClass.SRAM).is_limited
+
+
+class TestFirstFailureBudget:
+    def test_unlimited_is_none(self):
+        assert endurance_of(CellClass.SRAM).first_failure_budget(10**9) is None
+
+    def test_budget_below_median(self):
+        spec = EnduranceSpec(write_limit=1e8, variability=0.3)
+        budget = spec.first_failure_budget(10**8)
+        assert budget < 1e8
+        assert budget > 1e7  # not absurdly pessimistic
+
+    def test_more_cells_fail_earlier(self):
+        spec = EnduranceSpec(write_limit=1e8, variability=0.3)
+        assert spec.first_failure_budget(10**9) < spec.first_failure_budget(10**4)
+
+    def test_zero_variability_exact(self):
+        spec = EnduranceSpec(write_limit=1e8, variability=0.0)
+        assert spec.first_failure_budget(10**9) == pytest.approx(1e8)
+
+    def test_single_cell_is_limit(self):
+        spec = EnduranceSpec(write_limit=1e8, variability=0.5)
+        assert spec.first_failure_budget(1) == pytest.approx(1e8)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceSpec(write_limit=0.0)
+
+    def test_rejects_negative_variability(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceSpec(write_limit=1e8, variability=-0.1)

@@ -1,0 +1,23 @@
+"""Fixtures for experiment-level tests.
+
+A single full-scale context is shared across the experiment tests; full
+traces are needed because the fixed-area capacity effects only appear
+once the sweep components complete their passes (see DESIGN.md).  Only
+a representative subset of workloads is exercised to keep runtime sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+#: Representative workloads: capacity-sensitive s.t., read-dominated
+#: m.t., a PRISM-excluded one, and the three AI benchmarks.
+SUBSET = ("bzip2", "cg", "gobmk", "deepsjeng", "leela", "exchange2")
+
+
+@pytest.fixture(scope="session")
+def full_context():
+    """Full-scale experiment context shared by all experiment tests."""
+    return ExperimentContext(scale=1.0)

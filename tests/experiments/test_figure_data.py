@@ -1,0 +1,39 @@
+"""Tests for the FigureData container API."""
+
+import pytest
+
+from repro.experiments import figure1
+from repro.experiments.common import ExperimentContext
+
+WORKLOADS = ("tonto", "leela")
+
+
+@pytest.fixture(scope="module")
+def data():
+    context = ExperimentContext(scale=0.05)
+    return figure1.run(context, workloads=WORKLOADS)
+
+
+class TestFigureData:
+    def test_panel_shape(self, data):
+        panel = data.panel(WORKLOADS, "speedup")
+        assert set(panel) == set(figure1.MODEL_ORDER)
+        for series in panel.values():
+            assert len(series) == len(WORKLOADS)
+
+    def test_panel_matches_metric(self, data):
+        panel = data.panel(WORKLOADS, "energy_ratio")
+        assert panel["Jan_S"][0] == data.metric("Jan_S", "tonto", "energy_ratio")
+
+    def test_geometric_mean_between_extremes(self, data):
+        values = [
+            data.metric("Jan_S", w, "energy_ratio") for w in WORKLOADS
+        ]
+        geomean = data.geometric_mean("Jan_S", "energy_ratio", WORKLOADS)
+        assert min(values) <= geomean <= max(values)
+
+    def test_sram_not_a_series(self, data):
+        assert "SRAM" not in data.results
+
+    def test_configuration(self, data):
+        assert data.configuration == "fixed-capacity"

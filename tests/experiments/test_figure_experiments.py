@@ -1,0 +1,190 @@
+"""Tests for the Figure 1/2/4 and core-sweep experiment drivers.
+
+These are the headline reproduction checks: who wins, by what regime,
+and where the correlations land — the "shape" DESIGN.md commits to.
+"""
+
+import pytest
+
+from repro.experiments import coresweep, figure1, figure2, figure4
+from repro.workloads.registry import ai_benchmarks
+
+SUBSET = ("bzip2", "cg", "gobmk", "deepsjeng", "leela", "exchange2")
+
+
+@pytest.fixture(scope="module")
+def fig1(full_context):
+    return figure1.run(full_context, workloads=SUBSET)
+
+
+@pytest.fixture(scope="module")
+def fig2(full_context):
+    return figure2.run(full_context, workloads=SUBSET)
+
+
+class TestFigure1FixedCapacity:
+    def test_all_models_present(self, fig1):
+        assert set(fig1.results) == set(figure1.MODEL_ORDER)
+
+    def test_speedup_near_unity(self, fig1):
+        # Paper: fixed-capacity speedups within roughly -4%..+4%.
+        for llc, per_workload in fig1.results.items():
+            for workload, norm in per_workload.items():
+                assert 0.9 < norm.speedup < 1.06, (llc, workload, norm.speedup)
+
+    def test_nvm_energy_order_of_magnitude_savings(self, fig1):
+        # Paper: STTRAM/RRAM LLC energy up to ~10x below SRAM.
+        for llc in ("Jan_S", "Xue_S", "Chung_S", "Umeki_S", "Hayakawa_R", "Zhang_R"):
+            for workload, norm in fig1.results[llc].items():
+                assert norm.energy_ratio < 0.5, (llc, workload)
+
+    def test_kang_oh_worst_on_ai(self, fig1):
+        # Paper: Kang_P and Oh_P exhibit worst-case energy, several x
+        # SRAM, on the write-heavy AI workloads.
+        for workload in ("deepsjeng",):
+            kang = fig1.results["Kang_P"][workload].energy_ratio
+            oh = fig1.results["Oh_P"][workload].energy_ratio
+            assert kang > 1.5
+            assert oh > 1.0
+            assert kang == max(
+                fig1.results[llc][workload].energy_ratio
+                for llc in figure1.MODEL_ORDER
+            )
+
+    def test_ed2p_tracks_energy_for_near_unity_speedup(self, fig1):
+        for llc in figure1.MODEL_ORDER:
+            for workload, norm in fig1.results[llc].items():
+                assert norm.ed2p_ratio == pytest.approx(
+                    norm.energy_ratio / norm.speedup**2, rel=1e-6
+                )
+
+    def test_geometric_mean_summary(self, fig1):
+        geomean = fig1.geometric_mean("Jan_S", "energy_ratio", list(SUBSET))
+        assert 0.0 < geomean < 0.3
+
+
+class TestFigure2FixedArea:
+    def test_configuration_label(self, fig2):
+        assert fig2.configuration == "fixed-area"
+        for per_workload in fig2.results.values():
+            for norm in per_workload.values():
+                assert norm.configuration == "fixed-area"
+
+    def test_capacity_buys_speedup_on_starved_workloads(self, fig2):
+        # Paper: dense NVMs win >10% on capacity-starved workloads.
+        for llc in ("Xue_S", "Hayakawa_R", "Close_P"):
+            assert fig2.results[llc]["bzip2"].speedup > 1.1, llc
+            assert fig2.results[llc]["deepsjeng"].speedup > 1.1, llc
+
+    def test_jan_small_capacity_never_wins_big(self, fig2):
+        # Jan_S drops to 1 MB in fixed-area: it cannot gain capacity
+        # speedups, matching the paper's >10% losses for Jan_S.
+        for workload, norm in fig2.results["Jan_S"].items():
+            assert norm.speedup < 1.02, (workload, norm.speedup)
+
+    def test_fixed_area_beats_fixed_capacity_for_dense_nvm(self, fig1, fig2):
+        # The capacity effect: Xue_S (8 MB) speeds up on bzip2 relative
+        # to its own fixed-capacity run.
+        assert (
+            fig2.results["Xue_S"]["bzip2"].speedup
+            > fig1.results["Xue_S"]["bzip2"].speedup
+        )
+
+    def test_zhang_slow_reads_hurt_hit_heavy_workloads(self, fig2):
+        # Zhang_R reads at 9.5 ns in fixed-area: workloads that hit a
+        # lot (leela/exchange2 pools) lose performance (paper's gobmk
+        # -40% analogue).
+        assert fig2.results["Zhang_R"]["exchange2"].speedup < 1.0
+
+
+class TestFigure4Correlations:
+    @pytest.fixture(scope="class")
+    def result(self, full_context):
+        return figure4.run(full_context)
+
+    def test_six_ai_panels(self, result):
+        assert len(result.ai_reports) == 6
+        configs = {(r.llc_name, r.configuration) for r in result.ai_reports}
+        assert len(configs) == 6
+
+    def test_ai_energy_tracks_write_behaviour(self, result):
+        # The paper's headline: for AI, energy ~99% correlated with
+        # write entropy and write footprints.
+        for configuration in ("fixed-capacity", "fixed-area"):
+            report = result.report("Jan_S", configuration)
+            assert abs(report.correlation("write_local_entropy", "energy")) > 0.9
+            assert abs(report.correlation("write_global_entropy", "energy")) > 0.9
+            assert abs(report.correlation("footprint90_writes", "energy")) > 0.9
+
+    def test_ai_totals_negligible_for_energy(self, result):
+        # ... while total reads/writes decorrelate.
+        for configuration in ("fixed-capacity", "fixed-area"):
+            report = result.report("Jan_S", configuration)
+            write_strength = abs(report.correlation("write_local_entropy", "energy"))
+            for totals in ("total_reads", "total_writes"):
+                assert abs(report.correlation(totals, "energy")) < 0.75
+                assert abs(report.correlation(totals, "energy")) < write_strength
+
+    def test_ai_speedup_prefers_write_features_over_totals(self, result):
+        report = result.report("Jan_S", "fixed-capacity")
+        assert abs(report.correlation("unique_writes", "speedup")) > abs(
+            report.correlation("total_reads", "speedup")
+        )
+
+    def test_workload_scope(self, result):
+        for report in result.ai_reports:
+            assert set(report.workloads) == set(ai_benchmarks())
+        for report in result.general_reports:
+            assert len(report.workloads) == 16
+
+    def test_general_scope_totals_dominate_execution_time(self, result):
+        # Paper Section VI: for the general-purpose system, execution
+        # time is most highly correlated with total reads and writes.
+        from repro.correlate.framework import dominant_feature_group
+
+        for report in result.general_reports:
+            assert report.response_names == ("energy", "execution_time")
+            assert (
+                dominant_feature_group(report, "execution_time") == "totals"
+            ), (report.llc_name, report.configuration)
+
+    def test_general_scope_totals_strong_for_energy(self, result):
+        # Energy in the general scope correlates strongly with totals
+        # (the paper's "read and write footprint is indeed appropriate").
+        for report in result.general_reports:
+            assert abs(report.correlation("total_reads", "energy")) > 0.5 or \
+                abs(report.correlation("total_writes", "energy")) > 0.5
+
+
+class TestCoreSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return coresweep.run(
+            workloads=("mg",), cores=(1, 4, 8), scale=0.6,
+            llcs=("Jan_S", "Xue_S", "Hayakawa_R", "SRAM"),
+        )
+
+    def test_baseline_present(self, result):
+        assert "mg" in result.baselines
+        assert result.baselines["mg"].n_cores == 1
+
+    def test_multicore_faster_than_single(self, result):
+        # 4 cores with 4x the work of 1 core should still beat it
+        # per-unit-work; at equal work they must be faster outright.
+        assert result.speedup("mg", 4, "SRAM") > 1.5
+
+    def test_capacity_strain_at_8_cores(self, result):
+        # Paper Section V-C: at high core counts the dense NVMs beat the
+        # 2 MB SRAM; Jan_S (1 MB) falls behind the dense Hayakawa_R.
+        assert (
+            result.speedup("mg", 8, "Hayakawa_R")
+            > result.speedup("mg", 8, "Jan_S")
+        )
+
+    def test_energy_ratio_accessible(self, result):
+        ratio = result.energy_ratio("mg", 4, "Jan_S")
+        assert 0 < ratio < 1.0
+
+    def test_render(self, result):
+        text = coresweep.render(result)
+        assert "speedup vs 1-core SRAM" in text

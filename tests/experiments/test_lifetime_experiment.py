@@ -1,0 +1,49 @@
+"""Tests for the Section VII lifetime-study experiment."""
+
+import pytest
+
+from repro.experiments import lifetime
+from repro.experiments.common import ExperimentContext
+
+WORKLOADS = ("gobmk", "ft", "leela", "tonto", "mg")
+
+
+@pytest.fixture(scope="module")
+def study():
+    context = ExperimentContext(scale=0.3)
+    return lifetime.run(context, workloads=WORKLOADS)
+
+
+class TestLifetimeStudy:
+    def test_all_cells_and_workloads(self, study):
+        assert set(study.llc_names) == set(lifetime.DEFAULT_LLCS)
+        assert set(study.workloads) == set(WORKLOADS)
+
+    def test_rram_outlives_pcram_everywhere(self, study):
+        for workload in WORKLOADS:
+            assert study.lifetime_years("Zhang_R", workload) > 50 * study.lifetime_years(
+                "Kang_P", workload
+            )
+
+    def test_pcram_llc_lifetime_impractical(self, study):
+        # The well-known conclusion: raw PCRAM cannot survive LLC write
+        # rates — lifetimes land at hours, not years.
+        for workload in WORKLOADS:
+            assert study.lifetime_years("Kang_P", workload) < 0.01
+
+    def test_write_intensity_shortens_life(self, study):
+        # ft writes ~half its accesses; tonto is pool-bound: ft's LLC
+        # write rate is far higher, so its lifetime is shorter.
+        assert study.lifetime_years("Kang_P", "ft") < study.lifetime_years(
+            "Kang_P", "tonto"
+        )
+
+    def test_correlations_are_negative_for_footprints(self, study):
+        # More unique write traffic -> more array writes -> shorter life.
+        correlations = study.correlations("Kang_P")
+        assert correlations["unique_writes"] < 0
+
+    def test_render(self, study):
+        text = lifetime.render(study)
+        assert "lifetime" in text.lower()
+        assert "Kang_P" in text

@@ -1,0 +1,76 @@
+"""Render smoke tests: every experiment's text output is well-formed.
+
+These run at a tiny scale — the numbers are not asserted (the
+full-scale shape tests do that), only that each renderer produces the
+advertised sections for downstream report assembly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    coresweep,
+    figure1,
+    figure2,
+    figure4,
+    lifetime,
+    table5,
+    table6,
+    techniques_study,
+)
+from repro.experiments.common import ExperimentContext
+
+WORKLOADS = ("tonto", "leela", "exchange2", "deepsjeng", "cg")
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return ExperimentContext(scale=0.05)
+
+
+class TestRenders:
+    def test_figure1_render(self, tiny_context):
+        data = figure1.run(tiny_context, workloads=WORKLOADS)
+        text = figure1.render(data)
+        assert "Figure 1a (single-threaded) — normalized speedup" in text
+        assert "Figure 1b (multi-threaded) — normalized ED^2P" in text
+        assert "Zhang_R" in text
+
+    def test_figure2_render(self, tiny_context):
+        data = figure2.run(tiny_context, workloads=WORKLOADS)
+        text = figure2.render(data)
+        assert "Figure 2a" in text and "Figure 2b" in text
+
+    def test_figure4_render(self, tiny_context):
+        result = figure4.run(tiny_context)
+        text = figure4.render(result)
+        assert text.count("AI scope") == 6
+        assert "Dominant feature families" in text
+
+    def test_table5_render(self, tiny_context):
+        text = table5.render(table5.run(tiny_context))
+        assert "paper mpki" in text and "bzip2" in text
+
+    def test_table6_render(self, tiny_context):
+        text = table6.render(table6.run(tiny_context))
+        assert "rank agreement" in text
+
+    def test_coresweep_render(self):
+        result = coresweep.run(
+            workloads=("cg",), cores=(1, 2), scale=0.05,
+            llcs=("Jan_S", "SRAM"),
+        )
+        text = coresweep.render(result)
+        assert "speedup vs 1-core SRAM" in text
+        assert "2 cores" in text
+
+    def test_lifetime_render(self, tiny_context):
+        study = lifetime.run(tiny_context, workloads=("tonto", "leela"))
+        text = lifetime.render(study)
+        assert "log10(lifetime)" in text
+
+    def test_techniques_render(self, tiny_context):
+        study = techniques_study.run(
+            tiny_context, llcs=("Kang_P",), workloads=("tonto",)
+        )
+        text = techniques_study.render(study)
+        assert "write cut" in text

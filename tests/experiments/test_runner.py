@@ -1,0 +1,54 @@
+"""Tests for the run-everything CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunAll:
+    def test_single_experiment(self):
+        stream = io.StringIO()
+        runner.run_all(scale=0.05, only="table2", stream=stream)
+        output = stream.getvalue()
+        assert "Table II" in output
+        assert "Kang_P" in output
+
+    def test_report_written(self, tmp_path):
+        stream = io.StringIO()
+        path = tmp_path / "report.md"
+        runner.run_all(
+            scale=0.05, only="table3", stream=stream, write_path=str(path)
+        )
+        report = path.read_text()
+        assert report.startswith("# NVM-LLC reproduction")
+        assert "Table III" in report
+        assert str(path) in stream.getvalue()
+
+    def test_experiment_names_registered(self):
+        assert set(runner.EXPERIMENTS) == {
+            "table2",
+            "table3",
+            "table5",
+            "table6",
+            "figure1",
+            "figure2",
+            "figure4",
+            "coresweep",
+            "lifetime",
+            "techniques",
+            "sensitivity",
+        }
+
+
+class TestMain:
+    def test_cli_only_flag(self, capfd):
+        # capfd (not capsys): run_all's default stream binds sys.stdout
+        # at import time, so capture must happen at the fd level.
+        assert runner.main(["--scale", "0.05", "--only", "table2"]) == 0
+        assert "Table II" in capfd.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "table9"])

@@ -1,0 +1,47 @@
+"""Tests for the sensitivity (robustness) study."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import sensitivity
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Reduced scale: the invariants are scale-robust by design (the
+    # full-scale run is the bench).
+    return sensitivity.run(scale=0.3)
+
+
+class TestSensitivity:
+    def test_default_point_first(self, result):
+        assert result.checks[0].label == "default"
+        assert result.checks[0].all_hold
+
+    def test_sweep_covers_all_axes(self, result):
+        labels = {c.label for c in result.checks}
+        assert "base_cpi=0.4" in labels
+        assert "llc_hit_exposure=0.8" in labels
+        assert "max_mlp=3" in labels
+        assert "seed=7" in labels
+        # 1 default + 2 off-default per model axis (3 axes) + 2 seeds.
+        assert len(result.checks) == 9
+
+    def test_conclusions_robust(self, result):
+        # The headline check: every invariant holds at every point.
+        assert result.robust, sensitivity.render(result)
+        assert result.holding_fraction == 1.0
+
+    def test_render(self, result):
+        text = sensitivity.render(result)
+        assert "Fig4 contrast" in text
+        assert "hold" in text
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            sensitivity.run(scale=0.0)
+
+    def test_runner_registered(self):
+        from repro.experiments import runner
+
+        assert "sensitivity" in runner.EXPERIMENTS

@@ -1,0 +1,64 @@
+"""Tests for the circuit area model (equation (3) applied at array scale)."""
+
+import pytest
+
+from repro import units
+from repro.cells.library import HAYAKAWA, JAN, OH, SRAM, XUE, ZHANG
+from repro.nvsim.area import compute_area
+from repro.nvsim.config import CacheDesign
+
+DESIGN = CacheDesign(capacity_bytes=2 * units.MB)
+
+
+class TestAreaModel:
+    def test_components_positive(self):
+        breakdown = compute_area(SRAM, DESIGN)
+        assert breakdown.data_array_m2 > 0
+        assert breakdown.periphery_m2 > 0
+        assert breakdown.tag_array_m2 > 0
+        assert breakdown.total_m2 == pytest.approx(
+            breakdown.data_array_m2
+            + breakdown.periphery_m2
+            + breakdown.tag_array_m2
+        )
+
+    def test_zhang_densest(self):
+        # Table III: Zhang_R is the smallest 2 MB LLC by an order.
+        zhang = compute_area(ZHANG, DESIGN).total_mm2
+        for cell in (SRAM, OH, JAN, XUE, HAYAKAWA):
+            assert compute_area(cell, DESIGN).total_mm2 > zhang
+
+    def test_jan_least_dense_nvm(self):
+        # Table III: Jan_S (50 F^2 at 90 nm) is the largest NVM LLC.
+        jan = compute_area(JAN, DESIGN).total_mm2
+        for cell in (ZHANG, HAYAKAWA, XUE):
+            assert compute_area(cell, DESIGN).total_mm2 < jan
+
+    def test_rram_beats_sram_by_order(self):
+        sram = compute_area(SRAM, DESIGN).total_mm2
+        zhang = compute_area(ZHANG, DESIGN).total_mm2
+        assert sram / zhang > 10
+
+    def test_area_scales_linearly_with_capacity(self):
+        two = compute_area(ZHANG, CacheDesign(capacity_bytes=2 * units.MB))
+        eight = compute_area(ZHANG, CacheDesign(capacity_bytes=8 * units.MB))
+        assert eight.total_m2 / two.total_m2 == pytest.approx(4.0, rel=0.1)
+
+    def test_mlc_halves_data_area(self):
+        # Same F^2 and process, 2 bits/cell -> half the data array.
+        slc = XUE.with_params(cell_levels=XUE.get("cell_levels").__class__(1))
+        assert (
+            compute_area(XUE, DESIGN).data_array_m2
+            == pytest.approx(compute_area(slc, DESIGN).data_array_m2 / 2)
+        )
+
+    def test_within_factor_three_of_published(self):
+        # The simplified model must land within ~3x of every Table III
+        # area (DESIGN.md's fidelity bar for the methodology substitute).
+        from repro.nvsim.published import published_model
+
+        for cell in (SRAM, OH, JAN, XUE, HAYAKAWA, ZHANG):
+            generated = compute_area(cell, DESIGN).total_mm2
+            published = published_model(cell.display_name, "fixed-capacity").area_mm2
+            ratio = generated / published
+            assert 1 / 3 < ratio < 3, (cell.display_name, ratio)

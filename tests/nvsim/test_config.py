@@ -1,0 +1,46 @@
+"""Tests for cache design configuration."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.nvsim.config import FIXED_AREA_BUDGET_MM2, GAINESTOWN_LLC_DESIGN, CacheDesign
+
+
+class TestCacheDesign:
+    def test_gainestown_defaults_match_table4(self):
+        design = GAINESTOWN_LLC_DESIGN
+        assert design.capacity_bytes == 2 * units.MB
+        assert design.block_bytes == 64
+        assert design.associativity == 16
+
+    def test_derived_geometry(self):
+        design = CacheDesign(capacity_bytes=2 * units.MB)
+        assert design.n_blocks == 32768
+        assert design.n_sets == 2048
+        assert design.data_bits == 2 * units.MB * 8
+        assert design.capacity_mb == pytest.approx(2.0)
+
+    def test_tag_bits_scale_with_blocks(self):
+        small = CacheDesign(capacity_bytes=1 * units.MB)
+        large = CacheDesign(capacity_bytes=4 * units.MB)
+        assert large.tag_bits == 4 * small.tag_bits
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheDesign(capacity_bytes=0)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheDesign(capacity_bytes=units.MB, block_bytes=48)
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheDesign(capacity_bytes=1000, block_bytes=64, associativity=16)
+
+    def test_rejects_tiny_mats(self):
+        with pytest.raises(ConfigurationError):
+            CacheDesign(capacity_bytes=units.MB, mat_bits=1024)
+
+    def test_fixed_area_budget_is_sram_area(self):
+        assert FIXED_AREA_BUDGET_MM2 == pytest.approx(6.548)

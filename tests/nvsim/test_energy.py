@@ -1,0 +1,79 @@
+"""Tests for the circuit energy model (equations (6)-(8))."""
+
+import pytest
+
+from repro import units
+from repro.cells.heuristics import apply_electrical_properties
+from repro.cells.library import CHUNG, JAN, KANG, OH, SRAM, XUE, ZHANG
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.energy import compute_energy, leakage_power
+
+DESIGN = CacheDesign(capacity_bytes=2 * units.MB)
+
+
+def _energy(cell):
+    return compute_energy(apply_electrical_properties(cell), DESIGN)
+
+
+class TestEquations6To8:
+    def test_hit_is_tag_plus_read(self):
+        e = _energy(CHUNG)
+        assert e.hit_energy_j == pytest.approx(
+            e.tag_energy_j + e.data_read_energy_j
+        )
+
+    def test_miss_is_tag_only(self):
+        e = _energy(CHUNG)
+        assert e.miss_energy_j == e.tag_energy_j
+        assert e.miss_energy_j < e.hit_energy_j
+
+    def test_write_is_tag_plus_data_write(self):
+        e = _energy(CHUNG)
+        assert e.write_energy_j == pytest.approx(
+            e.tag_energy_j + e.data_write_energy_j
+        )
+
+
+class TestClassBehaviour:
+    def test_pcram_write_energy_dominates(self):
+        # Kang's block write lands in the hundreds of nJ (Table III: 375).
+        e = _energy(KANG)
+        assert e.write_energy_j > 100 * units.NJ
+        assert e.write_energy_j / e.hit_energy_j > 50
+
+    def test_sttram_write_energy_regime(self):
+        # STTRAM block writes are near 1 nJ (Table III: 0.6-2.3).
+        for cell in (CHUNG, JAN, XUE):
+            e = _energy(cell)
+            assert 0.1 * units.NJ < e.write_energy_j < 10 * units.NJ
+
+    def test_sram_write_read_symmetric(self):
+        e = _energy(SRAM)
+        assert e.write_energy_j < 2 * e.hit_energy_j
+
+    def test_mlc_fewer_cells_cheaper_write(self):
+        # Xue (2 bits/cell) programs half the cells per block.
+        xue = _energy(XUE)
+        slc_like = _energy(CHUNG)
+        assert xue.data_write_energy_j < 4 * slc_like.data_write_energy_j
+
+    def test_hit_energies_in_table3_regime(self):
+        for cell in (SRAM, CHUNG, JAN, OH, ZHANG):
+            e = _energy(cell)
+            assert 0.05 * units.NJ < e.hit_energy_j < 2 * units.NJ
+
+
+class TestLeakage:
+    def test_sram_leaks_orders_more_than_nvm(self):
+        sram = leakage_power(SRAM, DESIGN)
+        for cell in (CHUNG, ZHANG, OH):
+            assert sram / leakage_power(cell, DESIGN) > 10
+
+    def test_sram_leakage_matches_baseline(self):
+        # Table III: 3.438 W for the 2 MB SRAM LLC.
+        assert leakage_power(SRAM, DESIGN) == pytest.approx(3.438, rel=0.1)
+
+    def test_leakage_scales_with_capacity(self):
+        small = leakage_power(ZHANG, CacheDesign(capacity_bytes=2 * units.MB))
+        large = leakage_power(ZHANG, CacheDesign(capacity_bytes=128 * units.MB))
+        assert large / small == pytest.approx(64, rel=0.05)

@@ -1,0 +1,53 @@
+"""Tests for the systematic model-fidelity validation."""
+
+import pytest
+
+from repro.errors import ModelGenerationError
+from repro.nvsim.fidelity import (
+    QUANTITIES,
+    ordering_agreements,
+    validate_fidelity,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_fidelity()
+
+
+class TestFidelityReport:
+    def test_covers_all_models(self, report):
+        assert len(report.names) == 11
+        assert set(report.ratios) == set(QUANTITIES)
+
+    def test_ratio_bands_within_regime(self, report):
+        # DESIGN.md's bar: every quantity within 5x of Table III.
+        for quantity in QUANTITIES:
+            assert report.within_band(quantity, factor=5.0), (
+                quantity,
+                report.ratio_band(quantity),
+            )
+
+    def test_latencies_tighter(self, report):
+        # Pulse-dominated NVM writes are the best-modelled quantity;
+        # the loose end of the band is SRAM, whose sub-ns write is
+        # periphery-bound rather than pulse-bound.
+        low, high = report.ratio_band("write_latency_s")
+        assert 0.4 < low and high < 2.5
+
+    def test_geometric_mean_error_modest(self, report):
+        for quantity in ("read_latency_s", "write_latency_s", "hit_energy_j"):
+            assert report.geometric_mean_error(quantity) < 2.0, quantity
+
+    def test_orderings_preserved(self, report):
+        agreements = ordering_agreements(report)
+        # The quantities the analysis leans on keep their technology
+        # ordering: who writes expensively, who leaks, who reads slowly.
+        assert agreements["write_energy_j"] > 0.8
+        assert agreements["write_latency_s"] > 0.8
+        assert agreements["leakage_w"] > 0.6
+        assert agreements["read_latency_s"] > 0.5
+
+    def test_only_fixed_capacity_defined(self):
+        with pytest.raises(ModelGenerationError):
+            validate_fidelity("fixed-area")

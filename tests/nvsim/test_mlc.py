@@ -1,0 +1,74 @@
+"""Tests for the MLC derivation."""
+
+import pytest
+
+from repro import units
+from repro.cells.library import CHUNG, JAN, SRAM, XUE, ZHANG
+from repro.errors import ModelGenerationError
+from repro.nvsim.mlc import (
+    MLC_ENERGY_FACTOR,
+    MLC_PULSE_FACTOR,
+    compare_slc_mlc,
+    derive_mlc_cell,
+)
+
+
+class TestDeriveMLCCell:
+    def test_doubles_bits(self):
+        mlc = derive_mlc_cell(CHUNG)
+        assert mlc.bits_per_cell == 2
+        assert mlc.name == "ChungMLC"
+        assert mlc.cell_class is CHUNG.cell_class
+
+    def test_pulse_and_energy_stretched(self):
+        mlc = derive_mlc_cell(CHUNG)
+        assert mlc.value("set_pulse_ns") == pytest.approx(
+            CHUNG.value("set_pulse_ns") * MLC_PULSE_FACTOR
+        )
+        assert mlc.value("set_energy_pj") == pytest.approx(
+            CHUNG.value("set_energy_pj") * MLC_ENERGY_FACTOR
+        )
+
+    def test_footprint_unchanged(self):
+        mlc = derive_mlc_cell(ZHANG)
+        assert mlc.value("cell_size_f2") == ZHANG.value("cell_size_f2")
+        assert mlc.value("process_nm") == ZHANG.value("process_nm")
+
+    def test_already_mlc_unchanged(self):
+        assert derive_mlc_cell(XUE) is XUE
+
+    def test_sram_rejected(self):
+        with pytest.raises(ModelGenerationError):
+            derive_mlc_cell(SRAM)
+
+
+class TestCompareSLCMLC:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_slc_mlc(CHUNG)
+
+    def test_fixed_area_capacity_gain(self, comparison):
+        # Two bits per cell buys roughly double the capacity in the
+        # same silicon (ladder-quantised).
+        assert comparison.capacity_gain >= 2.0
+
+    def test_read_latency_penalty(self, comparison):
+        # Two-step sensing slows reads (the paper's Xue_S reads at
+        # 2.9 ns despite a 1.2 V read for the same reason).
+        assert comparison.read_latency_penalty > 1.2
+
+    def test_write_latency_penalty(self, comparison):
+        assert comparison.write_latency_penalty > 1.5
+
+    def test_same_capacity_at_fixed_capacity(self, comparison):
+        assert (
+            comparison.mlc_fixed_capacity.capacity_bytes
+            == comparison.slc_fixed_capacity.capacity_bytes
+            == 2 * units.MB
+        )
+
+    def test_rram_mlc_density(self):
+        comparison = compare_slc_mlc(ZHANG)
+        assert comparison.mlc_fixed_area.capacity_bytes >= (
+            comparison.slc_fixed_area.capacity_bytes
+        )

@@ -1,0 +1,71 @@
+"""Tests for LLC model generation and the LLCModel datatype."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.cells.base import CellClass
+from repro.cells.library import ALL_CELLS, CHUNG, OH, SRAM, ZHANG
+from repro.errors import ModelGenerationError
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.model import LLCModel, generate_llc_model
+from repro.nvsim.published import published_model
+
+DESIGN = CacheDesign(capacity_bytes=2 * units.MB)
+
+
+class TestGenerateLLCModel:
+    def test_every_library_cell_generates(self):
+        for cell in ALL_CELLS:
+            model = generate_llc_model(cell, DESIGN)
+            assert model.capacity_bytes == DESIGN.capacity_bytes
+            assert model.read_latency_s > 0
+            assert model.hit_energy_j > 0
+            assert model.leakage_w > 0
+
+    def test_pcram_keeps_set_reset_split(self):
+        model = generate_llc_model(OH, DESIGN)
+        assert model.set_latency_s != model.reset_latency_s
+
+    def test_non_pcram_single_write_latency(self):
+        model = generate_llc_model(CHUNG, DESIGN)
+        assert model.set_latency_s == model.reset_latency_s
+
+    def test_source_marked_generated(self):
+        assert generate_llc_model(SRAM, DESIGN).source == "generated"
+
+
+class TestLLCModelType:
+    def test_write_latency_is_worst_case(self, kang_model):
+        assert kang_model.write_latency_s == kang_model.set_latency_s
+        assert kang_model.write_latency_s >= kang_model.reset_latency_s
+
+    def test_mean_write_latency_between(self, kang_model):
+        assert (
+            kang_model.reset_latency_s
+            <= kang_model.mean_write_latency_s
+            <= kang_model.set_latency_s
+        )
+
+    def test_asymmetry_ratios(self, kang_model, sram_model):
+        # Kang: 301 ns writes vs 1.5 ns reads; SRAM near-symmetric.
+        assert kang_model.write_read_latency_ratio > 100
+        assert sram_model.write_read_latency_ratio < 1
+
+    def test_is_sram_flag(self, sram_model, xue_model):
+        assert sram_model.is_sram
+        assert not xue_model.is_sram
+
+    def test_scaled_capacity_scales_leakage_linearly(self, xue_model):
+        scaled = xue_model.scaled_capacity(xue_model.capacity_bytes * 4)
+        assert scaled.leakage_w == pytest.approx(xue_model.leakage_w * 4)
+        assert scaled.read_latency_s == xue_model.read_latency_s
+        assert "scaled" in scaled.source
+
+    def test_rejects_negative_quantities(self):
+        good = published_model("Xue_S")
+        with pytest.raises(ModelGenerationError):
+            dataclasses.replace(good, hit_energy_j=-1.0)
+        with pytest.raises(ModelGenerationError):
+            dataclasses.replace(good, capacity_bytes=0)

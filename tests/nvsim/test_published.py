@@ -1,0 +1,100 @@
+"""Tests for the published Table III models (transcription sanity)."""
+
+import pytest
+
+from repro import units
+from repro.cells.base import CellClass
+from repro.errors import ModelGenerationError
+from repro.nvsim.published import (
+    FIXED_AREA,
+    FIXED_CAPACITY,
+    nvm_models,
+    published_model,
+    published_models,
+    sram_baseline,
+)
+
+
+class TestTableStructure:
+    def test_eleven_models_each(self):
+        assert len(FIXED_CAPACITY) == 11
+        assert len(FIXED_AREA) == 11
+
+    def test_fixed_capacity_all_2mb(self):
+        for model in FIXED_CAPACITY:
+            assert model.capacity_bytes == 2 * units.MB
+
+    def test_fixed_area_capacities(self):
+        expected = {
+            "Oh_P": 2, "Chen_P": 4, "Kang_P": 2, "Close_P": 4, "Chung_S": 8,
+            "Jan_S": 1, "Umeki_S": 2, "Xue_S": 8, "Hayakawa_R": 32,
+            "Zhang_R": 128, "SRAM": 2,
+        }
+        for model in FIXED_AREA:
+            assert model.capacity_mb == expected[model.name], model.name
+
+    def test_lookup_by_name_and_config(self):
+        xue = published_model("Xue_S", "fixed-area")
+        assert xue.capacity_mb == 8
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(ModelGenerationError):
+            published_models("fixed-banana")
+        with pytest.raises(ModelGenerationError):
+            published_model("Xue_S", "fixed-banana")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelGenerationError):
+            published_model("Smith_Q")
+
+    def test_nvm_models_excludes_sram(self):
+        names = {m.name for m in nvm_models("fixed-capacity")}
+        assert "SRAM" not in names
+        assert len(names) == 10
+
+
+class TestTranscribedValues:
+    def test_sram_baseline_row(self):
+        sram = sram_baseline()
+        assert sram.area_mm2 == pytest.approx(6.548)
+        assert sram.read_latency_s == pytest.approx(1.234 * units.NS)
+        assert sram.write_energy_j == pytest.approx(0.537 * units.NJ)
+        assert sram.leakage_w == pytest.approx(3.438)
+
+    def test_kang_worst_write_energy(self):
+        energies = {m.name: m.write_energy_j for m in FIXED_CAPACITY}
+        assert max(energies, key=energies.get) == "Kang_P"
+        assert energies["Kang_P"] == pytest.approx(375.073 * units.NJ)
+
+    def test_pcram_set_reset_asymmetry(self):
+        oh = published_model("Oh_P")
+        assert oh.set_latency_s == pytest.approx(181.206 * units.NS)
+        assert oh.reset_latency_s == pytest.approx(11.206 * units.NS)
+
+    def test_sram_leakage_dominates_nvm(self):
+        # The headline mechanism: SRAM leaks >10x any same-capacity NVM.
+        sram = sram_baseline()
+        for model in nvm_models("fixed-capacity"):
+            assert sram.leakage_w / model.leakage_w > 10
+
+    def test_jan_lowest_fixed_area_leakage(self):
+        leaks = {m.name: m.leakage_w for m in FIXED_AREA if not m.is_sram}
+        assert min(leaks, key=leaks.get) == "Jan_S"
+
+    def test_zhang_densest_fixed_area(self):
+        caps = {m.name: m.capacity_bytes for m in FIXED_AREA}
+        assert max(caps, key=caps.get) == "Zhang_R"
+
+    def test_paper_sweep_claims_section5c(self):
+        # Jan_S leakage vs the big three (paper: 32x, 156x, 360x).
+        jan = published_model("Jan_S", "fixed-area").leakage_w
+        assert published_model("Xue_S", "fixed-area").leakage_w / jan == pytest.approx(33, rel=0.1)
+        assert published_model("Hayakawa_R", "fixed-area").leakage_w / jan == pytest.approx(156, rel=0.1)
+        assert published_model("Zhang_R", "fixed-area").leakage_w / jan == pytest.approx(360, rel=0.1)
+
+    def test_nvm_read_latencies_slower_than_sram(self):
+        sram = sram_baseline()
+        for model in nvm_models("fixed-capacity"):
+            if model.name == "Chen_P":  # Chen reads faster (Table III: 0.607)
+                continue
+            assert model.read_latency_s + model.tag_latency_s > sram.read_latency_s

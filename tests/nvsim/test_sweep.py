@@ -1,0 +1,67 @@
+"""Tests for fixed-area capacity solving and capacity sweeps."""
+
+import pytest
+
+from repro import units
+from repro.cells.library import HAYAKAWA, JAN, SRAM, XUE, ZHANG
+from repro.errors import ModelGenerationError
+from repro.nvsim.sweep import (
+    CAPACITY_LADDER,
+    capacity_sweep,
+    generate_fixed_area_model,
+    solve_fixed_area_capacity,
+)
+
+
+class TestFixedAreaSolver:
+    def test_denser_cells_buy_more_capacity(self):
+        zhang = solve_fixed_area_capacity(ZHANG)
+        jan = solve_fixed_area_capacity(JAN)
+        assert zhang > jan
+
+    def test_zhang_reaches_tens_of_mb(self):
+        # Published fixed-area Zhang_R is 128 MB; the analytical model
+        # must land within one ladder step of that magnitude.
+        capacity = solve_fixed_area_capacity(ZHANG)
+        assert capacity >= 32 * units.MB
+
+    def test_jan_at_ladder_floor(self):
+        # Jan_S exceeds the budget even at 2 MB (paper: 9.17 mm^2) and
+        # is assigned the 1 MB floor.
+        assert solve_fixed_area_capacity(JAN) <= 2 * units.MB
+
+    def test_sram_solves_to_its_own_budget(self):
+        capacity = solve_fixed_area_capacity(SRAM)
+        assert capacity in (1 * units.MB, 2 * units.MB)
+
+    def test_larger_budget_never_shrinks_capacity(self):
+        small = solve_fixed_area_capacity(XUE, area_budget_mm2=3.0)
+        large = solve_fixed_area_capacity(XUE, area_budget_mm2=12.0)
+        assert large >= small
+
+    def test_generated_fixed_area_model_capacity(self):
+        model = generate_fixed_area_model(HAYAKAWA)
+        assert model.capacity_bytes == solve_fixed_area_capacity(HAYAKAWA)
+
+
+class TestCapacitySweep:
+    def test_models_at_each_point(self):
+        capacities = [2 * units.MB, 8 * units.MB]
+        models = capacity_sweep(XUE, capacities)
+        assert [m.capacity_bytes for m in models] == capacities
+
+    def test_leakage_monotone_in_capacity(self):
+        models = capacity_sweep(ZHANG, [2 * units.MB, 8 * units.MB, 32 * units.MB])
+        leaks = [m.leakage_w for m in models]
+        assert leaks == sorted(leaks)
+
+    def test_read_latency_monotone_in_capacity(self):
+        models = capacity_sweep(ZHANG, [2 * units.MB, 32 * units.MB])
+        assert models[1].read_latency_s >= models[0].read_latency_s
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(ModelGenerationError):
+            capacity_sweep(XUE, [])
+
+    def test_ladder_is_sorted_powers(self):
+        assert list(CAPACITY_LADDER) == sorted(CAPACITY_LADDER)

@@ -1,0 +1,85 @@
+"""Tests for the circuit timing model (equations (4)-(5))."""
+
+import pytest
+
+from repro import units
+from repro.cells.library import CHUNG, JAN, OH, SRAM, UMEKI, ZHANG
+from repro.nvsim.config import CacheDesign
+from repro.nvsim.organization import solve_organization
+from repro.nvsim.timing import (
+    compute_timing,
+    decode_latency,
+    htree_latency,
+    sense_latency,
+)
+
+DESIGN = CacheDesign(capacity_bytes=2 * units.MB)
+
+
+class TestSenseLatency:
+    def test_low_read_voltage_slows_sttram_sensing(self):
+        # Jan reads at 0.08 V — the slowest STTRAM read in Table III.
+        assert sense_latency(JAN) > sense_latency(CHUNG)
+        assert sense_latency(JAN) > sense_latency(UMEKI)
+
+    def test_pcram_scales_with_read_current(self):
+        low_current = OH.with_params(
+            read_current_ua=OH.get("read_current_ua").__class__(20.0)
+        )
+        assert sense_latency(low_current) > sense_latency(OH)
+
+    def test_sram_fastest(self):
+        assert sense_latency(SRAM) < sense_latency(CHUNG)
+
+
+class TestEquations4And5:
+    def test_read_pays_htree_twice(self):
+        timing = compute_timing(SRAM, DESIGN)
+        org = solve_organization(SRAM, DESIGN)
+        tree = htree_latency(org)
+        # eq (4): read = 2*htree + mat.
+        assert timing.read_latency_s == pytest.approx(
+            2 * tree + timing.read_mat_s
+        )
+
+    def test_write_latency_includes_pulse(self):
+        timing = compute_timing(OH, DESIGN)
+        # Oh's 180 ns set pulse dominates everything else.
+        assert timing.set_latency_s > 180 * units.NS
+        assert timing.set_latency_s < 200 * units.NS
+
+    def test_pcram_set_reset_split(self):
+        timing = compute_timing(OH, DESIGN)
+        # Oh: set pulse 180 ns, reset 10 ns — Table III's 181/11 split.
+        assert timing.set_latency_s > 10 * timing.reset_latency_s
+
+    def test_rram_write_verify_doubles_pulse(self):
+        timing = compute_timing(ZHANG, DESIGN)
+        # Zhang: 150 ns pulse, 2 write-verify pulses ~ 300 ns (Table III
+        # reports 300.8 ns).
+        assert timing.write_latency_s > 300 * units.NS
+        assert timing.write_latency_s < 320 * units.NS
+
+    def test_nvm_reads_slower_than_sram(self):
+        sram = compute_timing(SRAM, DESIGN)
+        for cell in (CHUNG, JAN, ZHANG):
+            assert compute_timing(cell, DESIGN).read_latency_s > sram.read_latency_s
+
+    def test_tag_latency_below_read_latency(self):
+        for cell in (SRAM, CHUNG, OH):
+            timing = compute_timing(cell, DESIGN)
+            assert 0 < timing.tag_latency_s < timing.read_latency_s * 2
+
+    def test_latencies_in_table3_regime(self):
+        # All generated read latencies should land in Table III's
+        # 0.5-10 ns band at 2 MB.
+        for cell in (SRAM, CHUNG, JAN, OH, ZHANG):
+            timing = compute_timing(cell, DESIGN)
+            assert 0.2 * units.NS < timing.read_latency_s < 10 * units.NS
+
+
+class TestDecodeLatency:
+    def test_scales_with_process(self):
+        org = solve_organization(OH, DESIGN)
+        fine = OH.with_params(process_nm=OH.get("process_nm").__class__(45.0))
+        assert decode_latency(fine, org) < decode_latency(OH, org)

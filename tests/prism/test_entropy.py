@@ -1,0 +1,74 @@
+"""Tests for memory entropy metrics (equation (9))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.prism.entropy import (
+    LOCAL_ENTROPY_SKIP_BITS,
+    global_entropy,
+    local_entropy,
+    max_entropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(np.array([], dtype=np.uint64)) == 0.0
+
+    def test_single_address_zero(self):
+        assert shannon_entropy(np.array([42] * 100, dtype=np.uint64)) == 0.0
+
+    def test_uniform_is_log2_n(self):
+        addresses = np.arange(256, dtype=np.uint64)
+        assert shannon_entropy(addresses) == pytest.approx(8.0)
+
+    def test_two_equal_addresses_one_bit(self):
+        addresses = np.array([0, 1] * 500, dtype=np.uint64)
+        assert shannon_entropy(addresses) == pytest.approx(1.0)
+
+    def test_skewed_below_uniform(self):
+        skewed = np.array([0] * 90 + list(range(1, 11)), dtype=np.uint64)
+        uniform = np.arange(11, dtype=np.uint64)
+        assert shannon_entropy(skewed) < shannon_entropy(uniform)
+
+    def test_bounded_by_max_entropy(self):
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 1000, size=5000).astype(np.uint64)
+        n_unique = len(np.unique(addresses))
+        assert shannon_entropy(addresses) <= max_entropy(n_unique) + 1e-9
+
+
+class TestLocalEntropy:
+    def test_skip_bits_aggregate_pages(self):
+        # 1024 addresses inside one 1 KB page: global spreads, local is 0.
+        addresses = np.arange(1024, dtype=np.uint64)
+        assert global_entropy(addresses) == pytest.approx(10.0)
+        assert local_entropy(addresses, skip_bits=10) == 0.0
+
+    def test_local_never_exceeds_global(self):
+        rng = np.random.default_rng(11)
+        addresses = rng.integers(0, 1 << 30, size=4000).astype(np.uint64)
+        assert local_entropy(addresses) <= global_entropy(addresses) + 1e-9
+
+    def test_default_skip_is_papers_m10(self):
+        assert LOCAL_ENTROPY_SKIP_BITS == 10
+
+    def test_zero_skip_equals_global(self):
+        addresses = np.array([1, 2, 3, 4] * 10, dtype=np.uint64)
+        assert local_entropy(addresses, skip_bits=0) == pytest.approx(
+            global_entropy(addresses)
+        )
+
+    def test_negative_skip_raises(self):
+        with pytest.raises(TraceError):
+            local_entropy(np.array([1], dtype=np.uint64), skip_bits=-1)
+
+
+class TestMaxEntropy:
+    def test_values(self):
+        assert max_entropy(0) == 0.0
+        assert max_entropy(1) == 0.0
+        assert max_entropy(2) == pytest.approx(1.0)
+        assert max_entropy(1024) == pytest.approx(10.0)

@@ -1,0 +1,65 @@
+"""Tests for footprint metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.prism.footprint import (
+    WORKING_SET_COVERAGE,
+    coverage_footprint,
+    total_footprint,
+    unique_footprint,
+)
+
+
+class TestUniqueFootprint:
+    def test_empty(self):
+        assert unique_footprint(np.array([], dtype=np.uint64)) == 0
+
+    def test_counts_distinct(self):
+        addresses = np.array([1, 1, 2, 3, 3, 3], dtype=np.uint64)
+        assert unique_footprint(addresses) == 3
+
+
+class TestCoverageFootprint:
+    def test_paper_uses_90_percent(self):
+        assert WORKING_SET_COVERAGE == pytest.approx(0.90)
+
+    def test_hot_address_dominates(self):
+        # One address takes 95% of accesses: the 90% footprint is 1.
+        addresses = np.array([7] * 95 + [1, 2, 3, 4, 5], dtype=np.uint64)
+        assert coverage_footprint(addresses) == 1
+
+    def test_uniform_needs_ninety_percent_of_addresses(self):
+        addresses = np.repeat(np.arange(100, dtype=np.uint64), 10)
+        assert coverage_footprint(addresses) == 90
+
+    def test_full_coverage_is_unique_footprint(self):
+        addresses = np.array([1, 1, 2, 3], dtype=np.uint64)
+        assert coverage_footprint(addresses, coverage=1.0) == 3
+
+    def test_monotone_in_coverage(self):
+        rng = np.random.default_rng(5)
+        addresses = rng.zipf(1.5, size=2000).astype(np.uint64)
+        low = coverage_footprint(addresses, coverage=0.5)
+        high = coverage_footprint(addresses, coverage=0.95)
+        assert low <= high
+
+    def test_never_exceeds_unique(self):
+        rng = np.random.default_rng(6)
+        addresses = rng.integers(0, 500, size=3000).astype(np.uint64)
+        assert coverage_footprint(addresses) <= unique_footprint(addresses)
+
+    def test_empty(self):
+        assert coverage_footprint(np.array([], dtype=np.uint64)) == 0
+
+    def test_invalid_coverage_raises(self):
+        with pytest.raises(TraceError):
+            coverage_footprint(np.array([1], dtype=np.uint64), coverage=0.0)
+        with pytest.raises(TraceError):
+            coverage_footprint(np.array([1], dtype=np.uint64), coverage=1.5)
+
+
+class TestTotalFootprint:
+    def test_is_access_count(self):
+        assert total_footprint(np.array([1, 1, 1], dtype=np.uint64)) == 3

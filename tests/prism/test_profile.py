@@ -1,0 +1,84 @@
+"""Tests for the feature-extraction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.prism.profile import (
+    FEATURE_LABELS,
+    FEATURE_NAMES,
+    WorkloadFeatures,
+    extract_features,
+    feature_matrix,
+)
+from repro.trace.access import AccessType, MemoryAccess
+from repro.trace.stream import Trace
+
+
+def _trace():
+    accesses = []
+    for i in range(64):
+        accesses.append(MemoryAccess(i * 8, AccessType.READ))
+    for i in range(32):
+        accesses.append(MemoryAccess(0x100000 + i * 2048, AccessType.WRITE))
+    return Trace.from_accesses(accesses, name="unit")
+
+
+class TestExtractFeatures:
+    def test_feature_count_matches_table6(self):
+        assert len(FEATURE_NAMES) == 10
+        assert len(FEATURE_LABELS) == 10
+
+    def test_totals_split_by_direction(self):
+        features = extract_features(_trace())
+        assert features.total_reads == 64
+        assert features.total_writes == 32
+
+    def test_unique_counts(self):
+        features = extract_features(_trace())
+        assert features.unique_reads == 64
+        assert features.unique_writes == 32
+
+    def test_read_local_entropy_low_for_one_page(self):
+        # All reads fall in one 512-byte span -> one local region.
+        features = extract_features(_trace())
+        assert features.read_local_entropy == 0.0
+        assert features.read_global_entropy == pytest.approx(6.0)
+
+    def test_write_local_entropy_high_for_spread_pages(self):
+        features = extract_features(_trace())
+        # 32 writes across 32 distinct 1 KB pages (2 KB apart).
+        assert features.write_local_entropy == pytest.approx(5.0)
+
+    def test_name_carried(self):
+        assert extract_features(_trace()).name == "unit"
+
+    def test_write_intensity(self):
+        assert extract_features(_trace()).write_intensity == pytest.approx(1 / 3)
+
+    def test_as_array_order(self):
+        features = extract_features(_trace())
+        array = features.as_array()
+        assert array.shape == (10,)
+        assert array[FEATURE_NAMES.index("total_reads")] == 64
+
+    def test_as_dict_round_trip(self):
+        features = extract_features(_trace())
+        d = features.as_dict()
+        assert set(d) == set(FEATURE_NAMES)
+
+    def test_empty_directions_are_zero(self):
+        reads_only = Trace.from_accesses(
+            [MemoryAccess(8 * i, AccessType.READ) for i in range(16)]
+        )
+        features = extract_features(reads_only)
+        assert features.total_writes == 0
+        assert features.unique_writes == 0
+        assert features.write_global_entropy == 0.0
+
+
+class TestFeatureMatrix:
+    def test_stacking(self):
+        f = extract_features(_trace())
+        matrix = feature_matrix([f, f, f])
+        assert matrix.shape == (3, 10)
+        assert np.allclose(matrix[0], matrix[2])

@@ -1,0 +1,101 @@
+"""Tests for reuse-distance analysis and miss-ratio curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.prism.reuse import capacity_knee_blocks, reuse_profile
+from repro.sim.cache import SetAssocCache
+
+
+class TestReuseProfile:
+    def test_empty(self):
+        profile = reuse_profile(np.array([], dtype=np.uint64))
+        assert profile.n_accesses == 0
+        assert profile.cold_accesses == 0
+
+    def test_all_cold(self):
+        profile = reuse_profile(np.arange(10, dtype=np.uint64))
+        assert profile.cold_accesses == 10
+        assert profile.reuse_accesses == 0
+        assert profile.miss_ratio(100) == 1.0
+
+    def test_immediate_reuse_distance_zero(self):
+        profile = reuse_profile(np.array([5, 5, 5], dtype=np.uint64))
+        assert profile.cold_accesses == 1
+        assert profile.distances[0] == 2
+        assert profile.miss_ratio(1) == pytest.approx(1 / 3)
+
+    def test_textbook_example(self):
+        # a b c a: 'a' reused at stack distance 2.
+        profile = reuse_profile(np.array([1, 2, 3, 1], dtype=np.uint64))
+        assert profile.cold_accesses == 3
+        assert profile.distances[2] == 1
+        # Capacity 2 can't hold it; capacity 3 can.
+        assert profile.miss_ratio(2) == 1.0
+        assert profile.miss_ratio(3) == pytest.approx(0.75)
+
+    def test_cyclic_sweep_knee(self):
+        # Cyclic loop over 8 blocks: distance 7 for every reuse.
+        blocks = np.array(list(range(8)) * 5, dtype=np.uint64)
+        profile = reuse_profile(blocks)
+        assert profile.distances[7] == 32
+        assert profile.miss_ratio(7) == 1.0
+        assert profile.miss_ratio(8) == pytest.approx(8 / 40)
+
+    def test_mrc_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.zipf(1.3, size=3000).astype(np.uint64)
+        profile = reuse_profile(blocks)
+        curve = profile.miss_ratio_curve([1, 2, 4, 8, 16, 64, 256, 4096])
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_matches_fully_associative_lru_sim(self):
+        """Ground truth: the MRC must equal a fully-associative LRU
+        cache's measured miss ratio at every capacity."""
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 64, size=2000).astype(np.uint64)
+        profile = reuse_profile(blocks)
+        for capacity in (4, 16, 48):
+            cache = SetAssocCache(capacity * 64, 64, capacity)  # 1 set
+            misses = sum(
+                not cache.access(int(b), False).hit for b in blocks
+            )
+            assert profile.miss_ratio(capacity) == pytest.approx(
+                misses / len(blocks)
+            )
+
+    def test_working_set_blocks(self):
+        blocks = np.array(list(range(8)) * 5, dtype=np.uint64)
+        profile = reuse_profile(blocks)
+        assert profile.working_set_blocks(0.9) == 8
+        with pytest.raises(TraceError):
+            profile.working_set_blocks(0.0)
+
+    def test_distance_cap(self):
+        blocks = np.array(list(range(100)) * 2, dtype=np.uint64)
+        profile = reuse_profile(blocks, max_tracked_distance=10)
+        # All reuses at distance 99 collapse into the final bucket.
+        assert profile.distances[-1] == 100
+
+    def test_accepts_trace(self):
+        from repro.workloads.generators import generate_trace
+
+        trace = generate_trace("tonto", n_accesses=3000)
+        profile = reuse_profile(trace)
+        assert profile.n_accesses == 3000
+
+
+class TestCapacityKnee:
+    def test_sweep_has_sharp_knee(self):
+        blocks = np.array(list(range(32)) * 10, dtype=np.uint64)
+        knee = capacity_knee_blocks(reuse_profile(blocks))
+        assert knee == 32
+
+    def test_no_knee_for_cold_stream(self):
+        profile = reuse_profile(np.arange(100, dtype=np.uint64))
+        assert capacity_knee_blocks(profile) is None
+
+    def test_hot_block_immediate_knee(self):
+        profile = reuse_profile(np.array([1] * 100, dtype=np.uint64))
+        assert capacity_knee_blocks(profile) == 1

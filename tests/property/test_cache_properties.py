@@ -1,0 +1,74 @@
+"""Property-based tests for the set-associative cache."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim.cache import SetAssocCache
+
+ACCESS = st.tuples(st.integers(min_value=0, max_value=255), st.booleans())
+
+
+@given(accesses=st.lists(ACCESS, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(accesses):
+    cache = SetAssocCache(capacity_bytes=1024, block_bytes=64, associativity=4)
+    for block, is_write in accesses:
+        cache.access(block, is_write)
+    assert cache.occupancy() <= 16  # 1024 / 64
+
+
+@given(accesses=st.lists(ACCESS, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_stats_partition_accesses(accesses):
+    cache = SetAssocCache(capacity_bytes=2048, block_bytes=64, associativity=2)
+    for block, is_write in accesses:
+        cache.access(block, is_write)
+    assert cache.stats.hits + cache.stats.misses == len(accesses)
+
+
+@given(accesses=st.lists(ACCESS, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_immediate_reaccess_always_hits(accesses):
+    cache = SetAssocCache(capacity_bytes=1024, block_bytes=64, associativity=4)
+    for block, is_write in accesses:
+        cache.access(block, is_write)
+        assert cache.access(block, False).hit
+
+
+@given(accesses=st.lists(ACCESS, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_writebacks_bounded_by_writes(accesses):
+    """A dirty eviction requires a prior write: writebacks <= writes."""
+    cache = SetAssocCache(capacity_bytes=512, block_bytes=64, associativity=2)
+    n_writes = 0
+    for block, is_write in accesses:
+        n_writes += bool(is_write)
+        cache.access(block, is_write)
+    assert cache.stats.writebacks <= n_writes
+
+
+@given(
+    accesses=st.lists(ACCESS, min_size=1, max_size=200),
+    capacity_blocks=st.sampled_from([4, 8, 16, 32]),
+)
+@settings(max_examples=60, deadline=None)
+def test_larger_cache_never_more_misses(accesses, capacity_blocks):
+    """LRU is a stack algorithm: misses are monotone in capacity when
+    associativity grows with it (fully-associative inclusion)."""
+    small = SetAssocCache(capacity_blocks * 64, 64, capacity_blocks)
+    large = SetAssocCache(capacity_blocks * 2 * 64, 64, capacity_blocks * 2)
+    for block, is_write in accesses:
+        small.access(block, is_write)
+        large.access(block, is_write)
+    assert large.stats.misses <= small.stats.misses
+
+
+@given(accesses=st.lists(ACCESS, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_invalidate_then_access_misses(accesses):
+    cache = SetAssocCache(1024, 64, 4)
+    for block, is_write in accesses:
+        cache.access(block, is_write)
+    for block, _ in accesses[-5:]:
+        cache.invalidate(block)
+        assert not cache.contains(block)

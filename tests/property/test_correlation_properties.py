@@ -1,0 +1,49 @@
+"""Property-based tests for the correlation utilities."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.correlate.linear import pearson
+
+SAMPLES = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=40),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(x=SAMPLES)
+@settings(max_examples=80, deadline=None)
+def test_self_correlation_is_one_or_zero(x):
+    r = pearson(x, x)
+    if np.ptp(x) == 0:
+        assert r == 0.0  # constant: degenerate by definition
+    else:
+        assert r == 1.0 or abs(r - 1.0) < 1e-9
+
+
+@given(x=SAMPLES, a=st.floats(min_value=0.01, max_value=100), b=st.floats(-100, 100))
+@settings(max_examples=80, deadline=None)
+def test_affine_invariance(x, a, b):
+    assume(np.ptp(x) > 1e-6)
+    assert pearson(x, a * x + b) > 0.999
+
+
+@given(x=SAMPLES, a=st.floats(min_value=0.01, max_value=100))
+@settings(max_examples=80, deadline=None)
+def test_negation_flips_sign(x, a):
+    assume(np.ptp(x) > 1e-6)
+    assert pearson(x, -a * x) < -0.999
+
+
+@given(x=SAMPLES)
+@settings(max_examples=80, deadline=None)
+def test_bounded(x):
+    rng = np.random.default_rng(int(abs(x[0])) % (2**31))
+    y = rng.normal(size=len(x))
+    r = pearson(x, y)
+    assert -1.0 <= r <= 1.0

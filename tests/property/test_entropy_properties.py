@@ -1,0 +1,64 @@
+"""Property-based tests for entropy and footprint metrics."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.prism.entropy import global_entropy, local_entropy, max_entropy
+from repro.prism.footprint import coverage_footprint, unique_footprint
+
+ADDRESSES = arrays(
+    dtype=np.uint64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.integers(min_value=0, max_value=1 << 40),
+)
+
+
+@given(addresses=ADDRESSES)
+@settings(max_examples=80, deadline=None)
+def test_entropy_nonnegative_and_bounded(addresses):
+    h = global_entropy(addresses)
+    assert 0.0 <= h <= max_entropy(unique_footprint(addresses)) + 1e-9
+
+
+@given(addresses=ADDRESSES)
+@settings(max_examples=80, deadline=None)
+def test_local_entropy_never_exceeds_global(addresses):
+    assert local_entropy(addresses) <= global_entropy(addresses) + 1e-9
+
+
+@given(addresses=ADDRESSES, skip=st.integers(min_value=0, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_entropy_monotone_in_skip_bits(addresses, skip):
+    """Dropping more low bits merges buckets: entropy cannot rise."""
+    assert local_entropy(addresses, skip + 4) <= local_entropy(addresses, skip) + 1e-9
+
+
+@given(addresses=ADDRESSES)
+@settings(max_examples=80, deadline=None)
+def test_entropy_invariant_under_duplication(addresses):
+    """Repeating the whole sample preserves the distribution."""
+    doubled = np.concatenate([addresses, addresses])
+    assert global_entropy(doubled) == global_entropy(addresses)
+
+
+@given(addresses=ADDRESSES)
+@settings(max_examples=80, deadline=None)
+def test_coverage_footprint_bounds(addresses):
+    ninety = coverage_footprint(addresses, 0.9)
+    assert 1 <= ninety <= unique_footprint(addresses)
+
+
+@given(addresses=ADDRESSES)
+@settings(max_examples=80, deadline=None)
+def test_coverage_monotone(addresses):
+    assert coverage_footprint(addresses, 0.5) <= coverage_footprint(addresses, 0.9)
+
+
+@given(addresses=ADDRESSES, shift=st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=60, deadline=None)
+def test_entropy_translation_invariant(addresses, shift):
+    """Entropy depends on the frequency distribution, not the values."""
+    shifted = addresses + np.uint64(shift)
+    assert global_entropy(shifted) == global_entropy(addresses)

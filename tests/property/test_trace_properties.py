@@ -1,0 +1,101 @@
+"""Property-based tests for traces and synthetic composition."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.trace.stream import Trace, interleave_threads
+from repro.trace.synth import (
+    StreamComponent,
+    compose_trace,
+    pointer_chase_sampler,
+    zipf_weights,
+)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=2000),
+    skew=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_zipf_weights_valid_distribution(n, skew):
+    weights = zipf_weights(n, skew)
+    assert len(weights) == n
+    assert abs(weights.sum() - 1.0) < 1e-9
+    assert (weights >= 0).all()
+    # Weights are non-increasing in rank.
+    assert (np.diff(weights) <= 1e-12).all()
+
+
+@given(
+    n_accesses=st.integers(min_value=1, max_value=2000),
+    n_threads=st.integers(min_value=1, max_value=8),
+    mean_gap=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    write_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_compose_trace_invariants(n_accesses, n_threads, mean_gap, write_fraction, seed):
+    rng = np.random.default_rng(seed)
+    components = [
+        StreamComponent(
+            pointer_chase_sampler(0x1000, 1 << 16),
+            weight=1.0,
+            write_fraction=write_fraction,
+        )
+    ]
+    trace = compose_trace(
+        rng, components, n_accesses, mean_gap, n_threads=n_threads
+    )
+    assert len(trace) == n_accesses
+    assert trace.n_reads + trace.n_writes == n_accesses
+    assert trace.n_instructions >= n_accesses
+    assert trace.n_threads <= n_threads
+    # Thread ids in range.
+    assert int(trace.thread_ids.max(initial=0)) < n_threads
+
+
+@given(
+    lengths=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_interleave_preserves_multiset(lengths, seed):
+    rng = np.random.default_rng(seed)
+    traces = []
+    for t, length in enumerate(lengths):
+        addresses = rng.integers(0, 1 << 20, size=length).astype(np.uint64)
+        traces.append(
+            Trace(
+                addresses=addresses,
+                writes=np.zeros(length, dtype=bool),
+                thread_ids=np.zeros(length, dtype=np.uint16),
+                gaps=np.zeros(length, dtype=np.uint32),
+            )
+        )
+    merged = interleave_threads(traces)
+    assert len(merged) == sum(lengths)
+    expected = sorted(int(a) for t in traces for a in t.addresses)
+    assert sorted(int(a) for a in merged.addresses) == expected
+
+
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=30), min_size=2, max_size=4)
+)
+@settings(max_examples=40, deadline=None)
+def test_interleave_preserves_per_thread_order(lengths):
+    traces = []
+    for t, length in enumerate(lengths):
+        addresses = np.arange(length, dtype=np.uint64) + np.uint64(t << 32)
+        traces.append(
+            Trace(
+                addresses=addresses,
+                writes=np.zeros(length, dtype=bool),
+                thread_ids=np.zeros(length, dtype=np.uint16),
+                gaps=np.zeros(length, dtype=np.uint32),
+            )
+        )
+    merged = interleave_threads(traces)
+    for t in range(len(lengths)):
+        sub = merged.thread(t).addresses
+        assert list(sub) == sorted(sub)

@@ -1,0 +1,42 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.report.builder import ReportBuilder
+
+
+class TestReportBuilder:
+    def test_header_carries_provenance(self):
+        builder = ReportBuilder(title="Run", scale=0.5, seed=42)
+        text = builder.render()
+        assert "# Run" in text
+        assert "trace scale: 0.5" in text
+        assert "seed: 42" in text
+        assert "library version:" in text
+
+    def test_sections_in_order(self):
+        builder = ReportBuilder(title="Run")
+        builder.add_section("First", "body-1")
+        builder.add_section("Second", "body-2", elapsed_s=1.5)
+        text = builder.render()
+        assert text.index("## First") < text.index("## Second")
+        assert "body-1" in text
+        assert "1.5s" in text
+        assert builder.n_sections == 2
+
+    def test_notes(self):
+        builder = ReportBuilder(title="Run")
+        builder.add_note("*deviations apply*")
+        assert "*deviations apply*" in builder.render()
+
+    def test_empty_heading_rejected(self):
+        builder = ReportBuilder(title="Run")
+        with pytest.raises(ExperimentError):
+            builder.add_section("", "body")
+
+    def test_write(self, tmp_path):
+        builder = ReportBuilder(title="Run")
+        builder.add_section("Only", "body")
+        path = builder.write(tmp_path / "report.md")
+        assert path.read_text().startswith("# Run")

@@ -1,0 +1,80 @@
+"""Tests for the text-mode chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.report.charts import bar_chart, correlation_heatmap, sparkline
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart({"Jan_S": 0.03, "Kang_P": 4.1}, reference=1.0)
+        assert "Jan_S" in chart and "Kang_P" in chart
+        assert "0.03" in chart and "4.1" in chart
+        assert "reference = 1" in chart
+
+    def test_longer_bar_for_larger_value(self):
+        chart = bar_chart({"small": 1.0, "large": 10.0}, reference=None)
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_log_scale_compresses(self):
+        chart = bar_chart(
+            {"a": 0.01, "b": 0.1, "c": 1.0}, reference=None, log_scale=True
+        )
+        lines = chart.splitlines()
+        bars = [line.count("█") for line in lines]
+        # Log scale: equal ratios give equal increments.
+        assert bars[1] - bars[0] == pytest.approx(bars[2] - bars[1], abs=2)
+
+    def test_title_rendered(self):
+        chart = bar_chart({"x": 1.0}, title="Energy vs SRAM")
+        assert chart.splitlines()[0] == "Energy vs SRAM"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+
+    def test_narrow_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({"x": 1.0}, width=3)
+
+
+class TestCorrelationHeatmap:
+    def test_values_and_signs(self):
+        matrix = np.array([[0.99, -0.2], [-0.85, 0.1]])
+        heat = correlation_heatmap(
+            matrix, ["H_wg", "r_total"], ["energy", "speedup"]
+        )
+        assert "+0.99" in heat
+        assert "-0.85" in heat
+        assert "H_wg" in heat and "speedup" in heat
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            correlation_heatmap(np.zeros((2, 2)), ["a"], ["x", "y"])
+
+    def test_stronger_cells_darker(self):
+        heat = correlation_heatmap(
+            np.array([[0.05], [0.95]]), ["weak", "strong"], ["r"]
+        )
+        weak_line, strong_line = heat.splitlines()[1:]
+        assert "█" in strong_line or "▓" in strong_line
+        assert "█" not in weak_line
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "".join(sorted(line))
+
+    def test_flat_series(self):
+        assert len(set(sparkline([2.0, 2.0, 2.0]))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])

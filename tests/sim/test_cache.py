@@ -1,0 +1,131 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import SetAssocCache
+
+
+def _cache(capacity=1024, block=64, assoc=2):
+    return SetAssocCache(capacity, block, assoc)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = _cache()
+        assert cache.n_sets == 8
+        assert cache.capacity_bytes == 1024
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ConfigurationError):
+            SetAssocCache(1000, 64, 3)
+
+
+class TestAccessSemantics:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert not cache.access(5, False).hit
+        assert cache.access(5, False).hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = _cache(capacity=256, block=64, assoc=2)  # 2 sets
+        # Set 0 gets blocks 0, 2, 4 (all map to set 0): 0 is LRU.
+        cache.access(0, False)
+        cache.access(2, False)
+        cache.access(4, False)
+        assert not cache.contains(0)
+        assert cache.contains(2)
+        assert cache.contains(4)
+
+    def test_hit_refreshes_lru(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.access(0, False)
+        cache.access(2, False)
+        cache.access(0, False)  # refresh 0 -> 2 becomes LRU
+        cache.access(4, False)
+        assert cache.contains(0)
+        assert not cache.contains(2)
+
+    def test_dirty_eviction_reports_victim(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.access(0, True)  # dirty
+        cache.access(2, False)
+        outcome = cache.access(4, False)
+        assert outcome.dirty_victim == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_silent(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.access(0, False)
+        cache.access(2, False)
+        outcome = cache.access(4, False)
+        assert outcome.dirty_victim is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.access(0, False)
+        cache.access(0, True)  # now dirty via hit
+        cache.access(2, False)
+        outcome = cache.access(4, False)
+        assert outcome.dirty_victim == 0
+
+    def test_dirty_preserved_across_read_hits(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.access(0, True)
+        cache.access(0, False)  # read hit must not clean the line
+        cache.access(2, False)
+        assert cache.access(4, False).dirty_victim == 0
+
+
+class TestFill:
+    def test_fill_does_not_count_access(self):
+        cache = _cache()
+        cache.fill(3, dirty=True)
+        assert cache.stats.accesses == 0
+        assert cache.contains(3)
+
+    def test_fill_existing_merges_dirty(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.fill(0, dirty=True)
+        cache.fill(0, dirty=False)  # must stay dirty
+        cache.access(2, False)
+        assert cache.access(4, False).dirty_victim == 0
+
+    def test_fill_evicts_dirty_victim(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        cache.fill(0, dirty=True)
+        cache.fill(2, dirty=False)
+        assert cache.fill(4, dirty=False) == 0
+
+
+class TestInvalidate:
+    def test_invalidate_returns_dirtiness(self):
+        cache = _cache()
+        cache.access(1, True)
+        cache.access(2, False)
+        assert cache.invalidate(1) is True
+        assert cache.invalidate(2) is False
+        assert cache.invalidate(99) is False
+
+    def test_invalidated_line_absent(self):
+        cache = _cache()
+        cache.access(1, False)
+        cache.invalidate(1)
+        assert not cache.contains(1)
+        assert cache.stats.invalidations == 1
+
+
+class TestOccupancy:
+    def test_occupancy_counts_lines(self):
+        cache = _cache()
+        for block in range(5):
+            cache.access(block, False)
+        assert cache.occupancy() == 5
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = _cache(capacity=256, block=64, assoc=2)
+        for block in range(100):
+            cache.access(block, False)
+        assert cache.occupancy() <= 4

@@ -1,0 +1,62 @@
+"""Tests for the Table IV architecture configuration."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.sim.config import ArchitectureConfig, CacheLevelConfig, DRAMConfig, gainestown
+
+
+class TestGainestown:
+    def test_table4_parameters(self):
+        arch = gainestown()
+        assert arch.n_cores == 4
+        assert arch.clock_hz == pytest.approx(2.66e9)
+        assert arch.rob_entries == 128
+        assert arch.load_queue_entries == 48
+        assert arch.store_queue_entries == 32
+        assert arch.l1d.capacity_bytes == 32 * units.KB
+        assert arch.l1d.associativity == 8
+        assert arch.l2.capacity_bytes == 256 * units.KB
+        assert arch.l2.associativity == 8
+        assert arch.llc_associativity == 16
+        assert arch.llc_block_bytes == 64
+
+    def test_dram_table4(self):
+        dram = gainestown().dram
+        assert dram.n_controllers == 4
+        assert dram.bandwidth_per_controller == pytest.approx(7.6e9)
+        assert dram.total_bandwidth == pytest.approx(4 * 7.6e9)
+
+    def test_cycles_round_trip(self):
+        arch = gainestown()
+        assert arch.cycles(arch.cycle_s) == pytest.approx(1.0)
+        assert arch.cycles(1e-9) == pytest.approx(2.66)
+
+    def test_with_cores(self):
+        arch = gainestown().with_cores(16)
+        assert arch.n_cores == 16
+        assert arch.l2.capacity_bytes == 256 * units.KB  # unchanged
+
+    def test_paper_assumptions_default(self):
+        arch = gainestown()
+        assert arch.llc_write_backpressure == 0.0
+        assert arch.llc_fill_writes is False
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(n_cores=0)
+
+    def test_rejects_sub_unity_mlp(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(max_mlp=0.5)
+
+    def test_cache_level_whole_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig(capacity_bytes=1000, associativity=3)
+
+    def test_cache_level_sets(self):
+        level = CacheLevelConfig(32 * units.KB, 8)
+        assert level.n_sets == 64

@@ -1,0 +1,57 @@
+"""Tests for CPI-stack aggregation and rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvsim.published import published_model, sram_baseline
+from repro.sim.cpistack import COMPONENTS, cpi_stack, render_stacks
+
+
+class TestCPIStack:
+    def test_components_sum_to_total(self, leela_session, sram_model):
+        stack = cpi_stack(leela_session.run(sram_model))
+        assert stack.total == pytest.approx(
+            stack.base + stack.l2 + stack.llc_hit + stack.llc_miss
+        )
+
+    def test_base_matches_config_cpi(self, leela_session, sram_model):
+        # The base component is base_cpi by construction.
+        stack = cpi_stack(leela_session.run(sram_model))
+        assert stack.base == pytest.approx(leela_session.arch.base_cpi)
+
+    def test_fractions_normalised(self, leela_session, sram_model):
+        stack = cpi_stack(leela_session.run(sram_model))
+        assert sum(stack.fractions().values()) == pytest.approx(1.0)
+
+    def test_memory_boundedness_in_unit_interval(self, leela_session, sram_model):
+        stack = cpi_stack(leela_session.run(sram_model))
+        assert 0.0 <= stack.memory_boundedness < 1.0
+
+    def test_slow_nvm_reads_grow_hit_component(self, leela_session):
+        sram = cpi_stack(leela_session.run(sram_baseline()))
+        jan = cpi_stack(leela_session.run(published_model("Jan_S")))
+        # Jan_S reads at 3.07 ns vs SRAM's 1.23: the LLC-hit stall
+        # component must grow; base and miss counts stay equal.
+        assert jan.llc_hit > sram.llc_hit
+        assert jan.base == pytest.approx(sram.base)
+
+    def test_unknown_component_rejected(self, leela_session, sram_model):
+        stack = cpi_stack(leela_session.run(sram_model))
+        with pytest.raises(SimulationError):
+            stack.component("dram")
+
+
+class TestRenderStacks:
+    def test_render(self, leela_session, sram_model, xue_model):
+        stacks = [
+            cpi_stack(leela_session.run(sram_model)),
+            cpi_stack(leela_session.run(xue_model)),
+        ]
+        text = render_stacks(stacks)
+        assert "leela/SRAM" in text
+        assert "leela/Xue_S" in text
+        assert "M=llc_miss" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            render_stacks([])

@@ -1,0 +1,60 @@
+"""Tests for the full-map coherence directory."""
+
+from repro.sim.directory import FullMapDirectory
+
+
+class TestSharerTracking:
+    def test_shared_fills_accumulate(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=False)
+        directory.on_fill(1, 100, exclusive=False)
+        assert directory.sharers_of(100) == {0, 1}
+
+    def test_exclusive_fill_invalidates_others(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=False)
+        directory.on_fill(1, 100, exclusive=False)
+        victims = directory.on_fill(2, 100, exclusive=True)
+        assert set(victims) == {0, 1}
+        assert directory.sharers_of(100) == {2}
+        assert directory.stats.invalidations_sent == 2
+        assert directory.stats.sharing_misses == 1
+
+    def test_exclusive_fill_by_sole_sharer_no_victims(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=True)
+        assert directory.on_fill(0, 100, exclusive=True) == []
+
+    def test_shared_fill_downgrades_owner(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=True)
+        victims = directory.on_fill(1, 100, exclusive=False)
+        assert victims == [0]
+        assert directory.stats.downgrades_sent == 1
+        # Owner cleared; a second reader causes no further downgrade.
+        assert directory.on_fill(2, 100, exclusive=False) == []
+
+    def test_owner_reading_own_block_no_downgrade(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=True)
+        assert directory.on_fill(0, 100, exclusive=False) == []
+
+
+class TestEviction:
+    def test_evict_removes_sharer(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=False)
+        directory.on_fill(1, 100, exclusive=False)
+        directory.on_evict(0, 100)
+        assert directory.sharers_of(100) == {1}
+
+    def test_evict_clears_ownership(self):
+        directory = FullMapDirectory(4)
+        directory.on_fill(0, 100, exclusive=True)
+        directory.on_evict(0, 100)
+        assert directory.on_fill(1, 100, exclusive=False) == []
+
+    def test_evict_unknown_block_harmless(self):
+        directory = FullMapDirectory(4)
+        directory.on_evict(0, 12345)
+        assert directory.sharers_of(12345) == set()

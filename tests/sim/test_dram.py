@@ -1,0 +1,107 @@
+"""Tests for the structural DRAM subsystem model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import DRAMConfig
+from repro.sim.dram import (
+    BANKS_PER_CONTROLLER,
+    ROW_CONFLICT_LATENCY_S,
+    ROW_HIT_LATENCY_S,
+    DRAMSubsystem,
+    dram_traffic_from_stream,
+)
+
+
+class TestAddressMapping:
+    def test_controllers_interleave_blocks(self):
+        dram = DRAMSubsystem()
+        controllers = [dram.controller_of(b) for b in range(8)]
+        assert controllers == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_bank_in_range(self):
+        dram = DRAMSubsystem()
+        for block in range(0, 1 << 16, 997):
+            assert 0 <= dram.bank_of(block) < BANKS_PER_CONTROLLER
+
+    def test_row_groups_blocks(self):
+        dram = DRAMSubsystem()
+        # 8 KB row = 128 consecutive 64 B blocks share a row.
+        assert dram.row_of(0) == dram.row_of(127)
+        assert dram.row_of(0) != dram.row_of(128)
+
+
+class TestReplay:
+    def test_sequential_stream_hits_rows(self):
+        dram = DRAMSubsystem()
+        blocks = np.arange(4096, dtype=np.uint64)
+        traffic = dram.replay(blocks)
+        # Sequential blocks interleave over 4 controllers but stay in
+        # the same row per bank for long runs.
+        assert traffic.row_hit_rate > 0.9
+        assert traffic.channel_imbalance == pytest.approx(1.0)
+
+    def test_random_stream_conflicts(self):
+        dram = DRAMSubsystem()
+        rng = np.random.default_rng(5)
+        blocks = rng.integers(0, 1 << 24, size=4000).astype(np.uint64)
+        traffic = dram.replay(blocks)
+        assert traffic.row_hit_rate < 0.2
+
+    def test_traffic_conserved(self):
+        dram = DRAMSubsystem()
+        blocks = np.arange(1000, dtype=np.uint64)
+        traffic = dram.replay(blocks)
+        assert traffic.total_accesses == 1000
+        assert traffic.row_hits + traffic.row_conflicts == 1000
+
+    def test_single_channel_hotspot_detected(self):
+        dram = DRAMSubsystem()
+        # All blocks congruent mod 4: one controller takes everything.
+        blocks = np.arange(0, 4000, 4, dtype=np.uint64)
+        traffic = dram.replay(blocks)
+        assert traffic.channel_imbalance == pytest.approx(4.0)
+
+
+class TestEffectiveLatency:
+    def test_bounded_by_components(self):
+        dram = DRAMSubsystem()
+        blocks = np.arange(4096, dtype=np.uint64)
+        traffic = dram.replay(blocks)
+        latency = traffic.effective_latency_s(DRAMConfig(), window_s=1e-3)
+        assert ROW_HIT_LATENCY_S * 0.9 < latency < ROW_CONFLICT_LATENCY_S * 10
+
+    def test_row_misses_cost_more(self):
+        dram = DRAMSubsystem()
+        sequential = dram.replay(np.arange(4096, dtype=np.uint64))
+        rng = np.random.default_rng(6)
+        random = dram.replay(
+            rng.integers(0, 1 << 24, size=4096).astype(np.uint64)
+        )
+        config = DRAMConfig()
+        assert random.effective_latency_s(config, 1e-3) > (
+            sequential.effective_latency_s(config, 1e-3)
+        )
+
+    def test_queueing_grows_with_pressure(self):
+        dram = DRAMSubsystem()
+        traffic = dram.replay(np.arange(100_000, dtype=np.uint64))
+        config = DRAMConfig()
+        relaxed = traffic.effective_latency_s(config, window_s=1.0)
+        pressed = traffic.effective_latency_s(config, window_s=1e-3)
+        assert pressed > relaxed
+
+    def test_zero_window_rejected(self):
+        dram = DRAMSubsystem()
+        traffic = dram.replay(np.arange(10, dtype=np.uint64))
+        with pytest.raises(SimulationError):
+            traffic.effective_latency_s(DRAMConfig(), window_s=0.0)
+
+
+class TestStreamWrapper:
+    def test_from_llc_stream(self, leela_session):
+        traffic = dram_traffic_from_stream(
+            leela_session.private.stream, None
+        )
+        assert traffic.total_accesses == leela_session.private.stream.n_reads

@@ -1,0 +1,73 @@
+"""Tests for LLC energy accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvsim.published import published_model, sram_baseline
+from repro.sim.energy import llc_energy
+from repro.sim.llc import LLCCounts
+
+
+def _counts(read_hits=100, read_misses=50, write_accesses=30, write_hits=25,
+            write_misses=5, dirty_evictions=10):
+    counts = LLCCounts(capacity_bytes=2 * 1024 * 1024, associativity=16)
+    counts.read_lookups = read_hits + read_misses
+    counts.read_hits = read_hits
+    counts.read_misses = read_misses
+    counts.write_accesses = write_accesses
+    counts.write_hits = write_hits
+    counts.write_misses = write_misses
+    counts.dirty_evictions = dirty_evictions
+    return counts
+
+
+class TestLLCEnergy:
+    def test_event_pricing(self):
+        model = sram_baseline()
+        counts = _counts()
+        energy = llc_energy(counts, model, runtime_s=1e-3)
+        assert energy.hit_energy_j == pytest.approx(100 * model.hit_energy_j)
+        assert energy.miss_energy_j == pytest.approx(50 * model.miss_energy_j)
+        assert energy.write_energy_j == pytest.approx(30 * model.write_energy_j)
+        assert energy.leakage_energy_j == pytest.approx(model.leakage_w * 1e-3)
+
+    def test_totals(self):
+        energy = llc_energy(_counts(), sram_baseline(), 1e-3)
+        assert energy.total_j == pytest.approx(
+            energy.dynamic_j + energy.leakage_energy_j
+        )
+        assert 0.0 <= energy.leakage_fraction <= 1.0
+
+    def test_fills_free_by_default(self):
+        # Paper equation (7): a miss costs only the tag probe.
+        model = published_model("Kang_P")
+        without = llc_energy(_counts(), model, 1e-3)
+        with_fills = llc_energy(_counts(), model, 1e-3, include_fill_writes=True)
+        assert with_fills.write_energy_j > without.write_energy_j
+        assert without.write_energy_j == pytest.approx(
+            30 * model.write_energy_j
+        )
+        assert with_fills.write_energy_j == pytest.approx(
+            (30 + 50) * model.write_energy_j
+        )
+
+    def test_leakage_dominates_sram_long_runs(self):
+        # SRAM's 3.438 W at a millisecond dwarfs dynamic energy — the
+        # mechanism behind the paper's 10x NVM energy savings.
+        energy = llc_energy(_counts(), sram_baseline(), runtime_s=1e-3)
+        assert energy.leakage_fraction > 0.95
+
+    def test_pcram_write_heavy_dynamic(self):
+        # 375 nJ Kang writes dominate its energy even over leakage.
+        energy = llc_energy(
+            _counts(write_accesses=10_000), published_model("Kang_P"), 1e-3
+        )
+        assert energy.write_energy_j > energy.leakage_energy_j
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(SimulationError):
+            llc_energy(_counts(), sram_baseline(), runtime_s=-1.0)
+
+    def test_zero_runtime_zero_leakage(self):
+        energy = llc_energy(_counts(), sram_baseline(), runtime_s=0.0)
+        assert energy.leakage_energy_j == 0.0

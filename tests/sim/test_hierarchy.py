@@ -1,0 +1,113 @@
+"""Tests for the private-level filter (L1/L2 + directory)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import gainestown
+from repro.sim.hierarchy import filter_private
+from repro.trace.access import AccessType, MemoryAccess
+from repro.trace.stream import Trace
+
+
+def _trace(accesses, name="t"):
+    return Trace.from_accesses(accesses, name=name)
+
+
+class TestSingleCore:
+    def test_l1_absorbs_repeats(self):
+        accesses = [MemoryAccess(0x1000, AccessType.READ)] * 50
+        result = filter_private(_trace(accesses), gainestown())
+        counters = result.per_core[0]
+        assert counters.l1_hits == 49
+        assert counters.l1_misses == 1
+        assert len(result.stream) == 1  # one compulsory LLC read
+
+    def test_llc_stream_reads_are_demand_misses(self):
+        # 1000 distinct blocks exceed nothing, but are all cold in L1/L2.
+        accesses = [
+            MemoryAccess(i * 64, AccessType.READ) for i in range(1000)
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        assert result.stream.n_reads == 1000
+        assert result.stream.n_writes == 0
+
+    def test_dirty_l2_evictions_become_llc_writes(self):
+        # Write a footprint larger than L1+L2 so dirty lines spill.
+        arch = gainestown()
+        n_blocks = (arch.l2.capacity_bytes + arch.l1d.capacity_bytes) // 64 * 3
+        accesses = [
+            MemoryAccess(i * 64, AccessType.WRITE) for i in range(n_blocks)
+        ]
+        result = filter_private(_trace(accesses), arch)
+        assert result.stream.n_writes > 0
+
+    def test_instruction_accounting(self):
+        accesses = [
+            MemoryAccess(0, AccessType.READ, gap=9),
+            MemoryAccess(64, AccessType.READ, gap=4),
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        assert result.total_instructions == (9 + 1) + (4 + 1)
+        assert result.total_accesses == 2
+
+    def test_instruction_positions_monotone(self):
+        accesses = [
+            MemoryAccess(i * 64, AccessType.READ, gap=2) for i in range(100)
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        positions = np.asarray(result.stream.instr_positions)
+        assert (np.diff(positions) > 0).all()
+
+
+class TestMultiCore:
+    def test_threads_map_to_cores(self):
+        accesses = [
+            MemoryAccess(i * 64, AccessType.READ, thread_id=i % 4)
+            for i in range(400)
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        busy = [c for c in result.per_core if c.accesses > 0]
+        assert len(busy) == 4
+
+    def test_store_to_shared_block_invalidates(self):
+        # Core 0 and 1 read block 0; core 2 writes it: remote copies die,
+        # so core 0's next read misses again in its private hierarchy.
+        accesses = [
+            MemoryAccess(0, AccessType.READ, thread_id=0),
+            MemoryAccess(0, AccessType.READ, thread_id=1),
+            MemoryAccess(0, AccessType.WRITE, thread_id=2),
+            MemoryAccess(0, AccessType.READ, thread_id=0),
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        assert result.directory.invalidations_sent >= 2
+        core0 = result.per_core[0]
+        assert core0.l1_misses == 2  # initial cold + post-invalidate
+
+    def test_remote_dirty_copy_written_back(self):
+        accesses = [
+            MemoryAccess(0, AccessType.WRITE, thread_id=0),
+            MemoryAccess(0, AccessType.READ, thread_id=1),
+        ]
+        result = filter_private(_trace(accesses), gainestown())
+        # The modified copy in core 0 is flushed through the LLC.
+        assert result.stream.n_writes >= 1
+        assert result.directory.downgrades_sent == 1
+
+    def test_single_threaded_skips_directory(self):
+        accesses = [MemoryAccess(0, AccessType.WRITE)] * 10
+        result = filter_private(_trace(accesses), gainestown())
+        assert result.directory.invalidations_sent == 0
+        assert result.n_threads == 1
+
+
+class TestRealisticTrace:
+    def test_leela_filter_reduces_traffic(self, leela_trace):
+        result = filter_private(leela_trace, gainestown())
+        # The private levels must absorb most of the hot-pool traffic.
+        assert len(result.stream) < len(leela_trace) * 0.6
+        assert result.total_instructions == leela_trace.n_instructions
+
+    def test_multithreaded_cg(self, cg_trace):
+        result = filter_private(cg_trace, gainestown())
+        assert result.n_threads == 4
+        assert all(c.accesses > 0 for c in result.per_core)

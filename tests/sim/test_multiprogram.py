@@ -1,0 +1,81 @@
+"""Tests for multi-programmed workload mixes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nvsim.published import published_model, sram_baseline
+from repro.sim.multiprogram import build_mix, simulate_mix
+
+MIX = ("tonto", "leela")
+N = 20_000
+
+
+class TestBuildMix:
+    def test_one_thread_per_benchmark(self):
+        mix = build_mix(MIX, n_accesses_each=N)
+        assert mix.n_threads == 2
+        assert mix.name == "tonto+leela"
+        assert len(mix) == 2 * N
+
+    def test_address_spaces_disjoint(self):
+        import numpy as np
+
+        mix = build_mix(MIX, n_accesses_each=N)
+        t0 = set(np.asarray(mix.thread(0).addresses))
+        t1 = set(np.asarray(mix.thread(1).addresses))
+        assert not (t0 & t1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            build_mix([])
+
+    def test_rejects_multithreaded_member(self):
+        with pytest.raises(WorkloadError):
+            build_mix(["cg"], n_accesses_each=N)
+
+
+class TestSimulateMix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_mix(
+            MIX, sram_baseline(), n_accesses_each=N
+        )
+
+    def test_per_benchmark_speedups(self, result):
+        assert set(result.per_benchmark_speedup) == set(MIX)
+        # Sharing an LLC never beats running alone on the same machine.
+        for name, speedup in result.per_benchmark_speedup.items():
+            assert 0.1 < speedup <= 1.3, name
+
+    def test_weighted_speedup_bounds(self, result):
+        # Bounded by the core count (2 here).
+        assert 0.0 < result.weighted_speedup <= 2.2
+
+    def test_dense_llc_helps_colocation(self):
+        # At fixed area, the 8 MB Xue_S absorbs the co-located
+        # capacity-hungry working sets (full-length traces so the
+        # sweep components complete their passes) better than the
+        # 1 MB Jan_S.
+        hungry = ("bzip2", "gobmk")
+        small = simulate_mix(
+            hungry,
+            published_model("Jan_S", "fixed-area"),
+            configuration="fixed-area",
+        )
+        large = simulate_mix(
+            hungry,
+            published_model("Xue_S", "fixed-area"),
+            configuration="fixed-area",
+        )
+        assert large.weighted_speedup > small.weighted_speedup
+
+    def test_core_shortage_rejected(self):
+        from repro.sim.config import gainestown
+
+        with pytest.raises(WorkloadError):
+            simulate_mix(
+                ("tonto", "leela", "x264"),
+                sram_baseline(),
+                arch=gainestown(n_cores=2),
+                n_accesses_each=N,
+            )

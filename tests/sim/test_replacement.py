@@ -1,0 +1,114 @@
+"""Tests for the alternative replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import SetAssocCache
+from repro.sim.replacement import POLICIES, RandomCache, SRRIPCache, make_cache
+
+
+class TestFactory:
+    def test_policy_selection(self):
+        assert isinstance(make_cache(1024, 64, 4, "lru"), SetAssocCache)
+        assert isinstance(make_cache(1024, 64, 4, "random"), RandomCache)
+        assert isinstance(make_cache(1024, 64, 4, "srrip"), SRRIPCache)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(1024, 64, 4, "plru")
+
+    def test_policy_list(self):
+        assert set(POLICIES) == {"lru", "random", "srrip"}
+
+
+class _SharedPolicyChecks:
+    """Behavioural contract every policy must satisfy."""
+
+    def make(self, capacity=1024, block=64, assoc=4):
+        raise NotImplementedError
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.access(5, False).hit
+        assert cache.access(5, False).hit
+
+    def test_occupancy_bounded(self):
+        cache = self.make(capacity=512, assoc=2)
+        for block in range(100):
+            cache.access(block, False)
+        assert cache.occupancy() <= 8
+
+    def test_stats_partition(self):
+        cache = self.make()
+        for block in [1, 2, 1, 3, 2, 1]:
+            cache.access(block, False)
+        assert cache.stats.hits + cache.stats.misses == 6
+
+    def test_dirty_eviction_reported(self):
+        cache = self.make(capacity=128, block=64, assoc=2)
+        cache.access(0, True)
+        cache.access(2, True)
+        outcome = cache.access(4, True)
+        assert outcome.dirty_victim in (0, 2)
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate(self):
+        cache = self.make()
+        cache.access(9, True)
+        assert cache.invalidate(9) is True
+        assert not cache.contains(9)
+        assert cache.invalidate(9) is False
+
+    def test_fill_no_demand_count(self):
+        cache = self.make()
+        cache.fill(3, dirty=True)
+        assert cache.stats.accesses == 0
+        assert cache.contains(3)
+
+
+class TestRandomPolicy(_SharedPolicyChecks):
+    def make(self, capacity=1024, block=64, assoc=4):
+        return RandomCache(capacity, block, assoc, seed=7)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            cache = RandomCache(256, 64, 2, seed=11)
+            misses = 0
+            for block in range(50):
+                misses += not cache.access(block % 7, False).hit
+            return misses
+
+        assert run() == run()
+
+
+class TestSRRIPPolicy(_SharedPolicyChecks):
+    def make(self, capacity=1024, block=64, assoc=4):
+        return SRRIPCache(capacity, block, assoc)
+
+    def test_scan_resistance(self):
+        """SRRIP keeps a reused block alive through a one-shot scan that
+        LRU would let evict it."""
+        # One set: 4 ways.  Hot block 0 is re-referenced; blocks 4..
+        # stream through once each.
+        srrip = SRRIPCache(256, 64, 4)
+        lru = SetAssocCache(256, 64, 4)
+        for cache in (srrip, lru):
+            cache.access(0, False)
+            cache.access(0, False)  # establish reuse
+            for scan in range(1, 9):
+                cache.access(scan * 4, False)  # same set, one-shot
+        assert srrip.contains(0)
+        assert not lru.contains(0)
+
+
+class TestPolicyDifferentiation:
+    def test_random_beats_lru_on_cyclic_thrash(self):
+        """Classic result: a cyclic sweep slightly over capacity gets 0%
+        under LRU but nonzero hits under random replacement."""
+        blocks = list(range(20)) * 10  # 20 blocks, 16-frame cache
+        lru = make_cache(16 * 64, 64, 4, "lru")
+        rnd = make_cache(16 * 64, 64, 4, "random")
+        lru_hits = sum(lru.access(b, False).hit for b in blocks)
+        rnd_hits = sum(rnd.access(b, False).hit for b in blocks)
+        assert lru_hits == 0
+        assert rnd_hits > 0

@@ -1,0 +1,59 @@
+"""Tests for SimResult metrics and normalisation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import normalize
+from repro.sim.system import SimulationSession
+from repro.workloads.generators import generate_trace
+
+
+class TestSimResult:
+    def test_metrics_positive(self, leela_session, sram_model):
+        result = leela_session.run(sram_model)
+        assert result.runtime_s > 0
+        assert result.llc_energy_j > 0
+        assert result.ipc > 0
+        assert result.mpki > 0
+        assert result.ed2p == pytest.approx(
+            result.llc_energy_j * result.runtime_s**2
+        )
+
+    def test_ipc_plausible_for_ooo_core(self, leela_session, sram_model):
+        result = leela_session.run(sram_model)
+        # A 4-wide OoO core with misses lands between 0.05 and 2 IPC.
+        assert 0.05 < result.ipc < 2.0
+
+    def test_configuration_label(self, leela_session, sram_model):
+        result = leela_session.run(sram_model, configuration="fixed-area")
+        assert result.configuration == "fixed-area"
+
+
+class TestNormalize:
+    def test_self_normalisation_is_unity(self, leela_session, sram_model):
+        result = leela_session.run(sram_model)
+        norm = normalize(result, result)
+        assert norm.speedup == pytest.approx(1.0)
+        assert norm.energy_ratio == pytest.approx(1.0)
+        assert norm.ed2p_ratio == pytest.approx(1.0)
+
+    def test_nvm_vs_sram_directions(self, leela_session, sram_model, xue_model):
+        baseline = leela_session.run(sram_model)
+        result = leela_session.run(xue_model)
+        norm = normalize(result, baseline)
+        # Paper fixed-capacity: slight slowdown, large energy win.
+        assert 0.9 < norm.speedup < 1.05
+        assert norm.energy_ratio < 0.5
+
+    def test_ed2p_consistent_with_components(self, leela_session, sram_model, xue_model):
+        baseline = leela_session.run(sram_model)
+        result = leela_session.run(xue_model)
+        norm = normalize(result, baseline)
+        assert norm.ed2p_ratio == pytest.approx(
+            norm.energy_ratio / norm.speedup**2, rel=1e-6
+        )
+
+    def test_workload_mismatch_rejected(self, leela_session, sram_model):
+        other = SimulationSession(generate_trace("tonto", n_accesses=8000))
+        with pytest.raises(SimulationError):
+            normalize(other.run(sram_model), leela_session.run(sram_model))

@@ -1,0 +1,59 @@
+"""Tests for the top-level system simulation wiring."""
+
+import pytest
+
+from repro.nvsim.published import published_model, published_models, sram_baseline
+from repro.sim.config import gainestown
+from repro.sim.system import SimulationSession, simulate_system
+
+
+class TestSimulateSystem:
+    def test_one_call_entry_point(self, leela_trace, sram_model):
+        result = simulate_system(leela_trace, sram_model)
+        assert result.workload == "leela"
+        assert result.llc_name == "SRAM"
+        assert result.runtime_s > 0
+
+    def test_precomputed_stages_give_same_answer(self, leela_trace, xue_model):
+        from repro.sim.hierarchy import filter_private
+        from repro.sim.system import replay_llc
+
+        arch = gainestown()
+        private = filter_private(leela_trace, arch)
+        counts = replay_llc(private, xue_model, arch)
+        direct = simulate_system(leela_trace, xue_model, arch)
+        staged = simulate_system(
+            leela_trace, xue_model, arch, private=private, llc_counts=counts
+        )
+        assert staged.runtime_s == pytest.approx(direct.runtime_s)
+        assert staged.llc_energy_j == pytest.approx(direct.llc_energy_j)
+
+
+class TestSimulationSession:
+    def test_private_computed_once(self, leela_trace):
+        session = SimulationSession(leela_trace)
+        first = session.private
+        assert session.private is first
+
+    def test_llc_counts_cached_by_capacity(self, leela_trace):
+        session = SimulationSession(leela_trace)
+        a = session.counts_for(sram_baseline())          # 2 MB
+        b = session.counts_for(published_model("Xue_S"))  # 2 MB too
+        assert a is b
+        c = session.counts_for(published_model("Xue_S", "fixed-area"))  # 8 MB
+        assert c is not a
+
+    def test_same_capacity_same_misses(self, leela_trace):
+        # Technology never changes hit/miss behaviour at equal geometry.
+        session = SimulationSession(leela_trace)
+        results = [
+            session.run(m)
+            for m in published_models("fixed-capacity")
+        ]
+        misses = {r.counts.read_misses for r in results}
+        assert len(misses) == 1
+
+    def test_configuration_override(self, leela_trace, sram_model):
+        session = SimulationSession(leela_trace, configuration="fixed-capacity")
+        result = session.run(sram_model, configuration="fixed-area")
+        assert result.configuration == "fixed-area"

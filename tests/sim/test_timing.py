@@ -1,0 +1,103 @@
+"""Tests for the system timing model."""
+
+import dataclasses
+
+import pytest
+
+from repro.nvsim.published import published_model, sram_baseline
+from repro.sim.config import gainestown
+from repro.sim.hierarchy import filter_private
+from repro.sim.llc import simulate_llc
+from repro.sim.system import replay_llc
+from repro.sim.timing import llc_bank_busy_s, resolve_timing
+
+
+@pytest.fixture(scope="module")
+def pipeline(leela_trace_module=None):
+    from repro.workloads.generators import generate_trace
+
+    arch = gainestown()
+    trace = generate_trace("leela", n_accesses=20_000)
+    private = filter_private(trace, arch)
+    model = sram_baseline()
+    counts = replay_llc(private, model, arch)
+    return arch, private, counts
+
+
+class TestResolveTiming:
+    def test_runtime_positive_and_bounded(self, pipeline):
+        arch, private, counts = pipeline
+        timing = resolve_timing(private, counts, sram_baseline(), arch)
+        assert timing.runtime_s > 0
+        # Runtime at least base CPI over the busiest core.
+        busiest = max(c.instructions for c in private.per_core)
+        assert timing.runtime_s >= busiest * arch.base_cpi * arch.cycle_s
+
+    def test_slower_llc_reads_slow_the_system(self, pipeline):
+        arch, private, counts = pipeline
+        fast = resolve_timing(private, counts, sram_baseline(), arch)
+        slow_model = published_model("Jan_S")  # 3.07 ns reads
+        slow = resolve_timing(private, counts, slow_model, arch)
+        assert slow.runtime_s > fast.runtime_s
+
+    def test_write_latency_hidden_by_default(self, pipeline):
+        # Paper's assumption: LLC writes off the critical path, so even
+        # Zhang_R's 300 ns writes change runtime only via reads.
+        arch, private, counts = pipeline
+        zhang = published_model("Zhang_R")
+        fast_writes = dataclasses.replace(
+            zhang, set_latency_s=1e-9, reset_latency_s=1e-9
+        )
+        a = resolve_timing(private, counts, zhang, arch)
+        b = resolve_timing(private, counts, fast_writes, arch)
+        assert a.runtime_s == pytest.approx(b.runtime_s)
+
+    def test_write_backpressure_ablation_bites(self, pipeline):
+        arch, private, counts = pipeline
+        pressured = dataclasses.replace(arch, llc_write_backpressure=1.0)
+        zhang = published_model("Zhang_R")
+        baseline = resolve_timing(private, counts, zhang, arch)
+        throttled = resolve_timing(private, counts, zhang, pressured)
+        assert throttled.runtime_s >= baseline.runtime_s
+
+    def test_dram_utilization_bounded(self, pipeline):
+        arch, private, counts = pipeline
+        timing = resolve_timing(private, counts, sram_baseline(), arch)
+        assert 0.0 <= timing.dram_utilization <= arch.dram.max_utilization
+        assert timing.dram_latency_s >= arch.dram.base_latency_s
+
+    def test_bound_label_valid(self, pipeline):
+        arch, private, counts = pipeline
+        timing = resolve_timing(private, counts, sram_baseline(), arch)
+        assert timing.bound in ("core", "llc", "dram")
+
+    def test_breakdown_sums(self, pipeline):
+        arch, private, counts = pipeline
+        timing = resolve_timing(private, counts, sram_baseline(), arch)
+        for b in timing.core_breakdowns:
+            assert b.total_cycles == pytest.approx(
+                b.base_cycles
+                + b.l2_stall_cycles
+                + b.llc_hit_stall_cycles
+                + b.llc_miss_stall_cycles
+            )
+
+
+class TestBankBusy:
+    def test_busy_scales_with_write_latency(self, pipeline):
+        arch, private, counts = pipeline
+        slow = published_model("Zhang_R")
+        fast = sram_baseline()
+        assert llc_bank_busy_s(counts, slow) > llc_bank_busy_s(counts, fast)
+
+    def test_write_backpressure_scales_writes_only(self, pipeline):
+        _, __, counts = pipeline
+        model = published_model("Zhang_R")
+        none = llc_bank_busy_s(counts, model, write_backpressure=0.0)
+        full = llc_bank_busy_s(counts, model, write_backpressure=1.0)
+        assert full > none
+        read_only = (
+            counts.read_hits * (model.tag_latency_s + model.read_latency_s)
+            + counts.read_misses * model.tag_latency_s
+        )
+        assert none == pytest.approx(read_only)

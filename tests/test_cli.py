@@ -1,0 +1,86 @@
+"""Tests for the repro-cli command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.io import save_npz
+from repro.workloads.generators import generate_trace
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_source_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["characterize", "--workload", "leela", "--trace-file", "x.npz"]
+            )
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "deepsjeng" in out
+        assert "NPB3.3.1" in out
+
+    def test_characterize_workload(self, capsys):
+        assert main(["characterize", "--workload", "leela",
+                     "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "write_global_entropy" in out
+        assert "5,000" in out
+
+    def test_characterize_trace_file(self, capsys, tmp_path):
+        trace = generate_trace("tonto", n_accesses=3000)
+        path = tmp_path / "t.npz"
+        save_npz(trace, path)
+        assert main(["characterize", "--trace-file", str(path)]) == 0
+        assert "total_reads" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--workload", "tonto", "--accesses", "8000",
+            "--llc", "Xue_S",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Xue_S vs SRAM" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "--cell", "Zhang", "--capacity-mb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Zhang_R" in out
+        assert "leakage" in out
+
+    def test_lifetime(self, capsys):
+        assert main([
+            "lifetime", "--workload", "gobmk", "--accesses", "10000",
+            "--llc", "Kang_P",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "unleveled lifetime" in out
+
+    def test_lifetime_unlimited_for_sram(self, capsys):
+        assert main([
+            "lifetime", "--workload", "tonto", "--accesses", "8000",
+            "--llc", "SRAM",
+        ]) == 0
+        assert "unlimited" in capsys.readouterr().out
+
+    def test_techniques(self, capsys):
+        assert main([
+            "techniques", "--workload", "gobmk", "--accesses", "15000",
+            "--llc", "Kang_P",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "early-write-termination" in out
+
+    def test_unknown_llc_is_clean_error(self, capsys):
+        assert main([
+            "simulate", "--workload", "tonto", "--accesses", "5000",
+            "--llc", "Bogus_X",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err

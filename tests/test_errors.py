@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = (
+    errors.CellParameterError,
+    errors.HeuristicError,
+    errors.ModelGenerationError,
+    errors.TraceError,
+    errors.WorkloadError,
+    errors.SimulationError,
+    errors.ConfigurationError,
+    errors.CorrelationError,
+    errors.ExperimentError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for error_type in ALL_ERRORS:
+        assert issubclass(error_type, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_single_catch_covers_library_failures():
+    """A caller's `except ReproError` must cover every failure path."""
+    from repro.cells.library import cell_by_name
+    from repro.nvsim.published import published_model
+    from repro.workloads.profiles import profile
+
+    for call in (
+        lambda: cell_by_name("nope"),
+        lambda: published_model("nope"),
+        lambda: profile("nope"),
+    ):
+        with pytest.raises(errors.ReproError):
+            call()
+
+
+def test_errors_carry_messages():
+    with pytest.raises(errors.ReproError) as excinfo:
+        from repro.cells.library import cell_by_name
+
+        cell_by_name("doesnotexist")
+    assert "doesnotexist" in str(excinfo.value)

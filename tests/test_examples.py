@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts run and print their headline lines.
+
+Only the cheaper examples run here (the full set is exercised manually /
+in CI nightly); each is executed in-process with a patched argv.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Xue_S vs SRAM" in out
+    assert "speedup" in out
+
+
+def test_design_space_exploration(capsys):
+    _run("design_space_exploration.py")
+    out = capsys.readouterr().out
+    assert "Hypo28_S" in out
+    assert "fixed-area capacity" in out
+
+
+def test_workload_characterization_quick(capsys):
+    _run("workload_characterization.py", argv=["--quick"])
+    out = capsys.readouterr().out
+    assert "featkernel" in out
+    assert "H_rg" in out

@@ -1,0 +1,56 @@
+"""Unit-constant and conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_scale():
+    assert units.NS == 1e-9
+    assert units.US == pytest.approx(1000 * units.NS)
+    assert units.MS == pytest.approx(1000 * units.US)
+    assert units.S == pytest.approx(1000 * units.MS)
+
+
+def test_energy_constants_scale():
+    assert units.PJ == 1e-12
+    assert units.NJ == pytest.approx(1000 * units.PJ)
+    assert units.FJ == pytest.approx(units.PJ / 1000)
+
+
+def test_round_trip_ns():
+    assert units.to_ns(5 * units.NS) == pytest.approx(5.0)
+
+
+def test_round_trip_pj_nj():
+    assert units.to_pj(3 * units.PJ) == pytest.approx(3.0)
+    assert units.to_nj(3 * units.NJ) == pytest.approx(3.0)
+
+
+def test_round_trip_uw():
+    assert units.to_uw(7 * units.UW) == pytest.approx(7.0)
+
+
+def test_round_trip_mm2():
+    assert units.to_mm2(2 * units.MM2) == pytest.approx(2.0)
+
+
+def test_capacity_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
+    assert units.to_mb(2 * units.MB) == pytest.approx(2.0)
+
+
+def test_feature_size_area_matches_equation3():
+    # A 4 F^2 cell at 22 nm: 4 * (22e-9)^2 m^2.
+    area = units.feature_size_area(4.0, 22.0)
+    assert area == pytest.approx(4 * (22e-9) ** 2)
+
+
+def test_feature_size_area_scales_quadratically():
+    small = units.feature_size_area(10.0, 45.0)
+    large = units.feature_size_area(10.0, 90.0)
+    assert large / small == pytest.approx(4.0)

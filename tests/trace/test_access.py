@@ -1,0 +1,34 @@
+"""Tests for memory access primitives."""
+
+from repro.trace.access import (
+    BLOCK_BITS,
+    BLOCK_BYTES,
+    AccessType,
+    MemoryAccess,
+    block_of,
+)
+
+
+def test_block_constants_consistent():
+    assert BLOCK_BYTES == 1 << BLOCK_BITS
+
+
+def test_access_type_is_write():
+    assert AccessType.WRITE.is_write
+    assert not AccessType.READ.is_write
+
+
+def test_memory_access_block_address():
+    access = MemoryAccess(address=0x1234, access_type=AccessType.READ)
+    assert access.block_address == 0x1234 >> BLOCK_BITS
+    assert not access.is_write
+
+
+def test_block_of_aligns_down():
+    base = 0x1000
+    for offset in range(BLOCK_BYTES):
+        assert block_of(base + offset) == base >> BLOCK_BITS
+
+
+def test_adjacent_blocks_differ():
+    assert block_of(0) != block_of(BLOCK_BYTES)

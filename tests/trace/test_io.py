@@ -1,0 +1,79 @@
+"""Tests for trace persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import dump_text, load_npz, parse_text, save_npz
+from repro.workloads.generators import generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace("tonto", n_accesses=2000)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "tonto.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert loaded.name == "tonto"
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert np.array_equal(loaded.thread_ids, trace.thread_ids)
+        assert np.array_equal(loaded.gaps, trace.gaps)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_wrong_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(4))
+        with pytest.raises(TraceError):
+            load_npz(path)
+
+
+class TestTextFormat:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "tonto.txt"
+        dump_text(trace, path)
+        loaded = parse_text(path, name="tonto")
+        assert len(loaded) == len(trace)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert np.array_equal(loaded.gaps, trace.gaps)
+
+    def test_parse_from_string(self):
+        text = """
+        # a tiny trace
+        R 0x1000 0 5
+        W 0x1040
+        r 4096 1 2
+        """
+        trace = parse_text(text, name="tiny")
+        assert len(trace) == 3
+        assert trace[0].address == 0x1000
+        assert trace[0].gap == 5
+        assert trace[1].is_write
+        assert trace[2].thread_id == 1
+        assert trace[2].address == 4096
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(TraceError):
+            parse_text("X 0x10\n")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(TraceError):
+            parse_text("R zebra\n")
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(TraceError):
+            parse_text("R 0x10 -1\n")
+
+    def test_comments_and_blanks_skipped(self):
+        trace = parse_text("# nothing\n\nR 8\n")
+        assert len(trace) == 1

@@ -1,0 +1,160 @@
+"""Tests for synthetic address-stream primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.synth import (
+    PAGE_BYTES,
+    WORD_BYTES,
+    StreamComponent,
+    compose_trace,
+    pointer_chase_sampler,
+    pooled_sampler,
+    strided_sampler,
+    zipf_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_zero_skew_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_skew_concentrates(self):
+        mild = zipf_weights(100, 0.5)
+        strong = zipf_weights(100, 2.0)
+        assert strong[0] > mild[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            zipf_weights(0, 1.0)
+
+
+class TestPooledSampler:
+    def test_addresses_within_region(self, rng):
+        sampler = pooled_sampler(base=0x1000, n_pages=8, skew=1.0)
+        addresses = sampler(rng, 500)
+        assert (addresses >= 0x1000).all()
+        assert (addresses < 0x1000 + 8 * PAGE_BYTES).all()
+
+    def test_offsets_respect_limit(self, rng):
+        sampler = pooled_sampler(base=0, n_pages=4, offsets_per_page=1,
+                                 permute_pages=False)
+        addresses = sampler(rng, 200)
+        # One word per page: all addresses page-aligned.
+        assert (addresses % PAGE_BYTES == 0).all()
+
+    def test_skew_reduces_distinct_pages(self, rng):
+        flat = pooled_sampler(base=0, n_pages=256, skew=0.0)
+        hot = pooled_sampler(base=0, n_pages=256, skew=2.5)
+        flat_pages = np.unique(flat(rng, 1000) // PAGE_BYTES)
+        hot_pages = np.unique(hot(rng, 1000) // PAGE_BYTES)
+        assert len(hot_pages) < len(flat_pages)
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(TraceError):
+            pooled_sampler(base=0, n_pages=4, offsets_per_page=0)
+
+
+class TestStridedSampler:
+    def test_sequential_and_wrapping(self, rng):
+        sampler = strided_sampler(base=0, stride_bytes=64, region_bytes=256)
+        first = sampler(rng, 6)
+        assert list(first) == [0, 64, 128, 192, 0, 64]
+
+    def test_cursor_persists_between_calls(self, rng):
+        sampler = strided_sampler(base=0, stride_bytes=64, region_bytes=1024)
+        a = sampler(rng, 3)
+        b = sampler(rng, 3)
+        assert b[0] == a[-1] + 64
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(TraceError):
+            strided_sampler(base=0, stride_bytes=128, region_bytes=64)
+
+
+class TestPointerChase:
+    def test_within_region_and_word_aligned(self, rng):
+        sampler = pointer_chase_sampler(base=0x4000, region_bytes=4096)
+        addresses = sampler(rng, 1000)
+        assert (addresses >= 0x4000).all()
+        assert (addresses < 0x4000 + 4096).all()
+        assert (addresses % WORD_BYTES == 0).all()
+
+    def test_high_coverage(self, rng):
+        sampler = pointer_chase_sampler(base=0, region_bytes=1024)
+        addresses = sampler(rng, 5000)
+        # 128 words; uniform sampling should hit nearly all of them.
+        assert len(np.unique(addresses)) > 100
+
+
+class TestComposeTrace:
+    def _components(self):
+        return [
+            StreamComponent(pointer_chase_sampler(0, 4096), weight=1.0,
+                            write_fraction=0.5),
+            StreamComponent(strided_sampler(0x10000, 64, 4096), weight=1.0,
+                            write_fraction=0.0),
+        ]
+
+    def test_length_and_name(self, rng):
+        trace = compose_trace(rng, self._components(), 1000, mean_gap=3.0,
+                              name="synthetic")
+        assert len(trace) == 1000
+        assert trace.name == "synthetic"
+
+    def test_write_fraction_respected(self, rng):
+        trace = compose_trace(rng, self._components(), 4000, mean_gap=0.0)
+        # Half the traffic has wf 0.5, half 0.0 -> overall ~0.25.
+        assert trace.n_writes / len(trace) == pytest.approx(0.25, abs=0.05)
+
+    def test_mean_gap_matches(self, rng):
+        trace = compose_trace(rng, self._components(), 5000, mean_gap=4.0)
+        mean_gap = trace.gaps.mean()
+        assert mean_gap == pytest.approx(4.0, rel=0.15)
+
+    def test_zero_gap(self, rng):
+        trace = compose_trace(rng, self._components(), 100, mean_gap=0.0)
+        assert trace.gaps.sum() == 0
+
+    def test_threads_round_robin(self, rng):
+        trace = compose_trace(rng, self._components(), 100, mean_gap=0.0,
+                              n_threads=4)
+        counts = np.bincount(np.asarray(trace.thread_ids))
+        assert len(counts) == 4
+        assert counts.max() - counts.min() <= 1
+
+    def test_thread_striping_separates_footprints(self, rng):
+        trace = compose_trace(rng, self._components(), 2000, mean_gap=0.0,
+                              n_threads=4, shared_fraction=0.0)
+        t0 = set(np.asarray(trace.thread(0).addresses))
+        t1 = set(np.asarray(trace.thread(1).addresses))
+        assert not (t0 & t1)
+
+    def test_shared_fraction_creates_overlap(self, rng):
+        trace = compose_trace(rng, self._components(), 4000, mean_gap=0.0,
+                              n_threads=4, shared_fraction=0.5)
+        t0 = set(np.asarray(trace.thread(0).addresses))
+        t1 = set(np.asarray(trace.thread(1).addresses))
+        assert t0 & t1
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(TraceError):
+            compose_trace(rng, [], 100, mean_gap=1.0)
+        with pytest.raises(TraceError):
+            compose_trace(rng, self._components(), 0, mean_gap=1.0)
+        with pytest.raises(TraceError):
+            compose_trace(rng, self._components(), 10, mean_gap=-1.0)
+        with pytest.raises(TraceError):
+            compose_trace(rng, self._components(), 10, mean_gap=1.0,
+                          shared_fraction=1.5)

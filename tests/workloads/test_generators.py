@@ -1,0 +1,63 @@
+"""Tests for the benchmark trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import DEFAULT_SEED, generate_from_profile, generate_trace
+from repro.workloads.profiles import PROFILES, profile
+from repro.workloads.registry import all_benchmarks
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("leela", n_accesses=5000)
+        b = generate_trace("leela", n_accesses=5000)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.writes, b.writes)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_different_seed_differs(self):
+        a = generate_trace("leela", seed=1, n_accesses=5000)
+        b = generate_trace("leela", seed=2, n_accesses=5000)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_benchmarks_differ_under_same_seed(self):
+        a = generate_trace("leela", n_accesses=5000)
+        b = generate_trace("tonto", n_accesses=5000)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+
+class TestShape:
+    def test_every_benchmark_generates(self):
+        for name in all_benchmarks():
+            trace = generate_trace(name, n_accesses=3000)
+            assert len(trace) == 3000
+            assert trace.name == name
+
+    def test_thread_count_matches_profile(self):
+        assert generate_trace("cg", n_accesses=2000).n_threads == 4
+        assert generate_trace("bzip2", n_accesses=2000).n_threads == 1
+
+    def test_thread_override(self):
+        trace = generate_from_profile(
+            profile("cg"), n_accesses=4000, n_threads=8
+        )
+        assert trace.n_threads == 8
+
+    def test_length_override_vs_profile_default(self):
+        full = generate_trace("tonto")
+        assert len(full) == PROFILES["tonto"].n_accesses
+
+    def test_write_fraction_tracks_components(self):
+        trace = generate_trace("cg", n_accesses=20_000)
+        # cg is the most read-dominated workload (paper wf ~0.05).
+        assert trace.n_writes / len(trace) < 0.15
+        trace = generate_trace("ft", n_accesses=20_000)
+        # ft is nearly half writes (paper wf ~0.49).
+        assert 0.35 < trace.n_writes / len(trace) < 0.6
+
+    def test_gaps_track_mean_gap(self):
+        trace = generate_trace("exchange2", n_accesses=20_000)
+        assert trace.gaps.mean() == pytest.approx(
+            PROFILES["exchange2"].mean_gap, rel=0.1
+        )

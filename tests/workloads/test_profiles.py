@@ -1,0 +1,96 @@
+"""Tests for benchmark profiles (Tables V & VI as data)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (
+    AI_BENCHMARKS,
+    PRISM_EXCLUDED,
+    PROFILES,
+    ComponentSpec,
+    profile,
+)
+
+
+class TestTableVStructure:
+    def test_twenty_benchmarks(self):
+        assert len(PROFILES) == 20
+
+    def test_suite_counts_match_paper(self):
+        # 7 cpu2006, 2 PARSEC3.0, 8 NPB, 3 cpu2017 (Section IV).
+        suites = {}
+        for bench in PROFILES.values():
+            suites[bench.suite] = suites.get(bench.suite, 0) + 1
+        assert suites == {
+            "cpu2006": 7,
+            "PARSEC3.0": 2,
+            "NPB3.3.1": 8,
+            "cpu2017": 3,
+        }
+
+    def test_threading_matches_table5(self):
+        # m.t.: vips + all NPB; everything else single-threaded.
+        for bench in PROFILES.values():
+            expected = bench.suite == "NPB3.3.1" or bench.name == "vips"
+            assert bench.multithreaded == expected, bench.name
+            assert bench.n_threads == (4 if expected else 1)
+
+    def test_ai_subset(self):
+        assert set(AI_BENCHMARKS) == {"deepsjeng", "leela", "exchange2"}
+        for name in AI_BENCHMARKS:
+            assert PROFILES[name].is_ai
+            assert PROFILES[name].suite == "cpu2017"
+
+    def test_paper_mpki_positive(self):
+        for bench in PROFILES.values():
+            assert bench.paper_mpki > 5, bench.name  # the paper's bar
+
+    def test_highest_paper_mpki_is_deepsjeng(self):
+        top = max(PROFILES.values(), key=lambda b: b.paper_mpki)
+        assert top.name == "deepsjeng"
+
+
+class TestTableVIStructure:
+    def test_sixteen_characterized(self):
+        characterized = [b for b in PROFILES.values() if b.prism_compatible]
+        assert len(characterized) == 16
+
+    def test_exclusions_match_paper(self):
+        assert set(PRISM_EXCLUDED) == {"gamess", "gobmk", "milc", "perlbench"}
+        for name in PRISM_EXCLUDED:
+            assert not PROFILES[name].prism_compatible
+
+    def test_gems_footprint_extreme(self):
+        # GemsFDTD's 90% footprints are two orders above the others.
+        gems = PROFILES["GemsFDTD"].paper_features
+        for bench in PROFILES.values():
+            if bench.name == "GemsFDTD" or not bench.prism_compatible:
+                continue
+            assert gems.ft90_w_e3 > 10 * bench.paper_features.ft90_w_e3
+
+    def test_exchange2_totals_extreme(self):
+        exchange2 = PROFILES["exchange2"].paper_features
+        for bench in PROFILES.values():
+            if bench.name == "exchange2" or not bench.prism_compatible:
+                continue
+            assert exchange2.r_total_e9 > bench.paper_features.r_total_e9
+
+    def test_write_fraction_derived(self):
+        features = PROFILES["ft"].paper_features
+        # ft: 0.28 reads vs 0.27 writes -> nearly half writes.
+        assert features.write_fraction == pytest.approx(0.49, abs=0.02)
+
+
+class TestComponentSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            ComponentSpec("walk", 1024, weight=1.0, write_fraction=0.0)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(WorkloadError):
+            ComponentSpec("pool", 0, weight=1.0, write_fraction=0.0)
+
+    def test_profile_lookup(self):
+        assert profile("leela").name == "leela"
+        with pytest.raises(WorkloadError):
+            profile("doom")

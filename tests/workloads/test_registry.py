@@ -1,0 +1,64 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.registry import (
+    SUITES,
+    all_benchmarks,
+    ai_benchmarks,
+    benchmarks_in_suite,
+    characterized_benchmarks,
+    multi_threaded,
+    profiles_by_suite,
+    single_threaded,
+    suite_of,
+)
+
+
+def test_all_benchmarks_count_and_order():
+    names = all_benchmarks()
+    assert len(names) == 20
+    assert names[0] == "bzip2"  # Table V order starts with cpu2006
+    assert names[-1] == "exchange2"
+
+
+def test_suite_partition():
+    total = sum(len(benchmarks_in_suite(s)) for s in SUITES)
+    assert total == 20
+
+
+def test_unknown_suite_raises():
+    with pytest.raises(WorkloadError):
+        benchmarks_in_suite("SPECjbb")
+
+
+def test_threading_partition():
+    st, mt = single_threaded(), multi_threaded()
+    assert not set(st) & set(mt)
+    assert len(st) + len(mt) == 20
+    assert "vips" in mt
+    assert "x264" in st
+
+
+def test_ai_benchmarks():
+    assert ai_benchmarks() == ["deepsjeng", "leela", "exchange2"]
+
+
+def test_characterized_excludes_prism_incompatible():
+    characterized = characterized_benchmarks()
+    assert len(characterized) == 16
+    assert "gamess" not in characterized
+    assert "GemsFDTD" in characterized
+
+
+def test_suite_of():
+    assert suite_of("cg") == "NPB3.3.1"
+    with pytest.raises(WorkloadError):
+        suite_of("quake")
+
+
+def test_profiles_by_suite_grouping():
+    grouped = profiles_by_suite()
+    assert set(grouped) == set(SUITES)
+    assert len(grouped["cpu2017"]) == 3

@@ -1,0 +1,52 @@
+"""Tests for the trace-scaling stability analysis."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.scaling import (
+    EXTENSIVE_FEATURES,
+    INTENSIVE_FEATURES,
+    ScalingReport,
+    scaling_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tonto_report():
+    return scaling_report("tonto", scales=(0.25, 0.5, 1.0))
+
+
+class TestScalingReport:
+    def test_scales_sorted(self, tonto_report):
+        assert tonto_report.scales == (0.25, 0.5, 1.0)
+        assert len(tonto_report.features) == 3
+
+    def test_entropies_scale_invariant(self, tonto_report):
+        # DESIGN.md's claim, quantified: entropies drift < 15% from the
+        # full-scale value even at quarter length.
+        for feature in INTENSIVE_FEATURES:
+            assert tonto_report.intensive_drift(feature) < 0.15, feature
+
+    def test_totals_scale_linearly(self, tonto_report):
+        for feature in EXTENSIVE_FEATURES:
+            assert tonto_report.extensive_linearity(feature) < 0.1, feature
+
+    def test_stable_flag(self, tonto_report):
+        assert tonto_report.stable()
+
+    def test_multiple_benchmarks_stable(self):
+        # The claim must hold beyond one benchmark; leela's hot-pool
+        # skew is the stress case for entropy stability.
+        for name in ("leela", "ep"):
+            report = scaling_report(name, scales=(0.5, 1.0))
+            assert report.stable(intensive_tolerance=0.2), name
+
+    def test_unknown_feature_rejected(self, tonto_report):
+        with pytest.raises(WorkloadError):
+            tonto_report.values("hotness")
+
+    def test_bad_scales_rejected(self):
+        with pytest.raises(WorkloadError):
+            scaling_report("tonto", scales=(0.0, 1.0))
+        with pytest.raises(WorkloadError):
+            scaling_report("tonto", scales=())
