@@ -43,6 +43,32 @@ def test_bench_private_filter(benchmark):
     assert result.total_accesses == 30_000
 
 
+def test_bench_private_filter_reference(benchmark):
+    """The dict-of-caches reference engine on the same workload, for a
+    side-by-side with ``test_bench_private_filter`` (the fast engine)."""
+    trace = generate_trace("leela", n_accesses=30_000)
+    arch = gainestown()
+    result = benchmark.pedantic(
+        filter_private,
+        args=(trace, arch),
+        kwargs={"engine": "reference"},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total_accesses == 30_000
+
+
+def test_bench_private_filter_multithreaded(benchmark):
+    """Coherence-heavy path: the multi-threaded NPB trace exercises the
+    directory, the most expensive part of private filtering."""
+    trace = generate_trace("cg", n_accesses=30_000)
+    arch = gainestown()
+    result = benchmark.pedantic(
+        filter_private, args=(trace, arch), rounds=1, iterations=1
+    )
+    assert result.total_accesses == 30_000
+
+
 def test_bench_llc_replay(benchmark):
     trace = generate_trace("bzip2", n_accesses=40_000)
     arch = gainestown()
@@ -50,6 +76,30 @@ def test_bench_llc_replay(benchmark):
     counts = benchmark.pedantic(
         replay_llc,
         args=(private, sram_baseline(), arch),
+        rounds=1,
+        iterations=1,
+    )
+    assert counts.read_lookups > 0
+
+
+def test_bench_llc_replay_reference(benchmark):
+    """Reference-engine LLC replay, side-by-side with
+    ``test_bench_llc_replay`` (the fast engine)."""
+    trace = generate_trace("bzip2", n_accesses=40_000)
+    arch = gainestown()
+    private = filter_private(trace, arch)
+    counts = benchmark.pedantic(
+        simulate_llc,
+        args=(private.stream,),
+        kwargs={
+            "capacity_bytes": sram_baseline().capacity_bytes,
+            "associativity": arch.llc_associativity,
+            "block_bytes": arch.llc_block_bytes,
+            "n_cores": arch.n_cores,
+            "mlp_window": arch.mlp_window_instructions,
+            "mlp_ceiling": arch.max_mlp,
+            "engine": "reference",
+        },
         rounds=1,
         iterations=1,
     )

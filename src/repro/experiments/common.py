@@ -11,11 +11,12 @@ longer complete enough passes for fixed-area capacity effects to show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.nvsim.published import nvm_models, published_models, sram_baseline
 from repro.sim.config import ArchitectureConfig, gainestown
+from repro.sim.parallel import SweepCell, resolve_jobs, resolve_model, run_cells
 from repro.sim.results import NormalizedResult, SimResult, normalize
 from repro.sim.system import SimulationSession
 from repro.trace.stream import Trace
@@ -26,6 +27,12 @@ from repro.workloads.profiles import profile
 class ExperimentContext:
     """Caches traces and simulation sessions across experiments.
 
+    Traces are keyed by (workload, seed, length, threads) and sessions
+    additionally by architecture, so the core-sweep and sensitivity
+    studies — which vary core counts, seeds and model constants — share
+    one context (and one trace per distinct key) with the table/figure
+    experiments.
+
     Parameters
     ----------
     scale:
@@ -34,6 +41,10 @@ class ExperimentContext:
         Trace-generation seed.
     arch:
         Architecture; defaults to the paper's 4-core Gainestown.
+    jobs:
+        Worker processes for sweeps run through this context: 1 =
+        serial in-process (the default), N > 1 = a process pool,
+        0 = one worker per CPU.  See :mod:`repro.sim.parallel`.
     """
 
     def __init__(
@@ -41,34 +52,126 @@ class ExperimentContext:
         scale: float = 1.0,
         seed: int = DEFAULT_SEED,
         arch: Optional[ArchitectureConfig] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         if not 0.0 < scale <= 1.0:
             raise ExperimentError("scale must be in (0, 1]")
         self.scale = scale
         self.seed = seed
         self.arch = arch or gainestown()
-        self._traces: Dict[str, Trace] = {}
-        self._sessions: Dict[str, SimulationSession] = {}
+        self.jobs = resolve_jobs(jobs)
+        self._traces: Dict[tuple, Trace] = {}
+        self._sessions: Dict[tuple, SimulationSession] = {}
 
-    def trace(self, workload: str) -> Trace:
-        """The (cached) trace for a workload at this context's scale."""
-        if workload not in self._traces:
-            bench = profile(workload)
-            n = max(5000, int(bench.n_accesses * self.scale))
-            self._traces[workload] = generate_from_profile(
-                bench, seed=self.seed, n_accesses=n
-            )
-        return self._traces[workload]
+    def n_accesses(self, workload: str) -> int:
+        """Trace length for a workload at this context's scale."""
+        return max(5000, int(profile(workload).n_accesses * self.scale))
 
-    def session(self, workload: str) -> SimulationSession:
-        """The (cached) simulation session for a workload."""
-        if workload not in self._sessions:
-            self._sessions[workload] = SimulationSession(
-                self.trace(workload), arch=self.arch
+    def trace(
+        self,
+        workload: str,
+        seed: Optional[int] = None,
+        n_accesses: Optional[int] = None,
+        n_threads: Optional[int] = None,
+    ) -> Trace:
+        """The (cached) trace for a workload at this context's scale.
+
+        ``seed``/``n_accesses``/``n_threads`` override the context
+        defaults (sensitivity and core-sweep cells need their own seeds,
+        lengths and thread counts); each distinct key is generated once.
+        """
+        seed = self.seed if seed is None else seed
+        n = self.n_accesses(workload) if n_accesses is None else n_accesses
+        key = (workload, seed, n, n_threads)
+        if key not in self._traces:
+            self._traces[key] = generate_from_profile(
+                profile(workload), seed=seed, n_accesses=n, n_threads=n_threads
             )
-        return self._sessions[workload]
+        return self._traces[key]
+
+    def session(
+        self,
+        workload: str,
+        arch: Optional[ArchitectureConfig] = None,
+        seed: Optional[int] = None,
+        n_accesses: Optional[int] = None,
+        n_threads: Optional[int] = None,
+    ) -> SimulationSession:
+        """The (cached) simulation session for a workload (+ overrides).
+
+        Sessions are configuration-agnostic — pass the configuration to
+        ``run()`` — so one private replay serves both fixed-capacity and
+        fixed-area sweeps of the same workload.
+        """
+        arch = arch or self.arch
+        seed = self.seed if seed is None else seed
+        n = self.n_accesses(workload) if n_accesses is None else n_accesses
+        key = (workload, seed, n, n_threads, arch)
+        if key not in self._sessions:
+            self._sessions[key] = SimulationSession(
+                self.trace(workload, seed=seed, n_accesses=n, n_threads=n_threads),
+                arch=arch,
+            )
+        return self._sessions[key]
+
+    # -- cells -----------------------------------------------------------
+
+    def cell(
+        self,
+        workload: str,
+        configuration: str,
+        model_names: Sequence[str],
+        seed: Optional[int] = None,
+        n_accesses: Optional[int] = None,
+        n_threads: Optional[int] = None,
+        arch: Optional[ArchitectureConfig] = None,
+    ) -> SweepCell:
+        """Build a :class:`~repro.sim.parallel.SweepCell` with this
+        context's defaults filled in (lengths resolved so workers and
+        the serial path generate identical traces)."""
+        return SweepCell(
+            workload=workload,
+            configuration=configuration,
+            model_names=tuple(model_names),
+            seed=self.seed if seed is None else seed,
+            n_accesses=self.n_accesses(workload) if n_accesses is None else n_accesses,
+            n_threads=n_threads,
+            arch=arch or self.arch,
+        )
+
+    def run_cell(self, cell: SweepCell) -> Dict[str, SimResult]:
+        """Run one cell in-process through the context's session cache."""
+        session = self.session(
+            cell.workload,
+            arch=cell.arch,
+            seed=cell.seed,
+            n_accesses=cell.n_accesses,
+            n_threads=cell.n_threads,
+        )
+        return {
+            name: session.run(
+                resolve_model(name, cell.configuration), cell.configuration
+            )
+            for name in cell.model_names
+        }
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[Dict[str, SimResult]]:
+        """Run cells honouring ``jobs``: serial runs go through the
+        context's caches; parallel runs fan out over a process pool
+        (workers share replays with the parent via the on-disk replay
+        cache).  Results are in input order either way."""
+        if self.jobs <= 1 or len(cells) <= 1:
+            return [self.run_cell(cell) for cell in cells]
+        return run_cells(cells, self.jobs)
 
     # -- sweeps ----------------------------------------------------------
+
+    def _sweep_models(self, configuration, llc_names):
+        models = published_models(configuration)
+        if llc_names is not None:
+            wanted = set(llc_names)
+            models = [m for m in models if m.name in wanted]
+        return models
 
     def absolute_sweep(
         self,
@@ -81,15 +184,13 @@ class ExperimentContext:
         Used by the general-purpose correlation analysis, which the
         paper phrases over absolute LLC energy and execution time.
         """
-        models = published_models(configuration)
-        if llc_names is not None:
-            wanted = set(llc_names)
-            models = [m for m in models if m.name in wanted]
+        models = self._sweep_models(configuration, llc_names)
+        names = tuple(m.name for m in models)
+        cells = [self.cell(w, configuration, names) for w in workloads]
         out: Dict[str, Dict[str, SimResult]] = {m.name: {} for m in models}
-        for workload in workloads:
-            session = self.session(workload)
-            for model in models:
-                out[model.name][workload] = session.run(model, configuration)
+        for workload, results in zip(workloads, self.run_cells(cells)):
+            for name in names:
+                out[name][workload] = results[name]
         return out
 
     def normalized_sweep(
@@ -103,18 +204,17 @@ class ExperimentContext:
         Returns ``{llc_name: {workload: NormalizedResult}}``, normalised
         per-workload against the SRAM baseline of the same configuration.
         """
-        models = published_models(configuration)
-        if llc_names is not None:
-            wanted = set(llc_names)
-            models = [m for m in models if m.name in wanted]
-        baseline_model = sram_baseline(configuration)
+        models = self._sweep_models(configuration, llc_names)
+        names = tuple(m.name for m in models)
+        # "SRAM" resolves to the baseline; include it even when filtered
+        # out so every cell can normalise.
+        cell_names = names if "SRAM" in names else ("SRAM",) + names
+        cells = [self.cell(w, configuration, cell_names) for w in workloads]
         out: Dict[str, Dict[str, NormalizedResult]] = {m.name: {} for m in models}
-        for workload in workloads:
-            session = self.session(workload)
-            baseline = session.run(baseline_model, configuration)
-            for model in models:
-                result = session.run(model, configuration)
-                out[model.name][workload] = normalize(result, baseline)
+        for workload, results in zip(workloads, self.run_cells(cells)):
+            baseline = results["SRAM"]
+            for name in names:
+                out[name][workload] = normalize(results[name], baseline)
         return out
 
 

@@ -15,12 +15,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
-from repro.experiments.common import TableWriter
-from repro.nvsim.published import published_model, sram_baseline
+from repro.experiments.common import ExperimentContext, TableWriter
 from repro.sim.config import gainestown
 from repro.sim.results import SimResult
-from repro.sim.system import SimulationSession
-from repro.workloads.generators import DEFAULT_SEED, generate_from_profile
+from repro.workloads.generators import DEFAULT_SEED
 from repro.workloads.profiles import profile
 
 #: Core counts the paper sweeps.
@@ -81,43 +79,64 @@ def run(
     llcs: Sequence[str] = DEFAULT_LLCS,
     scale: float = 1.0,
     seed: int = DEFAULT_SEED,
+    context: Optional[ExperimentContext] = None,
+    jobs: Optional[int] = None,
 ) -> CoreSweepResult:
     """Run the core sweep.
 
     The baseline is the 1-core SRAM run of each workload; it is always
     simulated even when 1 is not in ``cores``.
+
+    A shared ``context`` (whose scale/seed/jobs then take precedence)
+    lets the sweep reuse traces and replays across experiments; ``jobs``
+    alone fans the (workload, core-count) cells out over worker
+    processes.
     """
     if not workloads or not cores or not llcs:
         raise ExperimentError("core sweep needs workloads, cores and llcs")
-    models = {name: published_model(name, "fixed-area") for name in llcs if name != "SRAM"}
-    if "SRAM" in llcs:
-        models["SRAM"] = sram_baseline("fixed-area")
-    sram = sram_baseline("fixed-area")
+    if context is None:
+        context = ExperimentContext(scale=scale, seed=seed, jobs=jobs)
 
-    points: List[SweepPoint] = []
-    baselines: Dict[str, SweepPoint] = {}
+    # SRAM is replayed last within each cell (the legacy point order);
+    # the 1-core cell needs it regardless, for the baseline.
+    model_order = [name for name in llcs if name != "SRAM"]
+    if "SRAM" in llcs:
+        model_order.append("SRAM")
+
     core_list = sorted(set(cores) | {1})
+    cells = []
     for workload in workloads:
         bench = profile(workload)
-        base_n = max(5000, int(bench.n_accesses * scale))
+        base_n = max(5000, int(bench.n_accesses * context.scale))
         for n_cores in core_list:
             # Weak scaling: each core brings its own thread and working
             # set, which is what turns capacity into "an increasing
             # strain on the system as cores increase" (Section V-C).
             n = min(base_n * n_cores // 4, 4 * base_n) if n_cores > 4 else base_n
-            trace = generate_from_profile(
-                bench, seed=seed, n_accesses=n, n_threads=n_cores
+            names = list(model_order) if n_cores in cores else []
+            if n_cores == 1 and "SRAM" not in names:
+                names.append("SRAM")
+            cells.append(
+                context.cell(
+                    workload,
+                    "fixed-area",
+                    names,
+                    n_accesses=n,
+                    n_threads=n_cores,
+                    arch=gainestown(n_cores=n_cores),
+                )
             )
-            session = SimulationSession(
-                trace, arch=gainestown(n_cores=n_cores), configuration="fixed-area"
-            )
-            if n_cores == 1:
-                baselines[workload] = _point(session.run(sram), workload, 1)
-            if n_cores not in cores:
-                continue
-            for llc_name, model in models.items():
-                result = session.run(model)
-                points.append(_point(result, workload, n_cores))
+
+    points: List[SweepPoint] = []
+    baselines: Dict[str, SweepPoint] = {}
+    for cell, results in zip(cells, context.run_cells(cells)):
+        n_cores = cell.n_threads
+        if n_cores == 1:
+            baselines[cell.workload] = _point(results["SRAM"], cell.workload, 1)
+        if n_cores not in cores:
+            continue
+        for name in model_order:
+            points.append(_point(results[name], cell.workload, n_cores))
     return CoreSweepResult(points=points, baselines=baselines)
 
 

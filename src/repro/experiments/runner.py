@@ -48,9 +48,14 @@ def run_all(
     only: Optional[str] = None,
     stream=None,
     write_path: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
-    a markdown report (``write_path``)."""
+    a markdown report (``write_path``).
+
+    ``jobs`` fans simulation cells out over worker processes (0 = one
+    per CPU); the default runs everything serially in-process.
+    """
     from repro.report.builder import ReportBuilder
     from repro.workloads.generators import DEFAULT_SEED
 
@@ -59,7 +64,7 @@ def run_all(
         # capture the output.
         stream = sys.stdout
 
-    context = ExperimentContext(scale=scale)
+    context = ExperimentContext(scale=scale, jobs=jobs)
     features = None
     report = ReportBuilder(
         title="NVM-LLC reproduction — experiment report",
@@ -99,7 +104,7 @@ def run_all(
             result = figure4.run(context, features)
             emit("Figure 4", figure4.render(result), time.time() - start)
         elif name == "coresweep":
-            result = coresweep.run(scale=scale)
+            result = coresweep.run(context=context)
             emit("Core sweep (Section V-C)", coresweep.render(result), time.time() - start)
         elif name == "lifetime":
             result = lifetime.run(context)
@@ -112,7 +117,7 @@ def run_all(
                 time.time() - start,
             )
         elif name == "sensitivity":
-            result = sensitivity.run(scale=scale)
+            result = sensitivity.run(context=context)
             emit(
                 "Sensitivity study (extension)",
                 sensitivity.render(result),
@@ -148,8 +153,14 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="also write a markdown report to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simulation cells (0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
-    run_all(scale=args.scale, only=args.only, write_path=args.write)
+    run_all(scale=args.scale, only=args.only, write_path=args.write, jobs=args.jobs)
     return 0
 
 

@@ -19,19 +19,17 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.correlate.linear import pearson
 from repro.errors import ExperimentError
-from repro.experiments.common import TableWriter
-from repro.nvsim.published import published_model, sram_baseline
+from repro.experiments.common import ExperimentContext, TableWriter
 from repro.prism.profile import extract_features
 from repro.sim.config import ArchitectureConfig, gainestown
 from repro.sim.results import normalize
-from repro.sim.system import SimulationSession
-from repro.workloads.generators import DEFAULT_SEED, generate_trace
+from repro.workloads.generators import DEFAULT_SEED
 
 #: Core-model constants swept (name, values).  The middle value of each
 #: axis is the calibrated default.
@@ -88,11 +86,16 @@ class SensitivityResult:
         return sum(c.all_hold for c in self.checks) / len(self.checks)
 
 
-def _check_invariants(
+#: Models each invariant check replays ("SRAM" is the baseline).
+CHECK_MODELS: Tuple[str, ...] = ("SRAM", "Jan_S", "Kang_P", "Xue_S")
+
+
+def _assemble_check(
     label: str,
-    arch: ArchitectureConfig,
     seed: int,
-    scale: float,
+    per_workload,
+    context: ExperimentContext,
+    features_cache,
 ) -> InvariantCheck:
     speedups: List[float] = []
     jan_ratios: List[float] = []
@@ -101,25 +104,24 @@ def _check_invariants(
     totals: List[float] = []
     energies: List[float] = []
 
-    from repro.workloads.profiles import profile as _profile
-
     for workload in INVARIANT_WORKLOADS:
-        n_accesses = (
-            None
-            if scale == 1.0
-            else max(5000, int(_profile(workload).n_accesses * scale))
-        )
-        trace = generate_trace(workload, seed=seed, n_accesses=n_accesses)
-        session = SimulationSession(trace, arch=arch)
-        baseline = session.run(sram_baseline())
-        jan = normalize(session.run(published_model("Jan_S")), baseline)
-        kang = normalize(session.run(published_model("Kang_P")), baseline)
-        xue = normalize(session.run(published_model("Xue_S")), baseline)
+        results = per_workload[workload]
+        baseline = results["SRAM"]
+        jan = normalize(results["Jan_S"], baseline)
+        kang = normalize(results["Kang_P"], baseline)
+        xue = normalize(results["Xue_S"], baseline)
         speedups.extend((jan.speedup, kang.speedup, xue.speedup))
         jan_ratios.append(jan.energy_ratio)
         if workload == "deepsjeng":
             kang_deepsjeng = kang.energy_ratio
-        features = extract_features(trace)
+        key = (workload, seed)
+        if key not in features_cache:
+            # Features depend on the trace only — shared across every
+            # model-constant configuration at this seed.
+            features_cache[key] = extract_features(
+                context.trace(workload, seed=seed)
+            )
+        features = features_cache[key]
         entropies.append(features.write_local_entropy)
         totals.append(features.total_reads)
         energies.append(jan.energy_ratio)
@@ -139,31 +141,58 @@ def run(
     scale: float = 1.0,
     axes: Sequence[Tuple[str, Sequence[float]]] = MODEL_AXES,
     seeds: Sequence[int] = SEED_AXIS,
+    context: Optional[ExperimentContext] = None,
+    jobs: Optional[int] = None,
 ) -> SensitivityResult:
     """Run the sensitivity sweep.
 
     Model-constant points vary one knob at a time around the calibrated
     default (one-factor-at-a-time, 7 points for the default axes); the
     seed axis re-runs the default configuration on fresh traces.
+
+    A shared ``context`` (whose scale/jobs then take precedence) reuses
+    traces across configurations; ``jobs`` alone fans the
+    (configuration, workload) cells out over worker processes.
     """
-    if not 0.0 < scale <= 1.0:
-        raise ExperimentError("scale must be in (0, 1]")
-    checks: List[InvariantCheck] = []
+    if context is None:
+        if not 0.0 < scale <= 1.0:
+            raise ExperimentError("scale must be in (0, 1]")
+        context = ExperimentContext(scale=scale, jobs=jobs)
 
     default = gainestown()
-    checks.append(_check_invariants("default", default, DEFAULT_SEED, scale))
+    configs: List[Tuple[str, ArchitectureConfig, int]] = [
+        ("default", default, DEFAULT_SEED)
+    ]
     for name, values in axes:
         for value in values:
             if value == getattr(default, name):
                 continue  # the default point is already checked
             arch = dataclasses.replace(default, **{name: value})
-            checks.append(
-                _check_invariants(f"{name}={value:g}", arch, DEFAULT_SEED, scale)
-            )
+            configs.append((f"{name}={value:g}", arch, DEFAULT_SEED))
     for seed in seeds:
         if seed == DEFAULT_SEED:
             continue
-        checks.append(_check_invariants(f"seed={seed}", default, seed, scale))
+        configs.append((f"seed={seed}", default, seed))
+
+    cells = [
+        context.cell(workload, "fixed-capacity", CHECK_MODELS, seed=seed, arch=arch)
+        for _, arch, seed in configs
+        for workload in INVARIANT_WORKLOADS
+    ]
+    all_results = context.run_cells(cells)
+
+    checks: List[InvariantCheck] = []
+    features_cache: Dict[tuple, object] = {}
+    offset = 0
+    for label, _, seed in configs:
+        per_workload = {
+            workload: all_results[offset + i]
+            for i, workload in enumerate(INVARIANT_WORKLOADS)
+        }
+        offset += len(INVARIANT_WORKLOADS)
+        checks.append(
+            _assemble_check(label, seed, per_workload, context, features_cache)
+        )
     return SensitivityResult(checks=checks)
 
 

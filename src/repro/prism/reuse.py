@@ -79,8 +79,12 @@ class ReuseProfile:
         """
         if capacity_blocks <= 0:
             return 1.0
+        if not self.n_accesses:
+            return 0.0
         hits = int(self.distances[:capacity_blocks].sum())
-        return 1.0 - hits / self.n_accesses if self.n_accesses else 0.0
+        # Compute misses integer-side: ``1.0 - hits/n`` rounds (e.g.
+        # ``1.0 - 4/5 = 0.19999…``) and breaks exact-count identities.
+        return (self.n_accesses - hits) / self.n_accesses
 
     def miss_ratio_curve(
         self, capacities_blocks: Sequence[int]

@@ -1,0 +1,534 @@
+"""Fast batched cache-replay engine.
+
+The reference simulators (:mod:`repro.sim.hierarchy`,
+:mod:`repro.sim.llc`) spend ~95% of an experiment run in two pure-Python
+per-access loops built on :class:`~repro.sim.cache.SetAssocCache`.  Each
+access pays for numpy scalar indexing, a method dispatch, an
+:class:`~repro.sim.cache.AccessOutcome` allocation and several dataclass
+attribute updates — none of which change the simulated events.
+
+This module replays the same streams through the same LRU semantics but
+batched:
+
+- trace columns are converted to plain Python lists once
+  (``ndarray.tolist`` is a single C call) and everything derivable ahead
+  of the loop — set indices, per-core instruction positions (a segmented
+  cumulative sum), per-core access totals — is vectorized in numpy;
+- cache sets are plain insertion-ordered dicts addressed through local
+  variables, with LRU touch done as one ``dict.pop(key, sentinel)``
+  plus re-insert instead of get/del/insert;
+- the coherence directory is inlined as local dicts and integers
+  (method calls and stats-dataclass updates dominate the multi-threaded
+  path otherwise), and the single-threaded loop carries no coherence
+  checks at all.
+
+The engines are *bit-identical* by construction: every branch mirrors a
+branch of ``SetAssocCache.access``/``fill``/``invalidate`` and
+``FullMapDirectory.on_fill``/``on_evict`` (the property suite in
+``tests/property/test_engine_equivalence.py`` enforces this on
+randomized streams, including the prefetch ``fill`` and coherence
+``invalidate`` paths).  Selection is via the ``engine=`` argument of
+:func:`repro.sim.hierarchy.filter_private` /
+:func:`repro.sim.llc.simulate_llc`, defaulting to the value of the
+``REPRO_SIM_ENGINE`` environment variable (``fast`` when unset).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.config import ArchitectureConfig
+from repro.sim.directory import FullMapDirectory
+from repro.trace.access import BLOCK_BITS
+from repro.trace.stream import Trace
+
+#: Engine names accepted by the ``engine=`` switches.
+ENGINES = ("fast", "reference")
+
+#: Environment variable overriding the default engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: Sentinel distinguishing "absent" from a stored False dirty flag.
+_MISS = object()
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an ``engine=`` argument to a concrete engine name.
+
+    ``None`` falls back to ``$REPRO_SIM_ENGINE``, then to ``"fast"``.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "fast"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def _check_geometry(capacity_bytes: int, block_bytes: int, associativity: int) -> int:
+    """Validate geometry exactly like ``SetAssocCache``; returns n_sets."""
+    if capacity_bytes % (block_bytes * associativity):
+        raise ConfigurationError("capacity must be a whole number of sets")
+    n_sets = capacity_bytes // (block_bytes * associativity)
+    if n_sets <= 0:
+        raise ConfigurationError("cache must have at least one set")
+    return n_sets
+
+
+def _per_core_positions(core_ids: np.ndarray, gaps: np.ndarray, n_cores: int):
+    """Vectorized per-core instruction positions.
+
+    Equivalent to ``counter.instructions += gap + 1; ipos =
+    counter.instructions`` per access: a cumulative sum of ``gap + 1``
+    segmented by issuing core.  Returns the position array and the final
+    instruction total per core.
+    """
+    totals = gaps.astype(np.int64) + 1
+    positions = np.empty(len(core_ids), dtype=np.int64)
+    final = [0] * n_cores
+    for core in range(n_cores):
+        mask = core_ids == core
+        if mask.any():
+            cum = np.cumsum(totals[mask])
+            positions[mask] = cum
+            final[core] = int(cum[-1])
+    return positions, final
+
+
+def simulate_llc_fast(
+    stream,
+    capacity_bytes: int,
+    associativity: int = 16,
+    block_bytes: int = 64,
+    n_cores: int = 4,
+    mlp_window: int = 128,
+    mlp_ceiling: float = 6.0,
+):
+    """Batched LRU replay of an LLC stream.
+
+    Mirrors :func:`repro.sim.llc.simulate_llc` with ``policy="lru"``;
+    returns an identical :class:`~repro.sim.llc.LLCCounts`.
+    """
+    from repro.sim.llc import LLCCounts, estimate_mlp
+
+    n_sets = _check_geometry(capacity_bytes, block_bytes, associativity)
+    sets: List[dict] = [dict() for _ in range(n_sets)]
+    assoc = associativity
+    miss = _MISS
+
+    blocks, writes, cores, positions = stream.columns()
+    set_idx = (stream.blocks % np.uint64(n_sets)).tolist()
+
+    read_hits = read_misses = 0
+    write_hits = write_misses = 0
+    dirty_evictions = 0
+    per_core_hits = [0] * n_cores
+    per_core_misses = [0] * n_cores
+    miss_positions: List[List[int]] = [[] for _ in range(n_cores)]
+
+    for block, is_write, core, pos, index in zip(
+        blocks, writes, cores, positions, set_idx
+    ):
+        lines = sets[index]
+        dirty = lines.pop(block, miss)
+        if is_write:
+            if dirty is not miss:
+                # Hit: refresh to MRU, mark dirty.
+                lines[block] = True
+                write_hits += 1
+            else:
+                write_misses += 1
+                if len(lines) >= assoc:
+                    victim = next(iter(lines))
+                    if lines.pop(victim):
+                        dirty_evictions += 1
+                lines[block] = True
+        else:
+            if dirty is not miss:
+                lines[block] = dirty
+                read_hits += 1
+                per_core_hits[core] += 1
+            else:
+                read_misses += 1
+                per_core_misses[core] += 1
+                miss_positions[core].append(pos)
+                if len(lines) >= assoc:
+                    victim = next(iter(lines))
+                    if lines.pop(victim):
+                        dirty_evictions += 1
+                lines[block] = False
+
+    counts = LLCCounts(capacity_bytes=capacity_bytes, associativity=associativity)
+    counts.read_hits = read_hits
+    counts.read_misses = read_misses
+    counts.read_lookups = read_hits + read_misses
+    counts.write_hits = write_hits
+    counts.write_misses = write_misses
+    counts.write_accesses = write_hits + write_misses
+    counts.dirty_evictions = dirty_evictions
+    counts.per_core_read_hits = per_core_hits
+    counts.per_core_read_misses = per_core_misses
+    counts.per_core_mlp = [
+        estimate_mlp(np.array(p, dtype=np.uint64), mlp_window, mlp_ceiling)
+        for p in miss_positions
+    ]
+    return counts
+
+
+def filter_private_fast(trace: Trace, arch: ArchitectureConfig):
+    """Batched replay of a trace through the per-core L1D/L2 levels.
+
+    Mirrors :func:`repro.sim.hierarchy.filter_private` event-for-event:
+    identical LLC stream, per-core counters and directory statistics.
+    """
+    from repro.sim.hierarchy import CoreCounters, LLCStream, PrivateResult
+
+    n_cores = arch.n_cores
+    l1_nsets = _check_geometry(
+        arch.l1d.capacity_bytes, arch.l1d.block_bytes, arch.l1d.associativity
+    )
+    l2_nsets = _check_geometry(
+        arch.l2.capacity_bytes, arch.l2.block_bytes, arch.l2.associativity
+    )
+    l1_assoc = arch.l1d.associativity
+    l2_assoc = arch.l2.associativity
+    prefetch = arch.l2_next_line_prefetch
+    miss = _MISS
+
+    l1_sets: List[List[dict]] = [
+        [dict() for _ in range(l1_nsets)] for _ in range(n_cores)
+    ]
+    l2_sets: List[List[dict]] = [
+        [dict() for _ in range(l2_nsets)] for _ in range(n_cores)
+    ]
+
+    l1_hits = [0] * n_cores
+    l1_misses = [0] * n_cores
+    l2_hits = [0] * n_cores
+    l2_misses = [0] * n_cores
+
+    n_threads = max(1, trace.n_threads)
+    use_directory = n_threads > 1
+
+    out_blocks: List[int] = []
+    out_writes: List[bool] = []
+    out_cores: List[int] = []
+    out_ipos: List[int] = []
+    emit_block = out_blocks.append
+    emit_write = out_writes.append
+    emit_core = out_cores.append
+    emit_ipos = out_ipos.append
+
+    block_arr = trace.addresses >> np.uint64(BLOCK_BITS)
+    core_arr = trace.thread_ids.astype(np.int64) % n_cores
+    position_arr, instructions = _per_core_positions(core_arr, trace.gaps, n_cores)
+    accesses = np.bincount(core_arr, minlength=n_cores).tolist()
+
+    blocks = block_arr.tolist()
+    writes = trace.writes.tolist()
+    core_ids = core_arr.tolist()
+    ipos_list = position_arr.tolist()
+    l1_idx = (block_arr % np.uint64(l1_nsets)).tolist()
+    l2_idx = (block_arr % np.uint64(l2_nsets)).tolist()
+
+    # Directory state, inlined from FullMapDirectory (method-call and
+    # stats-dataclass overhead is significant on the coherence path).
+    # ``sharers_map`` stores a bare core id while a block has exactly one
+    # sharer — the overwhelmingly common case — and only upgrades to a
+    # set when a second core joins.
+    sharers_map: dict = {}
+    owner_map: dict = {}
+    invalidations_sent = downgrades_sent = sharing_misses = 0
+
+    if not use_directory:
+        # Single-threaded loop: no coherence bookkeeping at all.
+        for block, is_write, core, ipos, i1, i2 in zip(
+            blocks, writes, core_ids, ipos_list, l1_idx, l2_idx
+        ):
+            lines1 = l1_sets[core][i1]
+            dirty1 = lines1.pop(block, miss)
+            if dirty1 is not miss:
+                # L1 hit: refresh to MRU.
+                lines1[block] = dirty1 or is_write
+                l1_hits[core] += 1
+                continue
+
+            l1_misses[core] += 1
+            l1_victim = None
+            if len(lines1) >= l1_assoc:
+                victim_tag = next(iter(lines1))
+                if lines1.pop(victim_tag):
+                    l1_victim = victim_tag
+            lines1[block] = is_write
+
+            core_l2 = l2_sets[core]
+            if l1_victim is not None:
+                # L1 dirty eviction drops into the private L2 (fill path).
+                lines2 = core_l2[l1_victim % l2_nsets]
+                if lines2.pop(l1_victim, miss) is miss and len(lines2) >= l2_assoc:
+                    victim_tag = next(iter(lines2))
+                    if lines2.pop(victim_tag):
+                        emit_block(victim_tag)
+                        emit_write(True)
+                        emit_core(core)
+                        emit_ipos(ipos)
+                lines2[l1_victim] = True
+
+            lines2 = core_l2[i2]
+            dirty2 = lines2.pop(block, miss)
+            if dirty2 is not miss:
+                # L2 hit (demand accesses reach L2 as reads).
+                lines2[block] = dirty2
+                l2_hits[core] += 1
+                continue
+            l2_misses[core] += 1
+            if len(lines2) >= l2_assoc:
+                victim_tag = next(iter(lines2))
+                if lines2.pop(victim_tag):
+                    emit_block(victim_tag)
+                    emit_write(True)
+                    emit_core(core)
+                    emit_ipos(ipos)
+            lines2[block] = False
+            emit_block(block)
+            emit_write(False)
+            emit_core(core)
+            emit_ipos(ipos)
+            if prefetch:
+                next_block = block + 1
+                lines2n = core_l2[next_block % l2_nsets]
+                if next_block not in lines2n:
+                    if len(lines2n) >= l2_assoc:
+                        victim_tag = next(iter(lines2n))
+                        if lines2n.pop(victim_tag):
+                            emit_block(victim_tag)
+                            emit_write(True)
+                            emit_core(core)
+                            emit_ipos(ipos)
+                    lines2n[next_block] = False
+                    emit_block(next_block)
+                    emit_write(False)
+                    emit_core(core)
+                    emit_ipos(ipos)
+    else:
+        for block, is_write, core, ipos, i1, i2 in zip(
+            blocks, writes, core_ids, ipos_list, l1_idx, l2_idx
+        ):
+            lines1 = l1_sets[core][i1]
+            dirty1 = lines1.pop(block, miss)
+            if dirty1 is not miss:
+                # L1 hit: refresh to MRU.
+                lines1[block] = dirty1 or is_write
+                l1_hits[core] += 1
+                if is_write:
+                    # Exclusive directory fill: invalidate remote copies.
+                    sharers = sharers_map.get(block)
+                    owner_map[block] = core
+                    if sharers is None:
+                        sharers_map[block] = core
+                    elif type(sharers) is int:
+                        if sharers != core:
+                            sharers_map[block] = core
+                            invalidations_sent += 1
+                            sharing_misses += 1
+                            invalid1 = l1_sets[sharers][i1].pop(block, None)
+                            invalid2 = l2_sets[sharers][i2].pop(block, None)
+                            if invalid1 or invalid2:
+                                emit_block(block)
+                                emit_write(True)
+                                emit_core(sharers)
+                                emit_ipos(ipos)
+                    else:
+                        victims = [c for c in sharers if c != core]
+                        sharers_map[block] = core
+                        if victims:
+                            invalidations_sent += len(victims)
+                            sharing_misses += 1
+                            for victim_core in victims:
+                                invalid1 = l1_sets[victim_core][i1].pop(block, None)
+                                invalid2 = l2_sets[victim_core][i2].pop(block, None)
+                                if invalid1 or invalid2:
+                                    emit_block(block)
+                                    emit_write(True)
+                                    emit_core(victim_core)
+                                    emit_ipos(ipos)
+                continue
+
+            l1_misses[core] += 1
+            l1_victim = None
+            if len(lines1) >= l1_assoc:
+                victim_tag = next(iter(lines1))
+                if lines1.pop(victim_tag):
+                    l1_victim = victim_tag
+            lines1[block] = is_write
+
+            core_l2 = l2_sets[core]
+            if l1_victim is not None:
+                # L1 dirty eviction drops into the private L2 (fill path).
+                lines2 = core_l2[l1_victim % l2_nsets]
+                if lines2.pop(l1_victim, miss) is miss and len(lines2) >= l2_assoc:
+                    victim_tag = next(iter(lines2))
+                    if lines2.pop(victim_tag):
+                        emit_block(victim_tag)
+                        emit_write(True)
+                        emit_core(core)
+                        emit_ipos(ipos)
+                        # Directory eviction notice.
+                        sharers = sharers_map.get(victim_tag)
+                        if sharers is not None:
+                            if type(sharers) is int:
+                                if sharers == core:
+                                    del sharers_map[victim_tag]
+                            else:
+                                sharers.discard(core)
+                                if not sharers:
+                                    del sharers_map[victim_tag]
+                        if owner_map.get(victim_tag) == core:
+                            del owner_map[victim_tag]
+                lines2[l1_victim] = True
+
+            lines2 = core_l2[i2]
+            dirty2 = lines2.pop(block, miss)
+            if dirty2 is not miss:
+                # L2 hit (demand accesses reach L2 as reads).
+                lines2[block] = dirty2
+                l2_hits[core] += 1
+            else:
+                l2_misses[core] += 1
+                if len(lines2) >= l2_assoc:
+                    victim_tag = next(iter(lines2))
+                    if lines2.pop(victim_tag):
+                        emit_block(victim_tag)
+                        emit_write(True)
+                        emit_core(core)
+                        emit_ipos(ipos)
+                        sharers = sharers_map.get(victim_tag)
+                        if sharers is not None:
+                            if type(sharers) is int:
+                                if sharers == core:
+                                    del sharers_map[victim_tag]
+                            else:
+                                sharers.discard(core)
+                                if not sharers:
+                                    del sharers_map[victim_tag]
+                        if owner_map.get(victim_tag) == core:
+                            del owner_map[victim_tag]
+                lines2[block] = False
+                emit_block(block)
+                emit_write(False)
+                emit_core(core)
+                emit_ipos(ipos)
+                if prefetch:
+                    next_block = block + 1
+                    lines2n = core_l2[next_block % l2_nsets]
+                    if next_block not in lines2n:
+                        if len(lines2n) >= l2_assoc:
+                            victim_tag = next(iter(lines2n))
+                            if lines2n.pop(victim_tag):
+                                emit_block(victim_tag)
+                                emit_write(True)
+                                emit_core(core)
+                                emit_ipos(ipos)
+                                sharers = sharers_map.get(victim_tag)
+                                if sharers is not None:
+                                    if type(sharers) is int:
+                                        if sharers == core:
+                                            del sharers_map[victim_tag]
+                                    else:
+                                        sharers.discard(core)
+                                        if not sharers:
+                                            del sharers_map[victim_tag]
+                                if owner_map.get(victim_tag) == core:
+                                    del owner_map[victim_tag]
+                        lines2n[next_block] = False
+                        emit_block(next_block)
+                        emit_write(False)
+                        emit_core(core)
+                        emit_ipos(ipos)
+
+            # Directory fill for the demand block.
+            if is_write:
+                sharers = sharers_map.get(block)
+                owner_map[block] = core
+                if sharers is None:
+                    sharers_map[block] = core
+                elif type(sharers) is int:
+                    if sharers != core:
+                        sharers_map[block] = core
+                        invalidations_sent += 1
+                        sharing_misses += 1
+                        invalid1 = l1_sets[sharers][i1].pop(block, None)
+                        invalid2 = l2_sets[sharers][i2].pop(block, None)
+                        if invalid1 or invalid2:
+                            emit_block(block)
+                            emit_write(True)
+                            emit_core(sharers)
+                            emit_ipos(ipos)
+                else:
+                    victims = [c for c in sharers if c != core]
+                    sharers_map[block] = core
+                    if victims:
+                        invalidations_sent += len(victims)
+                        sharing_misses += 1
+                        for victim_core in victims:
+                            invalid1 = l1_sets[victim_core][i1].pop(block, None)
+                            invalid2 = l2_sets[victim_core][i2].pop(block, None)
+                            if invalid1 or invalid2:
+                                emit_block(block)
+                                emit_write(True)
+                                emit_core(victim_core)
+                                emit_ipos(ipos)
+            else:
+                owner = owner_map.get(block)
+                if owner is not None and owner != core:
+                    downgrades_sent += 1
+                    del owner_map[block]
+                    invalid1 = l1_sets[owner][i1].pop(block, None)
+                    invalid2 = l2_sets[owner][i2].pop(block, None)
+                    if invalid1 or invalid2:
+                        emit_block(block)
+                        emit_write(True)
+                        emit_core(owner)
+                        emit_ipos(ipos)
+                sharers = sharers_map.get(block)
+                if sharers is None:
+                    sharers_map[block] = core
+                elif type(sharers) is int:
+                    if sharers != core:
+                        sharers_map[block] = {sharers, core}
+                else:
+                    sharers.add(core)
+
+    directory = FullMapDirectory(n_cores)
+    directory.stats.invalidations_sent = invalidations_sent
+    directory.stats.downgrades_sent = downgrades_sent
+    directory.stats.sharing_misses = sharing_misses
+
+    stream = LLCStream(
+        blocks=np.array(out_blocks, dtype=np.uint64),
+        writes=np.array(out_writes, dtype=bool),
+        cores=np.array(out_cores, dtype=np.uint16),
+        instr_positions=np.array(out_ipos, dtype=np.uint64),
+    )
+    counters = [
+        CoreCounters(
+            instructions=instructions[core],
+            accesses=int(accesses[core]),
+            l1_hits=l1_hits[core],
+            l1_misses=l1_misses[core],
+            l2_hits=l2_hits[core],
+            l2_misses=l2_misses[core],
+        )
+        for core in range(n_cores)
+    ]
+    return PrivateResult(
+        stream=stream,
+        per_core=counters,
+        directory=directory.stats,
+        n_threads=n_threads,
+    )

@@ -56,6 +56,24 @@ class LLCStream:
     def __len__(self) -> int:
         return len(self.blocks)
 
+    def columns(self):
+        """Cached plain-list views of the four columns.
+
+        The batched engine replays one stream at several LLC capacities;
+        converting the arrays once (``ndarray.tolist`` is a single C
+        call) and reusing the lists saves a conversion per replay.
+        """
+        cached = getattr(self, "_columns", None)
+        if cached is None or len(cached[0]) != len(self):
+            cached = (
+                self.blocks.tolist(),
+                self.writes.tolist(),
+                self.cores.tolist(),
+                self.instr_positions.tolist(),
+            )
+            self._columns = cached
+        return cached
+
     @property
     def n_reads(self) -> int:
         """Demand reads reaching the LLC."""
@@ -87,14 +105,25 @@ class PrivateResult:
         return sum(c.accesses for c in self.per_core)
 
 
-def filter_private(trace: Trace, arch: ArchitectureConfig) -> PrivateResult:
+def filter_private(
+    trace: Trace, arch: ArchitectureConfig, engine: Optional[str] = None
+) -> PrivateResult:
     """Replay a trace through per-core L1D/L2 and emit the LLC stream.
 
     Threads map to cores by id modulo ``arch.n_cores``.  Multi-threaded
     traces additionally exercise the full-map directory: stores to blocks
     shared across cores invalidate remote copies, and modified remote
     copies are written back through the LLC.
+
+    ``engine`` selects the replay implementation: ``"fast"`` (the batched
+    engine in :mod:`repro.sim.engine`, the default) or ``"reference"``
+    (the dict-of-caches loop below).  Both produce identical results;
+    ``None`` defers to ``$REPRO_SIM_ENGINE``.
     """
+    from repro.sim.engine import filter_private_fast, resolve_engine
+
+    if resolve_engine(engine) == "fast":
+        return filter_private_fast(trace, arch)
     n_cores = arch.n_cores
     l1 = [
         SetAssocCache(arch.l1d.capacity_bytes, arch.l1d.block_bytes, arch.l1d.associativity)

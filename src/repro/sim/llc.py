@@ -111,12 +111,28 @@ def simulate_llc(
     mlp_window: int = 128,
     mlp_ceiling: float = 6.0,
     policy: str = "lru",
+    engine: Optional[str] = None,
 ) -> LLCCounts:
     """Replay the LLC stream through one shared cache geometry.
 
     ``policy`` selects the replacement policy (lru/random/srrip); the
-    paper's configuration is LRU.
+    paper's configuration is LRU.  ``engine`` selects the replay
+    implementation (see :mod:`repro.sim.engine`); the batched fast
+    engine implements LRU only, so other policies always use the
+    reference loop.
     """
+    from repro.sim.engine import resolve_engine, simulate_llc_fast
+
+    if policy == "lru" and resolve_engine(engine) == "fast":
+        return simulate_llc_fast(
+            stream,
+            capacity_bytes,
+            associativity=associativity,
+            block_bytes=block_bytes,
+            n_cores=n_cores,
+            mlp_window=mlp_window,
+            mlp_ceiling=mlp_ceiling,
+        )
     cache = make_cache(capacity_bytes, block_bytes, associativity, policy)
     counts = LLCCounts(capacity_bytes=capacity_bytes, associativity=associativity)
     read_hits = [0] * n_cores

@@ -1,0 +1,116 @@
+"""Parallel experiment fan-out over deterministic sweep cells.
+
+The experiment suite is embarrassingly parallel at the granularity of
+one (workload, core-count) cell: each cell generates a trace, replays it
+through the private levels once, and sweeps the LLC models that share
+that replay.  This module fans cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Workers receive only small, picklable :class:`SweepCell` keys —
+(workload, seed, length, threads, architecture, model names) — and
+regenerate traces deterministically from them, so no multi-megabyte
+trace or stream ever crosses the process boundary; only the compact
+:class:`~repro.sim.results.SimResult` objects come back.  Trace
+generation is seeded (:mod:`repro.workloads.generators`), so a worker's
+trace is bit-identical to the one the serial path would build, and the
+shared on-disk replay cache (:mod:`repro.sim.replay_cache`) lets the
+parent — and later runs — reuse whatever the workers replayed.
+
+``jobs`` semantics everywhere in the experiments layer: ``1`` (default)
+runs serially in-process, ``N > 1`` uses N worker processes, and ``0``
+means "one per CPU" (:func:`default_jobs`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.sim.config import ArchitectureConfig, gainestown
+from repro.sim.results import SimResult
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value (None -> 1, 0 -> cpu count)."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ExperimentError("jobs must be >= 0")
+    return jobs if jobs > 0 else default_jobs()
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of parallel work: a workload replayed against models.
+
+    The cell is a pure *key*: everything a worker needs to regenerate
+    the trace deterministically and run the sweep.  ``n_accesses`` /
+    ``n_threads`` of None use the profile's defaults; ``arch`` of None
+    uses the paper's Gainestown.
+    """
+
+    workload: str
+    configuration: str
+    model_names: Tuple[str, ...]
+    seed: int
+    n_accesses: Optional[int] = None
+    n_threads: Optional[int] = None
+    arch: Optional[ArchitectureConfig] = None
+
+
+def resolve_model(name: str, configuration: str):
+    """Model lookup treating ``"SRAM"`` as the baseline of the
+    configuration (mirrors the experiment drivers' convention)."""
+    from repro.nvsim.published import published_model, sram_baseline
+
+    if name == "SRAM":
+        return sram_baseline(configuration)
+    return published_model(name, configuration)
+
+
+def run_cell(cell: SweepCell) -> Dict[str, SimResult]:
+    """Execute one cell (in a worker or inline): regenerate the trace,
+    share one private replay across the cell's models, return results
+    keyed by model name."""
+    from repro.sim.system import SimulationSession
+    from repro.workloads.generators import generate_from_profile
+    from repro.workloads.profiles import profile
+
+    bench = profile(cell.workload)
+    trace = generate_from_profile(
+        bench,
+        seed=cell.seed,
+        n_accesses=cell.n_accesses,
+        n_threads=cell.n_threads,
+    )
+    session = SimulationSession(
+        trace, arch=cell.arch or gainestown(), configuration=cell.configuration
+    )
+    return {
+        name: session.run(resolve_model(name, cell.configuration))
+        for name in cell.model_names
+    }
+
+
+def run_cells(
+    cells: Sequence[SweepCell], jobs: Optional[int] = None
+) -> List[Dict[str, SimResult]]:
+    """Run cells, serially or across a process pool.
+
+    Results are returned in input order regardless of completion order,
+    so parallel runs are output-identical to serial ones.  Worker
+    exceptions propagate to the caller.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(run_cell, cells))

@@ -1,0 +1,243 @@
+"""Persistent on-disk cache for expensive replay results.
+
+The two replay stages are pure functions of their inputs: a
+:class:`~repro.sim.hierarchy.PrivateResult` depends only on the trace
+contents and the private-level architecture (core count, L1/L2 geometry,
+prefetch flag), and an :class:`~repro.sim.llc.LLCCounts` additionally on
+the LLC geometry and MLP constants.  This module caches both on disk,
+keyed by a content fingerprint, so repeated experiment runs, the
+``benchmarks/`` suite and parallel workers all skip redundant replays.
+
+Keys are *content-addressed*: the trace fingerprint hashes the raw
+column bytes (not the generator seed), so any trace — synthetic, loaded
+from a file, or hand-built — caches correctly, and regenerating the same
+(workload, seed, length) trace in another process produces the same key.
+The engine version is part of every key; bump :data:`CACHE_VERSION`
+whenever replay semantics change to invalidate stale entries.
+
+Configuration (environment):
+
+- ``REPRO_CACHE_DIR`` — cache directory (default
+  ``~/.cache/repro/replay``).
+- ``REPRO_REPLAY_CACHE`` — set to ``0`` to disable entirely.
+
+Entries are pickle files written atomically (temp file + ``os.replace``),
+so concurrent writers — e.g. the :mod:`repro.sim.parallel` worker pool —
+never corrupt each other.  Traces shorter than ``min_accesses`` are not
+cached: unit-test and hypothesis traces would otherwise litter the cache
+with thousands of tiny files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sim.config import ArchitectureConfig
+from repro.trace.stream import Trace
+
+#: Bump to invalidate all previously cached replays.
+CACHE_VERSION = 1
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache ("0" disables).
+CACHE_ENABLE_ENV = "REPRO_REPLAY_CACHE"
+
+#: Traces shorter than this are never cached (tests, tiny tools).
+DEFAULT_MIN_ACCESSES = 10_000
+
+
+def default_cache_dir() -> Path:
+    """The configured cache directory (not created until first write)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "replay"
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is enabled (``REPRO_REPLAY_CACHE``)."""
+    return os.environ.get(CACHE_ENABLE_ENV, "1") != "0"
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Content hash of a trace's columns (name excluded: it does not
+    affect replay events)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np_bytes(trace.addresses))
+    digest.update(np_bytes(trace.writes))
+    digest.update(np_bytes(trace.thread_ids))
+    digest.update(np_bytes(trace.gaps))
+    return digest.hexdigest()
+
+
+def np_bytes(array) -> bytes:
+    """Raw bytes of an array (C-contiguous view)."""
+    import numpy as np
+
+    return np.ascontiguousarray(array).tobytes()
+
+
+def private_arch_key(arch: ArchitectureConfig) -> tuple:
+    """The architecture fields :func:`filter_private` depends on.
+
+    Timing/energy constants are deliberately excluded so sensitivity
+    sweeps over them reuse one private replay.
+    """
+    return (
+        arch.n_cores,
+        arch.l1d.capacity_bytes,
+        arch.l1d.associativity,
+        arch.l1d.block_bytes,
+        arch.l2.capacity_bytes,
+        arch.l2.associativity,
+        arch.l2.block_bytes,
+        arch.l2_next_line_prefetch,
+    )
+
+
+def llc_geometry_key(
+    arch: ArchitectureConfig, capacity_bytes: int
+) -> tuple:
+    """The parameters :func:`simulate_llc` depends on beyond the stream."""
+    return (
+        capacity_bytes,
+        arch.llc_associativity,
+        arch.llc_block_bytes,
+        arch.n_cores,
+        arch.mlp_window_instructions,
+        arch.max_mlp,
+        arch.llc_replacement,
+    )
+
+
+def _key_digest(*parts: Any) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((CACHE_VERSION,) + parts).encode())
+    return digest.hexdigest()
+
+
+class ReplayCache:
+    """A content-addressed pickle store for replay results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.
+    enabled:
+        Force-enable/disable; defaults to :func:`cache_enabled`.
+    min_accesses:
+        Traces shorter than this skip the cache entirely.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: Optional[bool] = None,
+        min_accesses: int = DEFAULT_MIN_ACCESSES,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.min_accesses = min_accesses
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -------------------------------------------------------------
+
+    def private_key(self, trace_fp: str, arch: ArchitectureConfig) -> str:
+        """Cache key for a private-level replay."""
+        return "private-" + _key_digest(trace_fp, private_arch_key(arch))
+
+    def llc_key(
+        self, trace_fp: str, arch: ArchitectureConfig, capacity_bytes: int
+    ) -> str:
+        """Cache key for an LLC replay (stream derives deterministically
+        from the trace + private-level architecture)."""
+        return "llc-" + _key_digest(
+            trace_fp, private_arch_key(arch), llc_geometry_key(arch, capacity_bytes)
+        )
+
+    # -- store ------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load a cached value, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            # Unpickling a truncated or corrupted entry can raise almost
+            # anything (ValueError, UnpicklingError, ImportError, ...);
+            # any unreadable entry is simply a miss to recompute.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value atomically (concurrent-writer safe)."""
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entries(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def should_cache(self, trace: Trace) -> bool:
+        """Whether a trace is worth caching (enabled + long enough)."""
+        return self.enabled and len(trace) >= self.min_accesses
+
+
+_default_cache: Optional[ReplayCache] = None
+
+
+def default_cache() -> ReplayCache:
+    """The process-wide cache instance (honours the env configuration
+    current at first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ReplayCache()
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide instance (tests re-point the env vars)."""
+    global _default_cache
+    _default_cache = None

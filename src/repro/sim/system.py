@@ -99,6 +99,13 @@ class SimulationSession:
     One session per (trace, architecture).  ``run(llc_model)`` reuses
     the private-level replay for every model and the LLC replay for
     every model with the same capacity.
+
+    When the persistent replay cache (:mod:`repro.sim.replay_cache`) is
+    enabled, both stages are additionally memoised on disk by content
+    fingerprint, so repeated runs — and parallel workers replaying the
+    same (workload, architecture) cell — skip redundant replays.
+    ``private`` may be supplied up front when the caller already holds a
+    replay for an architecture with identical private levels.
     """
 
     def __init__(
@@ -106,25 +113,62 @@ class SimulationSession:
         trace: Trace,
         arch: Optional[ArchitectureConfig] = None,
         configuration: str = "fixed-capacity",
+        private: Optional[PrivateResult] = None,
+        replay_cache=None,
     ) -> None:
+        from repro.sim.replay_cache import default_cache
+
         self.trace = trace
         self.arch = arch or gainestown()
         self.configuration = configuration
-        self._private: Optional[PrivateResult] = None
+        self._private = private
         self._llc_cache: Dict[Tuple[int, int], LLCCounts] = {}
+        self._replay_cache = replay_cache if replay_cache is not None else default_cache()
+        self._trace_fp: Optional[str] = None
+
+    @property
+    def _fingerprint(self) -> str:
+        if self._trace_fp is None:
+            from repro.sim.replay_cache import trace_fingerprint
+
+            self._trace_fp = trace_fingerprint(self.trace)
+        return self._trace_fp
 
     @property
     def private(self) -> PrivateResult:
-        """The private-level replay (computed once)."""
+        """The private-level replay (computed once, disk-memoised)."""
         if self._private is None:
+            cache = self._replay_cache
+            use_disk = cache.should_cache(self.trace)
+            if use_disk:
+                key = cache.private_key(self._fingerprint, self.arch)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._private = cached
+                    return self._private
             self._private = filter_private(self.trace, self.arch)
+            if use_disk:
+                cache.put(key, self._private)
         return self._private
 
     def counts_for(self, llc_model: LLCModel) -> LLCCounts:
         """LLC counts for this model's geometry (cached by capacity)."""
         key = (llc_model.capacity_bytes, self.arch.llc_associativity)
         if key not in self._llc_cache:
-            self._llc_cache[key] = replay_llc(self.private, llc_model, self.arch)
+            cache = self._replay_cache
+            use_disk = cache.should_cache(self.trace)
+            if use_disk:
+                disk_key = cache.llc_key(
+                    self._fingerprint, self.arch, llc_model.capacity_bytes
+                )
+                cached = cache.get(disk_key)
+                if cached is not None:
+                    self._llc_cache[key] = cached
+                    return cached
+            counts = replay_llc(self.private, llc_model, self.arch)
+            self._llc_cache[key] = counts
+            if use_disk:
+                cache.put(disk_key, counts)
         return self._llc_cache[key]
 
     def run(

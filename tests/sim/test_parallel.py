@@ -1,0 +1,97 @@
+"""Tests for the sweep-cell fan-out (:mod:`repro.sim.parallel`)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.parallel import (
+    SweepCell,
+    default_jobs,
+    resolve_jobs,
+    resolve_model,
+    run_cell,
+    run_cells,
+)
+
+
+def _cell(**overrides):
+    base = dict(
+        workload="leela",
+        configuration="fixed-capacity",
+        model_names=("SRAM", "Jan_S"),
+        seed=7,
+        n_accesses=6000,
+        n_threads=None,
+        arch=None,
+    )
+    base.update(overrides)
+    return SweepCell(**base)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == default_jobs() >= 1
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(-1)
+
+
+class TestResolveModel:
+    def test_sram_maps_to_baseline(self):
+        from repro.nvsim.published import sram_baseline
+
+        assert resolve_model("SRAM", "fixed-area") == sram_baseline("fixed-area")
+
+    def test_published_names_resolve(self):
+        assert resolve_model("Jan_S", "fixed-capacity").name == "Jan_S"
+
+
+class TestRunCell:
+    def test_runs_all_models(self):
+        results = run_cell(_cell())
+        assert set(results) == {"SRAM", "Jan_S"}
+        assert results["SRAM"].workload == "leela"
+        assert results["SRAM"].configuration == "fixed-capacity"
+
+    def test_deterministic_across_calls(self):
+        cell = _cell()
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first["Jan_S"].runtime_s == second["Jan_S"].runtime_s
+        assert first["Jan_S"].counts == second["Jan_S"].counts
+
+    def test_thread_override_changes_trace(self):
+        single = run_cell(_cell())
+        multi = run_cell(_cell(n_threads=4))
+        assert single["SRAM"].counts != multi["SRAM"].counts
+
+
+class TestRunCells:
+    def test_serial_preserves_order(self):
+        cells = [_cell(seed=1), _cell(seed=2)]
+        results = run_cells(cells, jobs=1)
+        assert len(results) == 2
+        assert results[0]["SRAM"].counts != results[1]["SRAM"].counts
+
+    def test_parallel_matches_serial(self):
+        cells = [_cell(seed=1), _cell(seed=2, model_names=("SRAM",))]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert set(s) == set(p)
+            for name in s:
+                assert s[name].runtime_s == p[name].runtime_s
+                assert s[name].counts == p[name].counts
+                assert s[name].energy == p[name].energy
+
+    def test_single_cell_stays_inline(self):
+        # jobs > 1 with one cell must not pay pool startup.
+        results = run_cells([_cell()], jobs=4)
+        assert len(results) == 1
