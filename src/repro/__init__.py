@@ -13,6 +13,7 @@ Subpackages
 - :mod:`repro.endurance` — write endurance and lifetime (Section VII)
 - :mod:`repro.techniques` — NVM-friendly LLC management techniques
 - :mod:`repro.experiments` — one driver per paper table and figure
+- :mod:`repro.obs` — run telemetry, tracing spans and run manifests
 
 Quickstart
 ----------
@@ -32,6 +33,7 @@ from repro import (
     endurance,
     errors,
     nvsim,
+    obs,
     prism,
     report,
     sim,
@@ -47,6 +49,7 @@ __all__ = [
     "endurance",
     "errors",
     "nvsim",
+    "obs",
     "prism",
     "report",
     "sim",

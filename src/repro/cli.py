@@ -9,6 +9,10 @@ Subcommands (each prints a small report to stdout):
 - ``techniques``   — evaluate the management techniques on a workload
 - ``workloads``    — list the benchmark suite
 
+The global ``--metrics`` flag (before the subcommand) collects
+:mod:`repro.obs` telemetry for the invocation — replay events, cache
+hits, engine usage — and prints the summary to stderr afterwards.
+
 ``repro-experiments`` (see :mod:`repro.experiments.runner`) remains the
 paper-regeneration entry point; this CLI serves ad-hoc use.
 """
@@ -155,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli", description="NVM-LLC reproduction toolkit"
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect run telemetry (repro.obs) and print a summary to "
+        "stderr after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the benchmark suite")
@@ -202,13 +212,20 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    registry = obs.enable() if args.metrics else None
     try:
         return _HANDLERS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if registry is not None:
+            sys.stderr.write(obs.render_summary(registry.snapshot()))
+            obs.disable()
 
 
 if __name__ == "__main__":

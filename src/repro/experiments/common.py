@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.nvsim.published import nvm_models, published_models, sram_baseline
+from repro.obs import metrics as _metrics
+from repro.obs.progress import ProgressLine
 from repro.sim.config import ArchitectureConfig, gainestown
 from repro.sim.parallel import SweepCell, resolve_jobs, resolve_model, run_cells
 from repro.sim.results import NormalizedResult, SimResult, normalize
@@ -141,19 +143,22 @@ class ExperimentContext:
 
     def run_cell(self, cell: SweepCell) -> Dict[str, SimResult]:
         """Run one cell in-process through the context's session cache."""
-        session = self.session(
-            cell.workload,
-            arch=cell.arch,
-            seed=cell.seed,
-            n_accesses=cell.n_accesses,
-            n_threads=cell.n_threads,
-        )
-        return {
-            name: session.run(
-                resolve_model(name, cell.configuration), cell.configuration
+        with _metrics.span("experiments.cell"):
+            session = self.session(
+                cell.workload,
+                arch=cell.arch,
+                seed=cell.seed,
+                n_accesses=cell.n_accesses,
+                n_threads=cell.n_threads,
             )
-            for name in cell.model_names
-        }
+            results = {
+                name: session.run(
+                    resolve_model(name, cell.configuration), cell.configuration
+                )
+                for name in cell.model_names
+            }
+        _metrics.counter_add("experiments.cells")
+        return results
 
     def run_cells(self, cells: Sequence[SweepCell]) -> List[Dict[str, SimResult]]:
         """Run cells honouring ``jobs``: serial runs go through the
@@ -161,7 +166,12 @@ class ExperimentContext:
         (workers share replays with the parent via the on-disk replay
         cache).  Results are in input order either way."""
         if self.jobs <= 1 or len(cells) <= 1:
-            return [self.run_cell(cell) for cell in cells]
+            out = []
+            with ProgressLine(total=len(cells), label="cells") as progress:
+                for cell in cells:
+                    out.append(self.run_cell(cell))
+                    progress.tick(f"{cell.workload} ({cell.configuration})")
+            return out
         return run_cells(cells, self.jobs)
 
     # -- sweeps ----------------------------------------------------------

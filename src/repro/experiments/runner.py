@@ -2,15 +2,26 @@
 
 Regenerates every table and figure of the paper and prints them as
 text tables.  ``--scale`` shortens traces for quick runs; ``--only``
-restricts to a subset of experiments.
+restricts to a subset of experiments; ``--jobs`` fans simulation cells
+out over worker processes.
+
+Observability (:mod:`repro.obs`): ``--metrics`` collects run telemetry —
+per-experiment spans, replay-cache hit rates, per-worker cell timings,
+engine usage — and writes ``manifest.json`` + ``metrics.json`` beside
+the run's results (next to ``--write``'s report when given, else under
+``results/``); ``--trace-file`` additionally streams every completed
+span as JSON lines.  ``repro-experiments metrics-summary RESULTS_DIR``
+renders a saved pair back as a human-readable report.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from repro.experiments import (
     coresweep,
@@ -26,6 +37,10 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import ExperimentContext
+from repro.obs import metrics as _metrics
+from repro.obs.manifest import write_run_files
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressLine
 
 #: Experiment ids in run order.
 EXPERIMENTS = (
@@ -42,6 +57,31 @@ EXPERIMENTS = (
     "sensitivity",
 )
 
+#: Default directory for manifest/metrics when ``--write`` gives no home.
+DEFAULT_RESULTS_DIR = "results"
+
+
+def _run_settings(
+    scale: float, only: Optional[str], jobs: Optional[int],
+    write_path: Optional[str], trace_file: Optional[str], seed: int,
+) -> dict:
+    """The provenance settings recorded in the run manifest."""
+    from repro.sim.engine import resolve_engine
+    from repro.sim.parallel import resolve_jobs
+    from repro.sim.replay_cache import cache_enabled, default_cache_dir
+
+    return {
+        "scale": scale,
+        "seed": seed,
+        "only": only,
+        "jobs": resolve_jobs(jobs),
+        "engine": resolve_engine(None),
+        "cache_dir": str(default_cache_dir()),
+        "cache_enabled": cache_enabled(),
+        "write_path": write_path,
+        "trace_file": trace_file,
+    }
+
 
 def run_all(
     scale: float = 1.0,
@@ -49,12 +89,19 @@ def run_all(
     stream=None,
     write_path: Optional[str] = None,
     jobs: Optional[int] = None,
+    metrics: bool = False,
+    trace_file: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
     a markdown report (``write_path``).
 
     ``jobs`` fans simulation cells out over worker processes (0 = one
     per CPU); the default runs everything serially in-process.
+    ``metrics`` (or ``trace_file``) turns on :mod:`repro.obs` collection
+    for the run and writes ``manifest.json`` + ``metrics.json`` into
+    ``metrics_dir`` (default: the report's directory, else
+    ``results/``).
     """
     from repro.report.builder import ReportBuilder
     from repro.workloads.generators import DEFAULT_SEED
@@ -64,12 +111,17 @@ def run_all(
         # capture the output.
         stream = sys.stdout
 
+    settings = _run_settings(scale, only, jobs, write_path, trace_file, DEFAULT_SEED)
     context = ExperimentContext(scale=scale, jobs=jobs)
     features = None
     report = ReportBuilder(
         title="NVM-LLC reproduction — experiment report",
         scale=scale,
         seed=DEFAULT_SEED,
+        provenance=[
+            f"engine: {settings['engine']}",
+            f"jobs: {settings['jobs']}",
+        ],
     )
 
     def emit(title: str, text: str, elapsed: float) -> None:
@@ -77,63 +129,124 @@ def run_all(
         stream.write(text + "\n")
         report.add_section(title, text, elapsed_s=elapsed)
 
-    for name in EXPERIMENTS:
-        if only is not None and name != only:
-            continue
-        start = time.time()
+    def run_one(name: str) -> Tuple[str, str]:
+        nonlocal features
         if name == "table2":
-            emit("Table II", table2.render(table2.run()), time.time() - start)
-        elif name == "table3":
+            return "Table II", table2.render(table2.run())
+        if name == "table3":
             result = table3.run()
-            text = (
+            return "Table III", (
                 table3.render(result, "fixed-capacity")
                 + "\n\n"
                 + table3.render(result, "fixed-area")
             )
-            emit("Table III", text, time.time() - start)
-        elif name == "table5":
-            emit("Table V", table5.render(table5.run(context)), time.time() - start)
-        elif name == "table6":
+        if name == "table5":
+            return "Table V", table5.render(table5.run(context))
+        if name == "table6":
             features = table6.run(context)
-            emit("Table VI", table6.render(features), time.time() - start)
-        elif name == "figure1":
-            emit("Figure 1", figure1.render(figure1.run(context)), time.time() - start)
-        elif name == "figure2":
-            emit("Figure 2", figure2.render(figure2.run(context)), time.time() - start)
-        elif name == "figure4":
-            result = figure4.run(context, features)
-            emit("Figure 4", figure4.render(result), time.time() - start)
-        elif name == "coresweep":
-            result = coresweep.run(context=context)
-            emit("Core sweep (Section V-C)", coresweep.render(result), time.time() - start)
-        elif name == "lifetime":
-            result = lifetime.run(context)
-            emit("Lifetime study (Section VII)", lifetime.render(result), time.time() - start)
-        elif name == "techniques":
-            result = techniques_study.run(context)
-            emit(
-                "Techniques study (extension)",
-                techniques_study.render(result),
-                time.time() - start,
+            return "Table VI", table6.render(features)
+        if name == "figure1":
+            return "Figure 1", figure1.render(figure1.run(context))
+        if name == "figure2":
+            return "Figure 2", figure2.render(figure2.run(context))
+        if name == "figure4":
+            return "Figure 4", figure4.render(figure4.run(context, features))
+        if name == "coresweep":
+            return "Core sweep (Section V-C)", coresweep.render(
+                coresweep.run(context=context)
             )
-        elif name == "sensitivity":
-            result = sensitivity.run(context=context)
-            emit(
-                "Sensitivity study (extension)",
-                sensitivity.render(result),
-                time.time() - start,
+        if name == "lifetime":
+            return "Lifetime study (Section VII)", lifetime.render(
+                lifetime.run(context)
             )
+        if name == "techniques":
+            return "Techniques study (extension)", techniques_study.render(
+                techniques_study.run(context)
+            )
+        if name == "sensitivity":
+            return "Sensitivity study (extension)", sensitivity.render(
+                sensitivity.run(context=context)
+            )
+        raise ValueError(f"unknown experiment {name!r}")
 
-    if write_path is not None:
-        path = report.write(write_path)
-        stream.write(f"\nreport written to {path}\n")
+    selected = [name for name in EXPERIMENTS if only is None or name == only]
+
+    registry: Optional[MetricsRegistry] = None
+    previous = _metrics.get_registry()
+    if metrics or trace_file:
+        registry = _metrics.enable(MetricsRegistry(trace_path=trace_file))
+    try:
+        with ProgressLine(total=len(selected), label="experiments") as progress:
+            for position, name in enumerate(selected, 1):
+                progress.update(f"[{position}/{len(selected)} experiments] {name} ...")
+                start = time.time()
+                with _metrics.span(f"experiment.{name}"):
+                    title, text = run_one(name)
+                emit(title, text, time.time() - start)
+                progress.tick(name)
+
+        if write_path is not None:
+            path = report.write(write_path)
+            stream.write(f"\nreport written to {path}\n")
+
+        if registry is not None:
+            out_dir = Path(
+                metrics_dir
+                if metrics_dir is not None
+                else (Path(write_path).parent if write_path else DEFAULT_RESULTS_DIR)
+            )
+            manifest_path, metrics_path = write_run_files(out_dir, settings, registry)
+            stream.write(f"run manifest written to {manifest_path}\n")
+            stream.write(f"run metrics written to {metrics_path}\n")
+    finally:
+        if registry is not None:
+            registry.close()
+            if previous is not None:
+                _metrics.enable(previous)
+            else:
+                _metrics.disable()
+
+
+def metrics_summary_main(argv: Optional[List[str]] = None, stream=None) -> int:
+    """``repro-experiments metrics-summary`` — render saved run metrics."""
+    from repro.errors import ReproError
+    from repro.obs.manifest import load_run
+    from repro.obs.report import render_summary
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments metrics-summary",
+        description="Render manifest.json + metrics.json from an "
+        "instrumented run as a human-readable summary.",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=DEFAULT_RESULTS_DIR,
+        help="results directory (or metrics.json path) from a --metrics "
+        f"run (default: {DEFAULT_RESULTS_DIR}/)",
+    )
+    args = parser.parse_args(argv)
+    if stream is None:
+        stream = sys.stdout
+    try:
+        metrics, manifest = load_run(args.path)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    stream.write(render_summary(metrics, manifest))
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "metrics-summary":
+        return metrics_summary_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+        "(or `repro-experiments metrics-summary` to render saved run metrics).",
     )
     parser.add_argument(
         "--scale",
@@ -159,8 +272,37 @@ def main(argv: Optional[list] = None) -> int:
         default=1,
         help="worker processes for simulation cells (0 = one per CPU)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=_metrics.metrics_env_enabled(),
+        help="collect run telemetry and write manifest.json + metrics.json "
+        "beside the results (also: REPRO_METRICS=1)",
+    )
+    parser.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        default=os.environ.get(_metrics.TRACE_FILE_ENV) or None,
+        help="stream completed tracing spans to PATH as JSON lines "
+        "(implies --metrics; also: REPRO_TRACE_FILE)",
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for manifest.json/metrics.json (default: the "
+        "--write report's directory, else results/)",
+    )
     args = parser.parse_args(argv)
-    run_all(scale=args.scale, only=args.only, write_path=args.write, jobs=args.jobs)
+    run_all(
+        scale=args.scale,
+        only=args.only,
+        write_path=args.write,
+        jobs=args.jobs,
+        metrics=args.metrics,
+        trace_file=args.trace_file,
+        metrics_dir=args.metrics_dir,
+    )
     return 0
 
 

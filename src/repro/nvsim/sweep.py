@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro import units
 from repro.cells.base import NVMCell
 from repro.errors import ModelGenerationError
+from repro.obs import metrics as _metrics
 from repro.nvsim.area import compute_area
 from repro.nvsim.config import CacheDesign, FIXED_AREA_BUDGET_MM2
 from repro.nvsim.model import LLCModel, generate_llc_model
@@ -36,13 +37,19 @@ def solve_fixed_area_capacity(
     """
     template = design_template or CacheDesign(capacity_bytes=CAPACITY_LADDER[0])
     best = CAPACITY_LADDER[0]
-    for capacity in CAPACITY_LADDER:
-        design = replace(template, capacity_bytes=capacity)
-        area = compute_area(cell, design).total_mm2
-        if area <= area_budget_mm2:
-            best = capacity
-        else:
-            break
+    with _metrics.span("nvsim.fixed_area_solve"):
+        for capacity in CAPACITY_LADDER:
+            design = replace(template, capacity_bytes=capacity)
+            area = compute_area(cell, design).total_mm2
+            if area <= area_budget_mm2:
+                best = capacity
+            else:
+                break
+    if _metrics.enabled():
+        _metrics.counter_add("nvsim.fixed_area.solves")
+        _metrics.gauge_set(
+            f"nvsim.fixed_area.capacity_mb.{cell.name}", best / units.MB
+        )
     return best
 
 
@@ -63,7 +70,9 @@ def capacity_sweep(cell: NVMCell, capacities_bytes: List[int]) -> List[LLCModel]
     if not capacities_bytes:
         raise ModelGenerationError("capacity sweep needs at least one point")
     models = []
-    for capacity in capacities_bytes:
-        design = CacheDesign(capacity_bytes=capacity)
-        models.append(generate_llc_model(cell, design))
+    with _metrics.span("nvsim.capacity_sweep"):
+        for capacity in capacities_bytes:
+            design = CacheDesign(capacity_bytes=capacity)
+            models.append(generate_llc_model(cell, design))
+    _metrics.counter_add("nvsim.models_generated", len(models))
     return models

@@ -1,0 +1,99 @@
+"""Live single-line progress for long sweeps.
+
+A :class:`ProgressLine` rewrites one terminal line (``\\r``) as work
+advances — experiments in the runner, cells in a fan-out — and erases
+itself when done, so captured output (CI logs, ``--write`` reports,
+tests) is untouched: the line is emitted only when the target stream is
+an interactive terminal, and everything it prints stays off stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressLine:
+    """One rewritable status line on an interactive stream.
+
+    Parameters
+    ----------
+    total:
+        Expected number of :meth:`tick` steps (0 = unknown; ticks then
+        render as a bare count).
+    label:
+        Short noun for the units being counted (``"cells"``,
+        ``"experiments"``).
+    stream:
+        Target stream; defaults to ``sys.stderr``.
+    enabled:
+        Force on/off; defaults to ``stream.isatty()`` so non-interactive
+        runs stay clean.
+    min_interval_s:
+        Redraw rate limit (terminal writes are not free).
+    """
+
+    def __init__(
+        self,
+        total: int = 0,
+        label: str = "steps",
+        stream: Optional[TextIO] = None,
+        enabled: Optional[bool] = None,
+        min_interval_s: float = 0.1,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.min_interval_s = min_interval_s
+        self.done_count = 0
+        self._started = time.perf_counter()
+        self._last_draw = 0.0
+        self._last_width = 0
+
+    def update(self, text: str) -> None:
+        """Replace the line with ``text`` (rate-limited)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if now - self._last_draw < self.min_interval_s:
+            return
+        self._last_draw = now
+        pad = max(0, self._last_width - len(text))
+        self.stream.write("\r" + text + " " * pad)
+        self.stream.flush()
+        self._last_width = len(text)
+
+    def tick(self, detail: str = "") -> None:
+        """Advance one step and redraw."""
+        self.done_count += 1
+        elapsed = time.perf_counter() - self._started
+        position = (
+            f"{self.done_count}/{self.total}" if self.total else str(self.done_count)
+        )
+        text = f"[{position} {self.label}, {elapsed:.1f}s]"
+        if detail:
+            text += f" {detail}"
+        # tick() bypasses the rate limit bookkeeping via update()'s clock;
+        # for coarse steps every redraw matters.
+        self._last_draw = 0.0
+        self.update(text)
+
+    def close(self) -> None:
+        """Erase the line (leave the terminal as if nothing was drawn)."""
+        if not self.enabled or self._last_width == 0:
+            return
+        self.stream.write("\r" + " " * self._last_width + "\r")
+        self.stream.flush()
+        self._last_width = 0
+
+    def __enter__(self) -> "ProgressLine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -22,6 +22,8 @@ class ReportBuilder:
     title: str
     scale: float = 1.0
     seed: int = 0
+    #: Extra provenance bullets for the header (engine, jobs, digests …).
+    provenance: List[str] = field(default_factory=list)
     _sections: List[str] = field(default_factory=list)
 
     def add_section(self, heading: str, body: str, elapsed_s: Optional[float] = None) -> None:
@@ -50,6 +52,8 @@ class ReportBuilder:
             f"- trace scale: {self.scale}\n"
             f"- seed: {self.seed}\n"
         )
+        for line in self.provenance:
+            header += f"- {line}\n"
         return header + "\n" + "\n\n".join(self._sections) + "\n"
 
     def write(self, path: Union[str, Path]) -> Path:

@@ -31,6 +31,24 @@ randomized streams, including the prefetch ``fill`` and coherence
 :func:`repro.sim.hierarchy.filter_private` /
 :func:`repro.sim.llc.simulate_llc`, defaulting to the value of the
 ``REPRO_SIM_ENGINE`` environment variable (``fast`` when unset).
+
+Invariants
+----------
+
+- **Bit-identical outputs.** For every trace and architecture, the fast
+  and reference engines produce equal :class:`~repro.sim.hierarchy.PrivateResult`
+  and :class:`~repro.sim.llc.LLCCounts` — same event counts, same LLC
+  stream, same directory statistics, in the same order.  Any divergence
+  is a bug; bump :data:`repro.sim.replay_cache.CACHE_VERSION` whenever
+  replay semantics intentionally change.
+- **LRU only.** The fast LLC path implements LRU; non-LRU policies are
+  always routed to the reference loop by the dispatcher.
+- **No per-access observability.** The engine loops carry no metrics
+  hooks — instrumentation lives in the dispatchers
+  (:func:`~repro.sim.hierarchy.filter_private`,
+  :func:`~repro.sim.llc.simulate_llc`), which record the already-computed
+  totals after the loop, so enabling :mod:`repro.obs` never slows the
+  hot path.
 """
 
 from __future__ import annotations

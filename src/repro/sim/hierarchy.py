@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
 from repro.sim.cache import SetAssocCache
 from repro.sim.config import ArchitectureConfig
 from repro.sim.directory import DirectoryStats, FullMapDirectory
@@ -119,11 +120,46 @@ def filter_private(
     engine in :mod:`repro.sim.engine`, the default) or ``"reference"``
     (the dict-of-caches loop below).  Both produce identical results;
     ``None`` defers to ``$REPRO_SIM_ENGINE``.
+
+    When run metrics are enabled (:mod:`repro.obs`), the replay is
+    wrapped in a ``sim.private_replay`` span and the per-level event
+    totals — accesses, L1/L2 hits and misses, emitted LLC stream traffic,
+    coherence invalidations — are recorded, tagged with the engine that
+    actually served the call.
     """
     from repro.sim.engine import filter_private_fast, resolve_engine
 
-    if resolve_engine(engine) == "fast":
-        return filter_private_fast(trace, arch)
+    eng = resolve_engine(engine)
+    with _metrics.span("sim.private_replay"):
+        if eng == "fast":
+            result = filter_private_fast(trace, arch)
+        else:
+            result = _filter_private_reference(trace, arch)
+    if _metrics.enabled():
+        _metrics.counter_add(f"sim.engine.{eng}.private_replays")
+        _metrics.counter_add("sim.private.accesses", len(trace))
+        _metrics.counter_add(
+            "sim.l1.hits", sum(c.l1_hits for c in result.per_core)
+        )
+        _metrics.counter_add(
+            "sim.l1.misses", sum(c.l1_misses for c in result.per_core)
+        )
+        _metrics.counter_add(
+            "sim.l2.hits", sum(c.l2_hits for c in result.per_core)
+        )
+        _metrics.counter_add(
+            "sim.l2.misses", sum(c.l2_misses for c in result.per_core)
+        )
+        _metrics.counter_add("sim.llc_stream.reads", result.stream.n_reads)
+        _metrics.counter_add("sim.llc_stream.writebacks", result.stream.n_writes)
+        _metrics.counter_add(
+            "sim.directory.invalidations", result.directory.invalidations_sent
+        )
+    return result
+
+
+def _filter_private_reference(trace: Trace, arch: ArchitectureConfig) -> PrivateResult:
+    """The reference dict-of-caches private-level replay."""
     n_cores = arch.n_cores
     l1 = [
         SetAssocCache(arch.l1d.capacity_bytes, arch.l1d.block_bytes, arch.l1d.associativity)

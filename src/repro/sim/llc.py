@@ -17,11 +17,12 @@ not once per miss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
 from repro.sim.cache import SetAssocCache
 from repro.sim.hierarchy import LLCStream
 from repro.sim.replacement import make_cache
@@ -120,19 +121,60 @@ def simulate_llc(
     implementation (see :mod:`repro.sim.engine`); the batched fast
     engine implements LRU only, so other policies always use the
     reference loop.
+
+    When run metrics are enabled (:mod:`repro.obs`), the replay is
+    wrapped in a ``sim.llc_replay`` span and the event totals — lookups,
+    hits/misses split by read/write, dirty writebacks to DRAM — are
+    recorded, tagged with the engine that served the call.
     """
     from repro.sim.engine import resolve_engine, simulate_llc_fast
 
-    if policy == "lru" and resolve_engine(engine) == "fast":
-        return simulate_llc_fast(
-            stream,
-            capacity_bytes,
-            associativity=associativity,
-            block_bytes=block_bytes,
-            n_cores=n_cores,
-            mlp_window=mlp_window,
-            mlp_ceiling=mlp_ceiling,
-        )
+    eng = resolve_engine(engine) if policy == "lru" else "reference"
+    with _metrics.span("sim.llc_replay"):
+        if eng == "fast":
+            counts = simulate_llc_fast(
+                stream,
+                capacity_bytes,
+                associativity=associativity,
+                block_bytes=block_bytes,
+                n_cores=n_cores,
+                mlp_window=mlp_window,
+                mlp_ceiling=mlp_ceiling,
+            )
+        else:
+            counts = _simulate_llc_reference(
+                stream,
+                capacity_bytes,
+                associativity=associativity,
+                block_bytes=block_bytes,
+                n_cores=n_cores,
+                mlp_window=mlp_window,
+                mlp_ceiling=mlp_ceiling,
+                policy=policy,
+            )
+    if _metrics.enabled():
+        _metrics.counter_add(f"sim.engine.{eng}.llc_replays")
+        _metrics.counter_add("sim.llc.accesses", len(stream))
+        _metrics.counter_add("sim.llc.read_lookups", counts.read_lookups)
+        _metrics.counter_add("sim.llc.read_hits", counts.read_hits)
+        _metrics.counter_add("sim.llc.read_misses", counts.read_misses)
+        _metrics.counter_add("sim.llc.write_hits", counts.write_hits)
+        _metrics.counter_add("sim.llc.write_misses", counts.write_misses)
+        _metrics.counter_add("sim.llc.dirty_evictions", counts.dirty_evictions)
+    return counts
+
+
+def _simulate_llc_reference(
+    stream: LLCStream,
+    capacity_bytes: int,
+    associativity: int,
+    block_bytes: int,
+    n_cores: int,
+    mlp_window: int,
+    mlp_ceiling: float,
+    policy: str,
+) -> LLCCounts:
+    """The reference per-access LLC replay (any replacement policy)."""
     cache = make_cache(capacity_bytes, block_bytes, associativity, policy)
     counts = LLCCounts(capacity_bytes=capacity_bytes, associativity=associativity)
     read_hits = [0] * n_cores

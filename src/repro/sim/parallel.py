@@ -19,16 +19,40 @@ parent — and later runs — reuse whatever the workers replayed.
 ``jobs`` semantics everywhere in the experiments layer: ``1`` (default)
 runs serially in-process, ``N > 1`` uses N worker processes, and ``0``
 means "one per CPU" (:func:`default_jobs`).
+
+Invariants
+----------
+
+- Results come back in input order regardless of completion order, so a
+  parallel run is *output-identical* to a serial one (the CI smoke job
+  diffs the two).
+- Only :class:`SweepCell` keys cross the boundary outbound and only
+  :class:`~repro.sim.results.SimResult` objects (plus, when metrics are
+  on, a plain-dict metrics snapshot) come back — never traces or
+  streams.
+- Trace regeneration in a worker is bit-identical to the serial path:
+  cells carry the resolved ``(workload, seed, n_accesses, n_threads)``
+  key and generation is fully seeded.
+
+When run metrics are enabled (:mod:`repro.obs`) each worker collects
+into its own registry — counters from the instrumented layers plus a
+``parallel.worker.<pid>.cell`` timer per cell — and returns a snapshot
+that the parent merges, so per-worker utilization survives the pool
+boundary.  A :class:`~repro.obs.progress.ProgressLine` tracks cell
+completions on interactive terminals.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.obs import metrics as _metrics
+from repro.obs.progress import ProgressLine
 from repro.sim.config import ArchitectureConfig, gainestown
 from repro.sim.results import SimResult
 
@@ -100,6 +124,19 @@ def run_cell(cell: SweepCell) -> Dict[str, SimResult]:
     }
 
 
+def _run_cell_observed(cell: SweepCell) -> Tuple[Dict[str, SimResult], Dict[str, Any]]:
+    """Worker wrapper: run one cell under a fresh metrics registry and
+    return ``(results, snapshot)`` so the parent can merge what the
+    instrumented layers recorded on this side of the pool boundary."""
+    with _metrics.scoped_registry() as registry:
+        start = time.perf_counter()
+        result = run_cell(cell)
+        elapsed = time.perf_counter() - start
+        registry.timer_record(f"parallel.worker.{os.getpid()}.cell", elapsed)
+        registry.counter_add("parallel.cells")
+    return result, registry.snapshot()
+
+
 def run_cells(
     cells: Sequence[SweepCell], jobs: Optional[int] = None
 ) -> List[Dict[str, SimResult]]:
@@ -112,5 +149,14 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         return [run_cell(cell) for cell in cells]
+    observe = _metrics.enabled()
     with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        return list(pool.map(run_cell, cells))
+        if not observe:
+            return list(pool.map(run_cell, cells))
+        results: List[Dict[str, SimResult]] = []
+        with ProgressLine(total=len(cells), label="cells") as progress:
+            for result, snapshot in pool.map(_run_cell_observed, cells):
+                _metrics.merge_snapshot(snapshot)
+                results.append(result)
+                progress.tick()
+        return results

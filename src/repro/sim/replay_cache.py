@@ -26,6 +26,28 @@ so concurrent writers — e.g. the :mod:`repro.sim.parallel` worker pool —
 never corrupt each other.  Traces shorter than ``min_accesses`` are not
 cached: unit-test and hypothesis traces would otherwise litter the cache
 with thousands of tiny files.
+
+Invariants
+----------
+
+- A cache hit is indistinguishable from recomputation: values are the
+  exact pickled :class:`~repro.sim.hierarchy.PrivateResult` /
+  :class:`~repro.sim.llc.LLCCounts` objects the replay produced.
+- Keys cover *every* input the replay depends on and nothing more:
+  the trace content fingerprint (:func:`trace_fingerprint` over the raw
+  column bytes), the private-geometry fields (:func:`private_arch_key`),
+  the LLC-geometry fields (:func:`llc_geometry_key`), and
+  :data:`CACHE_VERSION`.  Timing/energy constants are deliberately
+  excluded — they are applied after replay.
+- Unreadable entries are never fatal: any exception while loading is a
+  miss (and, for corrupt-but-present files, an
+  ``replay_cache.corrupt`` metric) followed by recomputation.
+
+When run metrics are enabled (:mod:`repro.obs`), every probe and store
+is counted (``replay_cache.hits`` / ``.misses`` / ``.corrupt`` /
+``.stores``) along with bytes moved (``.bytes_read`` /
+``.bytes_written``), which is what ``repro-experiments
+metrics-summary`` turns into the cache hit-rate line.
 """
 
 from __future__ import annotations
@@ -37,6 +59,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.obs import metrics as _metrics
 from repro.sim.config import ArchitectureConfig
 from repro.trace.stream import Trace
 
@@ -176,13 +199,22 @@ class ReplayCache:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
+                n_bytes = handle.tell()
+        except FileNotFoundError:
+            self.misses += 1
+            _metrics.counter_add("replay_cache.misses")
+            return None
         except Exception:
             # Unpickling a truncated or corrupted entry can raise almost
             # anything (ValueError, UnpicklingError, ImportError, ...);
             # any unreadable entry is simply a miss to recompute.
             self.misses += 1
+            _metrics.counter_add("replay_cache.misses")
+            _metrics.counter_add("replay_cache.corrupt")
             return None
         self.hits += 1
+        _metrics.counter_add("replay_cache.hits")
+        _metrics.counter_add("replay_cache.bytes_read", n_bytes)
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -194,6 +226,7 @@ class ReplayCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                n_bytes = handle.tell()
             os.replace(tmp_name, self._path(key))
         except BaseException:
             try:
@@ -201,6 +234,8 @@ class ReplayCache:
             except OSError:
                 pass
             raise
+        _metrics.counter_add("replay_cache.stores")
+        _metrics.counter_add("replay_cache.bytes_written", n_bytes)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

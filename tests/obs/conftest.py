@@ -1,0 +1,19 @@
+"""Fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics_state(monkeypatch):
+    """Every obs test starts with no registry installed and no ambient
+    observability environment (a developer's REPRO_METRICS must not
+    leak into CLI-default assertions)."""
+    monkeypatch.delenv(obs_metrics.METRICS_ENV, raising=False)
+    monkeypatch.delenv(obs_metrics.TRACE_FILE_ENV, raising=False)
+    obs_metrics.disable()
+    yield
+    obs_metrics.disable()

@@ -1,0 +1,72 @@
+"""Disabled-mode overhead guard.
+
+The promise the instrumentation makes (module docstring of
+:mod:`repro.obs.metrics`) is that with no registry installed, every
+hook is a single global load — so the telemetry a replay triggers must
+cost well under 2% of that replay.  This suite pins the promise with a
+direct measurement: the per-call cost of the disabled helpers, scaled
+by a generous over-estimate of calls-per-replay, against the measured
+wall time of a real private-filter replay.
+"""
+
+import time
+
+from repro.obs import metrics
+from repro.sim.config import gainestown
+from repro.sim.hierarchy import filter_private
+
+#: Calls-per-replay upper bound.  A private replay actually makes ~12
+#: instrumentation calls (one span + a dozen counters at the batch
+#: boundary); 100 leaves an order of magnitude of slack.
+CALLS_PER_REPLAY = 100
+
+#: Loop length for timing the no-op helpers.
+N_CALLS = 2_000
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_hooks_cost_under_two_percent_of_a_replay(leela_trace):
+    # filter_private replays directly (the disk cache wraps it one layer
+    # up, in SimulationSession), so this times real simulation work.
+    assert not metrics.enabled()
+
+    arch = gainestown()
+    filter_private(leela_trace, arch)  # warm imports/JIT-free caches
+    replay_s = _best_of(3, lambda: filter_private(leela_trace, arch))
+
+    def noop_storm():
+        add = metrics.counter_add
+        gauge = metrics.gauge_set
+        timer = metrics.timer_record
+        span = metrics.span
+        for _ in range(N_CALLS):
+            add("x")
+            gauge("x", 1.0)
+            timer("x", 0.1)
+            with span("x"):
+                pass
+
+    storm_s = _best_of(5, noop_storm)
+    per_call_s = storm_s / (N_CALLS * 4)
+    overhead_per_replay_s = per_call_s * CALLS_PER_REPLAY
+
+    assert overhead_per_replay_s < 0.02 * replay_s, (
+        f"disabled instrumentation costs {overhead_per_replay_s * 1e6:.1f}us "
+        f"per replay ({CALLS_PER_REPLAY} calls at {per_call_s * 1e9:.0f}ns) "
+        f"vs replay time {replay_s * 1e3:.1f}ms"
+    )
+
+
+def test_disabled_span_allocates_nothing():
+    """The disabled span path must hand back the shared singleton."""
+    first = metrics.span("a")
+    second = metrics.span("b")
+    assert first is second is metrics._NULL_SPAN
