@@ -8,6 +8,7 @@ Subcommands (each prints a small report to stdout):
 - ``lifetime``     — project LLC lifetime for a workload on an NVM
 - ``techniques``   — evaluate the management techniques on a workload
 - ``workloads``    — list the benchmark suite
+- ``cache``        — inspect/clear the on-disk replay cache
 
 The global ``--metrics`` flag (before the subcommand) collects
 :mod:`repro.obs` telemetry for the invocation — replay events, cache
@@ -154,6 +155,30 @@ def _cmd_techniques(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.replay_cache import ReplayCache, cache_max_bytes
+
+    cache = ReplayCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    if args.sweep_tmp:
+        swept = cache.sweep_stale_tmp(max_age_s=0.0)
+        print(f"swept {swept} stale temp files from {cache.root}")
+        return 0
+    cap = cache_max_bytes()
+    total_mb = cache.total_bytes() / (1024 * 1024)
+    tmp_files = sum(1 for _ in cache.root.glob("*.tmp")) if cache.root.is_dir() else 0
+    print(f"replay cache: {cache.root}")
+    print(f"  enabled     {cache.enabled}")
+    print(f"  entries     {cache.entries()}")
+    print(f"  size        {total_mb:.1f} MB"
+          + (f" (cap {cap / (1024 * 1024):.0f} MB)" if cap else " (no cap)"))
+    print(f"  temp files  {tmp_files}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -197,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_args(p)
     p.add_argument("--llc", default="Kang_P")
 
+    p = sub.add_parser("cache", help="inspect/clear the on-disk replay cache")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    group.add_argument("--sweep-tmp", action="store_true",
+                       help="remove orphaned *.tmp files regardless of age")
+
     return parser
 
 
@@ -207,6 +239,7 @@ _HANDLERS = {
     "model": _cmd_model,
     "lifetime": _cmd_lifetime,
     "techniques": _cmd_techniques,
+    "cache": _cmd_cache,
 }
 
 

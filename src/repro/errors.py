@@ -45,3 +45,29 @@ class CorrelationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment could not be assembled or executed."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal could not be written or read."""
+
+
+class PartialResultError(ExperimentError):
+    """A sweep finished with some cells failed — but none lost.
+
+    Carries every completed result so callers (and the checkpoint
+    journal) keep the work already done; ``failures`` maps the input
+    index of each failed cell to the error message that killed it.
+
+    Attributes
+    ----------
+    completed:
+        ``{input_index: {model_name: SimResult}}`` for every cell that
+        finished.
+    failures:
+        ``{input_index: message}`` for every cell that did not.
+    """
+
+    def __init__(self, message, completed=None, failures=None):
+        super().__init__(message)
+        self.completed = dict(completed or {})
+        self.failures = dict(failures or {})

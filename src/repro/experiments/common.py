@@ -13,12 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ExperimentError
+from repro.errors import CheckpointError, ExperimentError
 from repro.nvsim.published import nvm_models, published_models, sram_baseline
 from repro.obs import metrics as _metrics
 from repro.obs.progress import ProgressLine
+from repro.sim.checkpoint import CheckpointJournal, cell_digest
 from repro.sim.config import ArchitectureConfig, gainestown
-from repro.sim.parallel import SweepCell, resolve_jobs, resolve_model, run_cells
+from repro.sim.parallel import (
+    FaultPolicy,
+    SweepCell,
+    resolve_jobs,
+    resolve_model,
+    run_cells,
+)
 from repro.sim.results import NormalizedResult, SimResult, normalize
 from repro.sim.system import SimulationSession
 from repro.trace.stream import Trace
@@ -47,6 +54,16 @@ class ExperimentContext:
         Worker processes for sweeps run through this context: 1 =
         serial in-process (the default), N > 1 = a process pool,
         0 = one worker per CPU.  See :mod:`repro.sim.parallel`.
+    checkpoint:
+        Optional :class:`~repro.sim.checkpoint.CheckpointJournal`.
+        When given, cells already recorded in the journal are skipped
+        (their journaled results are returned instead — byte-identical
+        to recomputation) and every newly completed cell is recorded
+        durably, making the run resumable after a crash.
+    fault_policy:
+        Timeout/retry/pool-recovery policy for sweeps
+        (:class:`~repro.sim.parallel.FaultPolicy`); defaults to the
+        environment configuration.
     """
 
     def __init__(
@@ -55,6 +72,8 @@ class ExperimentContext:
         seed: int = DEFAULT_SEED,
         arch: Optional[ArchitectureConfig] = None,
         jobs: Optional[int] = None,
+        checkpoint: Optional[CheckpointJournal] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if not 0.0 < scale <= 1.0:
             raise ExperimentError("scale must be in (0, 1]")
@@ -62,6 +81,13 @@ class ExperimentContext:
         self.seed = seed
         self.arch = arch or gainestown()
         self.jobs = resolve_jobs(jobs)
+        self.checkpoint = checkpoint
+        self.fault_policy = fault_policy
+        self.cells_skipped = 0
+        self._checkpointed: Dict[str, Dict[str, SimResult]] = (
+            checkpoint.load() if checkpoint is not None else {}
+        )
+        self._checkpoint_warned = False
         self._traces: Dict[tuple, Trace] = {}
         self._sessions: Dict[tuple, SimulationSession] = {}
 
@@ -160,19 +186,95 @@ class ExperimentContext:
         _metrics.counter_add("experiments.cells")
         return results
 
+    def _record_checkpoint(self, cell: SweepCell, results: Dict[str, SimResult]) -> None:
+        """Journal one completed cell (checkpoint failures are non-fatal:
+        the run still holds the results in memory — it just loses
+        resumability for this cell, warned once and counted)."""
+        if self.checkpoint is None:
+            return
+        self._checkpointed[cell_digest(cell)] = results
+        try:
+            self.checkpoint.record(cell, results)
+        except CheckpointError as error:
+            if not self._checkpoint_warned:
+                self._checkpoint_warned = True
+                import sys
+
+                print(f"warning: {error} — run continues, resumability "
+                      "degraded for unjournaled cells", file=sys.stderr)
+
     def run_cells(self, cells: Sequence[SweepCell]) -> List[Dict[str, SimResult]]:
         """Run cells honouring ``jobs``: serial runs go through the
         context's caches; parallel runs fan out over a process pool
         (workers share replays with the parent via the on-disk replay
-        cache).  Results are in input order either way."""
-        if self.jobs <= 1 or len(cells) <= 1:
-            out = []
-            with ProgressLine(total=len(cells), label="cells") as progress:
-                for cell in cells:
-                    out.append(self.run_cell(cell))
+        cache).  Results are in input order either way.
+
+        With a checkpoint journal attached, cells already journaled are
+        skipped (their recorded results are returned — byte-identical
+        to recomputation) and each newly completed cell is journaled
+        durably before the sweep moves on.
+        """
+        from repro.errors import PartialResultError
+
+        cells = list(cells)
+        done: List[Optional[Dict[str, SimResult]]] = [None] * len(cells)
+        todo: List[Tuple[int, SweepCell]] = []
+        for index, cell in enumerate(cells):
+            recorded = (
+                self._checkpointed.get(cell_digest(cell))
+                if self.checkpoint is not None
+                else None
+            )
+            if recorded is not None:
+                done[index] = recorded
+            else:
+                todo.append((index, cell))
+        skipped = len(cells) - len(todo)
+        if skipped:
+            self.cells_skipped += skipped
+            _metrics.counter_add("checkpoint.cells_skipped", skipped)
+        if not todo:
+            return done  # type: ignore[return-value]
+
+        if self.jobs <= 1 or len(todo) <= 1:
+            with ProgressLine(total=len(todo), label="cells") as progress:
+                for index, cell in todo:
+                    done[index] = self.run_cell(cell)
+                    self._record_checkpoint(cell, done[index])
                     progress.tick(f"{cell.workload} ({cell.configuration})")
-            return out
-        return run_cells(cells, self.jobs)
+            return done  # type: ignore[return-value]
+
+        def on_result(position: int, cell: SweepCell, results: Dict[str, SimResult]) -> None:
+            self._record_checkpoint(cell, results)
+
+        try:
+            fresh = run_cells(
+                [cell for _, cell in todo],
+                self.jobs,
+                policy=self.fault_policy,
+                on_result=on_result,
+            )
+        except PartialResultError as error:
+            # Re-map partial results to the caller's cell indices and
+            # fold in the checkpoint-skipped cells — nothing is lost.
+            completed = {
+                todo[position][0]: value
+                for position, value in error.completed.items()
+            }
+            for index, value in enumerate(done):
+                if value is not None:
+                    completed[index] = value
+            raise PartialResultError(
+                str(error),
+                completed=completed,
+                failures={
+                    todo[position][0]: message
+                    for position, message in error.failures.items()
+                },
+            ) from None
+        for (index, _), value in zip(todo, fresh):
+            done[index] = value
+        return done  # type: ignore[return-value]
 
     # -- sweeps ----------------------------------------------------------
 

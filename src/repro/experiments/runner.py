@@ -64,6 +64,8 @@ DEFAULT_RESULTS_DIR = "results"
 def _run_settings(
     scale: float, only: Optional[str], jobs: Optional[int],
     write_path: Optional[str], trace_file: Optional[str], seed: int,
+    run_dir: Optional[str] = None, resumed_from: Optional[str] = None,
+    policy=None,
 ) -> dict:
     """The provenance settings recorded in the run manifest."""
     from repro.sim.engine import resolve_engine
@@ -80,6 +82,10 @@ def _run_settings(
         "cache_enabled": cache_enabled(),
         "write_path": write_path,
         "trace_file": trace_file,
+        "run_dir": run_dir,
+        "resumed_from": resumed_from,
+        "cell_timeout_s": policy.cell_timeout_s if policy else None,
+        "cell_retries": policy.max_retries if policy else None,
     }
 
 
@@ -92,6 +98,10 @@ def run_all(
     metrics: bool = False,
     trace_file: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    run_dir: Optional[str] = None,
+    resume: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    cell_retries: Optional[int] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
     a markdown report (``write_path``).
@@ -100,10 +110,20 @@ def run_all(
     per CPU); the default runs everything serially in-process.
     ``metrics`` (or ``trace_file``) turns on :mod:`repro.obs` collection
     for the run and writes ``manifest.json`` + ``metrics.json`` into
-    ``metrics_dir`` (default: the report's directory, else
-    ``results/``).
+    ``metrics_dir`` (default: the run directory if given, else the
+    report's directory, else ``results/``).
+
+    ``run_dir`` makes the run *checkpointed*: every completed sweep
+    cell is journaled to ``RUN_DIR/checkpoint.jsonl``
+    (:mod:`repro.sim.checkpoint`) so a killed run can restart with
+    ``resume`` — which reuses the journal and skips completed cells,
+    producing output byte-identical to an uninterrupted run.
+    ``cell_timeout`` / ``cell_retries`` configure the sweep fault
+    policy (:class:`~repro.sim.parallel.FaultPolicy`).
     """
     from repro.report.builder import ReportBuilder
+    from repro.sim.checkpoint import CheckpointJournal
+    from repro.sim.parallel import FaultPolicy
     from repro.workloads.generators import DEFAULT_SEED
 
     if stream is None:
@@ -111,8 +131,33 @@ def run_all(
         # capture the output.
         stream = sys.stdout
 
-    settings = _run_settings(scale, only, jobs, write_path, trace_file, DEFAULT_SEED)
-    context = ExperimentContext(scale=scale, jobs=jobs)
+    if resume is not None:
+        if run_dir is not None and Path(run_dir) != Path(resume):
+            from repro.errors import ExperimentError
+
+            raise ExperimentError("--resume and --run-dir name different "
+                                  "directories; pass only --resume")
+        run_dir = resume
+
+    policy = FaultPolicy.from_env(cell_timeout, cell_retries)
+    checkpoint = None
+    if run_dir is not None:
+        checkpoint = CheckpointJournal(run_dir)
+        if resume is None:
+            checkpoint.discard()  # fresh run: a stale journal would lie
+
+    settings = _run_settings(
+        scale, only, jobs, write_path, trace_file, DEFAULT_SEED,
+        run_dir=run_dir, resumed_from=resume, policy=policy,
+    )
+    context = ExperimentContext(
+        scale=scale, jobs=jobs, checkpoint=checkpoint, fault_policy=policy
+    )
+    if resume is not None:
+        stream.write(
+            f"resuming from {resume}: {len(context._checkpointed)} "
+            "journaled cells will be skipped\n"
+        )
     features = None
     report = ReportBuilder(
         title="NVM-LLC reproduction — experiment report",
@@ -189,16 +234,38 @@ def run_all(
             path = report.write(write_path)
             stream.write(f"\nreport written to {path}\n")
 
+        if checkpoint is not None:
+            stream.write(
+                f"checkpoint: {context.cells_skipped} cells skipped, "
+                f"{checkpoint.recorded} newly journaled "
+                f"({checkpoint.path})\n"
+            )
+
         if registry is not None:
             out_dir = Path(
                 metrics_dir
                 if metrics_dir is not None
-                else (Path(write_path).parent if write_path else DEFAULT_RESULTS_DIR)
+                else (
+                    run_dir
+                    if run_dir is not None
+                    else (Path(write_path).parent if write_path else DEFAULT_RESULTS_DIR)
+                )
             )
-            manifest_path, metrics_path = write_run_files(out_dir, settings, registry)
+            resume_info = None
+            if checkpoint is not None:
+                resume_info = {
+                    "resumed_from": resume,
+                    "cells_skipped": context.cells_skipped,
+                    "cells_recorded": checkpoint.recorded,
+                }
+            manifest_path, metrics_path = write_run_files(
+                out_dir, settings, registry, resume=resume_info
+            )
             stream.write(f"run manifest written to {manifest_path}\n")
             stream.write(f"run metrics written to {metrics_path}\n")
     finally:
+        if checkpoint is not None:
+            checkpoint.close()
         if registry is not None:
             registry.close()
             if previous is not None:
@@ -272,6 +339,37 @@ def main(argv: Optional[list] = None) -> int:
         default=1,
         help="worker processes for simulation cells (0 = one per CPU)",
     )
+    checkpoint_group = parser.add_mutually_exclusive_group()
+    checkpoint_group.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint every completed sweep cell to DIR/checkpoint.jsonl "
+        "(a fresh run: any existing journal there is discarded)",
+    )
+    checkpoint_group.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        default=None,
+        help="resume an interrupted checkpointed run: skip cells journaled "
+        "in RUN_DIR/checkpoint.jsonl and append the remainder",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-cell timeout for parallel sweeps "
+        "(also: REPRO_CELL_TIMEOUT; default: no timeout)",
+    )
+    parser.add_argument(
+        "--cell-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retries per cell for transient worker failures "
+        "(also: REPRO_CELL_RETRIES; default: 2)",
+    )
     parser.add_argument(
         "--metrics",
         action="store_true",
@@ -294,15 +392,32 @@ def main(argv: Optional[list] = None) -> int:
         "--write report's directory, else results/)",
     )
     args = parser.parse_args(argv)
-    run_all(
-        scale=args.scale,
-        only=args.only,
-        write_path=args.write,
-        jobs=args.jobs,
-        metrics=args.metrics,
-        trace_file=args.trace_file,
-        metrics_dir=args.metrics_dir,
-    )
+    from repro.errors import PartialResultError
+
+    try:
+        run_all(
+            scale=args.scale,
+            only=args.only,
+            write_path=args.write,
+            jobs=args.jobs,
+            metrics=args.metrics,
+            trace_file=args.trace_file,
+            metrics_dir=args.metrics_dir,
+            run_dir=args.run_dir,
+            resume=args.resume,
+            cell_timeout=args.cell_timeout,
+            cell_retries=args.cell_retries,
+        )
+    except PartialResultError as error:
+        print(f"error: {error}", file=sys.stderr)
+        run_dir = args.resume or args.run_dir
+        if run_dir:
+            print(
+                f"completed cells are journaled; rerun with "
+                f"--resume {run_dir} to finish the remainder",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

@@ -89,12 +89,20 @@ def stage_timings(snapshot: Dict[str, Any]) -> list:
 
 
 def build_manifest(
-    settings: Dict[str, Any], snapshot: Optional[Dict[str, Any]] = None
+    settings: Dict[str, Any],
+    snapshot: Optional[Dict[str, Any]] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble a manifest dict from run settings (+ optional metrics)."""
+    """Assemble a manifest dict from run settings (+ optional metrics).
+
+    ``resume`` records a checkpointed run's provenance — where it
+    resumed from and how many cells were skipped vs newly journaled —
+    as an optional top-level ``"resume"`` key (absent for
+    uncheckpointed runs, so the required-key set is unchanged).
+    """
     from repro import __version__
 
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "package": "repro",
         "version": __version__,
@@ -105,6 +113,9 @@ def build_manifest(
         "config_digest": config_digest(settings),
         "stages": stage_timings(snapshot) if snapshot else [],
     }
+    if resume is not None:
+        manifest["resume"] = dict(resume)
+    return manifest
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
@@ -126,15 +137,18 @@ def write_run_files(
     out_dir: Union[str, Path],
     settings: Dict[str, Any],
     registry: MetricsRegistry,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Path, Path]:
     """Write ``manifest.json`` + ``metrics.json`` into ``out_dir``.
 
     The directory is created if needed; returns the two paths.
+    ``resume`` (see :func:`build_manifest`) records checkpoint/resume
+    provenance for checkpointed runs.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     snapshot = registry.snapshot()
-    manifest = build_manifest(settings, snapshot)
+    manifest = build_manifest(settings, snapshot, resume=resume)
     manifest_path = out_dir / MANIFEST_NAME
     metrics_path = out_dir / METRICS_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

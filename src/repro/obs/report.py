@@ -69,7 +69,45 @@ def headline_rates(counters: Dict[str, float]) -> List[str]:
         )
     corrupt = counters.get("replay_cache.corrupt", 0)
     if corrupt:
-        lines.append(f"replay-cache corrupt entries recomputed: {_fmt_count(corrupt)}")
+        lines.append(
+            f"replay-cache corrupt entries quarantined + recomputed: "
+            f"{_fmt_count(corrupt)}"
+        )
+    evictions = counters.get("replay_cache.evictions", 0)
+    if evictions:
+        evicted_mb = counters.get("replay_cache.evicted_bytes", 0) / (1024 * 1024)
+        lines.append(
+            f"replay-cache LRU evictions: {_fmt_count(evictions)} "
+            f"({evicted_mb:.1f} MB freed)"
+        )
+    swept = counters.get("replay_cache.tmp_swept", 0)
+    if swept:
+        lines.append(f"replay-cache stale temp files swept: {_fmt_count(swept)}")
+    skipped = counters.get("checkpoint.cells_skipped", 0)
+    recorded = counters.get("checkpoint.cells_recorded", 0)
+    if skipped or recorded:
+        lines.append(
+            f"checkpoint: {_fmt_count(skipped)} cells skipped (resumed), "
+            f"{_fmt_count(recorded)} newly journaled"
+        )
+    corrupt_records = counters.get("checkpoint.corrupt_records", 0)
+    if corrupt_records:
+        lines.append(
+            f"checkpoint records skipped as corrupt: {_fmt_count(corrupt_records)}"
+        )
+    faults = []
+    for counter, label in (
+        ("parallel.retries", "retries"),
+        ("parallel.timeouts", "timeouts"),
+        ("parallel.worker_failures", "worker failures"),
+        ("parallel.pool_respawns", "pool respawns"),
+        ("parallel.serial_fallback_cells", "serial-fallback cells"),
+    ):
+        value = counters.get(counter, 0)
+        if value:
+            faults.append(f"{_fmt_count(value)} {label}")
+    if faults:
+        lines.append("fault recovery: " + ", ".join(faults))
     for stage in ("private_replays", "llc_replays"):
         fast = counters.get(f"sim.engine.fast.{stage}", 0)
         ref = counters.get(f"sim.engine.reference.{stage}", 0)
@@ -162,6 +200,14 @@ def render_summary(
             "settings: "
             + ", ".join(f"{k}={settings[k]}" for k in sorted(settings)),
         ]
+        resume = manifest.get("resume")
+        if resume is not None:
+            source = resume.get("resumed_from")
+            lines.append(
+                ("resumed from " + str(source) if source else "checkpointed run")
+                + f": {resume.get('cells_skipped', 0)} cells skipped, "
+                f"{resume.get('cells_recorded', 0)} newly journaled"
+            )
         stages = manifest.get("stages", [])
         if stages:
             lines.append("stages:")

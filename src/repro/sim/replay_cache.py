@@ -20,34 +20,54 @@ Configuration (environment):
 - ``REPRO_CACHE_DIR`` — cache directory (default
   ``~/.cache/repro/replay``).
 - ``REPRO_REPLAY_CACHE`` — set to ``0`` to disable entirely.
+- ``REPRO_CACHE_MAX_MB`` — size cap in megabytes; when a store pushes
+  the directory above it, least-recently-used entries (by mtime — hits
+  re-touch their entry) are evicted until back under.  Entries written
+  by the evicting process itself are never evicted, so a live run
+  cannot starve its own working set.  Unset = unbounded.
 
-Entries are pickle files written atomically (temp file + ``os.replace``),
-so concurrent writers — e.g. the :mod:`repro.sim.parallel` worker pool —
-never corrupt each other.  Traces shorter than ``min_accesses`` are not
-cached: unit-test and hypothesis traces would otherwise litter the cache
-with thousands of tiny files.
+Integrity
+---------
+
+Entries are written atomically (temp file + ``os.replace``), so
+concurrent writers — e.g. the :mod:`repro.sim.parallel` worker pool —
+never corrupt each other, and each entry embeds a checksum
+(blake2b of the pickled payload behind a magic header) verified on
+every load: a truncated, bit-flipped or torn entry is *quarantined* —
+deleted and recomputed, counted in ``replay_cache.corrupt`` — never
+silently deserialized.  A worker killed between temp-file creation and
+``os.replace`` leaves a stale ``*.tmp`` file; cache open sweeps any
+older than :data:`TMP_SWEEP_AGE_S` (young ones may belong to a live
+concurrent writer).  Traces shorter than ``min_accesses`` are not
+cached: unit-test and hypothesis traces would otherwise litter the
+cache with thousands of tiny files.
 
 Invariants
 ----------
 
 - A cache hit is indistinguishable from recomputation: values are the
   exact pickled :class:`~repro.sim.hierarchy.PrivateResult` /
-  :class:`~repro.sim.llc.LLCCounts` objects the replay produced.
+  :class:`~repro.sim.llc.LLCCounts` objects the replay produced, and
+  the checksum guarantees the bytes are the bytes that were stored.
 - Keys cover *every* input the replay depends on and nothing more:
   the trace content fingerprint (:func:`trace_fingerprint` over the raw
   column bytes), the private-geometry fields (:func:`private_arch_key`),
   the LLC-geometry fields (:func:`llc_geometry_key`), and
   :data:`CACHE_VERSION`.  Timing/energy constants are deliberately
   excluded — they are applied after replay.
-- Unreadable entries are never fatal: any exception while loading is a
-  miss (and, for corrupt-but-present files, an
-  ``replay_cache.corrupt`` metric) followed by recomputation.
+- Unreadable entries are never fatal: any checksum or unpickling
+  failure is a miss (``replay_cache.corrupt``) followed by
+  recomputation, and the bad file is removed so it cannot fail again.
+- Eviction never removes an entry this process wrote or hit during its
+  lifetime (the live set), so a running sweep keeps its working set
+  even under an undersized cap.
 
 When run metrics are enabled (:mod:`repro.obs`), every probe and store
 is counted (``replay_cache.hits`` / ``.misses`` / ``.corrupt`` /
-``.stores``) along with bytes moved (``.bytes_read`` /
-``.bytes_written``), which is what ``repro-experiments
-metrics-summary`` turns into the cache hit-rate line.
+``.stores`` / ``.evictions`` / ``.tmp_swept``) along with bytes moved
+(``.bytes_read`` / ``.bytes_written`` / ``.evicted_bytes``), which is
+what ``repro-experiments metrics-summary`` turns into the cache
+hit-rate line.
 """
 
 from __future__ import annotations
@@ -56,15 +76,24 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
 from repro.sim.config import ArchitectureConfig
 from repro.trace.stream import Trace
 
 #: Bump to invalidate all previously cached replays.
-CACHE_VERSION = 1
+#: 2: entries gained the checksummed container format (magic + digest).
+CACHE_VERSION = 2
+
+#: Entry container magic; the format is ``MAGIC + blake2b(payload,16) +
+#: payload`` where payload is the pickled value.
+ENTRY_MAGIC = b"RPC2"
+
+#: Bytes of blake2b digest embedded after the magic.
+_DIGEST_SIZE = 16
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -72,8 +101,15 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment variable disabling the cache ("0" disables).
 CACHE_ENABLE_ENV = "REPRO_REPLAY_CACHE"
 
+#: Environment variable capping the cache size in megabytes.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 #: Traces shorter than this are never cached (tests, tiny tools).
 DEFAULT_MIN_ACCESSES = 10_000
+
+#: Stale ``*.tmp`` files older than this are swept on cache open;
+#: younger ones may belong to a concurrent writer mid-store.
+TMP_SWEEP_AGE_S = 300.0
 
 
 def default_cache_dir() -> Path:
@@ -87,6 +123,21 @@ def default_cache_dir() -> Path:
 def cache_enabled() -> bool:
     """Whether the on-disk cache is enabled (``REPRO_REPLAY_CACHE``)."""
     return os.environ.get(CACHE_ENABLE_ENV, "1") != "0"
+
+
+def cache_max_bytes() -> Optional[int]:
+    """The configured size cap in bytes (``REPRO_CACHE_MAX_MB``), or
+    None for unbounded (unset, empty, non-numeric or <= 0)."""
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 def trace_fingerprint(trace: Trace) -> str:
@@ -146,8 +197,27 @@ def _key_digest(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+def _pack(value: Any) -> bytes:
+    """Serialize a value into the checksummed container format."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    check = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+    return ENTRY_MAGIC + check + payload
+
+
+def _unpack(blob: bytes) -> Any:
+    """Verify and deserialize a container; raises ValueError on any
+    damage (wrong magic, truncated header, checksum mismatch)."""
+    header = len(ENTRY_MAGIC) + _DIGEST_SIZE
+    if len(blob) < header or not blob.startswith(ENTRY_MAGIC):
+        raise ValueError("not a cache entry container")
+    check, payload = blob[len(ENTRY_MAGIC):header], blob[header:]
+    if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != check:
+        raise ValueError("cache entry checksum mismatch")
+    return pickle.loads(payload)
+
+
 class ReplayCache:
-    """A content-addressed pickle store for replay results.
+    """A content-addressed, checksummed pickle store for replay results.
 
     Parameters
     ----------
@@ -157,6 +227,9 @@ class ReplayCache:
         Force-enable/disable; defaults to :func:`cache_enabled`.
     min_accesses:
         Traces shorter than this skip the cache entirely.
+    max_bytes:
+        Size cap for LRU-by-mtime eviction; defaults to
+        :func:`cache_max_bytes` (None = unbounded).
     """
 
     def __init__(
@@ -164,12 +237,21 @@ class ReplayCache:
         root: Optional[Path] = None,
         enabled: Optional[bool] = None,
         min_accesses: int = DEFAULT_MIN_ACCESSES,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
         self.min_accesses = min_accesses
+        self.max_bytes = cache_max_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.tmp_swept = 0
+        #: Entry names this process wrote or hit — never evicted by it.
+        self._live: set = set()
+        if self.enabled:
+            self.sweep_stale_tmp()
 
     # -- keys -------------------------------------------------------------
 
@@ -192,41 +274,59 @@ class ReplayCache:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
-        """Load a cached value, or None on miss/corruption."""
+        """Load a cached value, or None on miss/corruption.
+
+        Corrupt entries (bad magic, checksum mismatch, unpicklable
+        payload) are quarantined: deleted, counted, recomputed by the
+        caller."""
         if not self.enabled:
             return None
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-                n_bytes = handle.tell()
+            blob = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             _metrics.counter_add("replay_cache.misses")
             return None
-        except Exception:
-            # Unpickling a truncated or corrupted entry can raise almost
-            # anything (ValueError, UnpicklingError, ImportError, ...);
-            # any unreadable entry is simply a miss to recompute.
+        except OSError:
             self.misses += 1
             _metrics.counter_add("replay_cache.misses")
+            return None
+        try:
+            value = _unpack(blob)
+        except Exception:
+            # Damaged container or unpicklable payload: a miss, and the
+            # entry is removed so it cannot keep failing.
+            self.misses += 1
+            self.corrupt += 1
+            _metrics.counter_add("replay_cache.misses")
             _metrics.counter_add("replay_cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         self.hits += 1
+        self._live.add(path.name)
         _metrics.counter_add("replay_cache.hits")
-        _metrics.counter_add("replay_cache.bytes_read", n_bytes)
+        _metrics.counter_add("replay_cache.bytes_read", len(blob))
+        try:
+            os.utime(path)  # LRU: a hit refreshes the entry's recency
+        except OSError:
+            pass
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store a value atomically (concurrent-writer safe)."""
+        """Store a value atomically (concurrent-writer safe), then
+        enforce the size cap if one is configured."""
         if not self.enabled:
             return
         self.root.mkdir(parents=True, exist_ok=True)
+        blob = _pack(value)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                n_bytes = handle.tell()
+                handle.write(blob)
             os.replace(tmp_name, self._path(key))
         except BaseException:
             try:
@@ -234,8 +334,74 @@ class ReplayCache:
             except OSError:
                 pass
             raise
+        self._live.add(self._path(key).name)
         _metrics.counter_add("replay_cache.stores")
-        _metrics.counter_add("replay_cache.bytes_written", n_bytes)
+        _metrics.counter_add("replay_cache.bytes_written", len(blob))
+        self._enforce_cap()
+
+    # -- maintenance ------------------------------------------------------
+
+    def sweep_stale_tmp(self, max_age_s: float = TMP_SWEEP_AGE_S) -> int:
+        """Remove orphaned ``*.tmp`` files older than ``max_age_s``.
+
+        A worker killed between ``tempfile.mkstemp`` and ``os.replace``
+        leaves its temp file behind; nothing ever reads those, so any
+        that have outlived a plausible in-flight store are garbage.
+        Returns the number removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for path in self.root.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with its writer or another sweeper
+        if removed:
+            self.tmp_swept += removed
+            _metrics.counter_add("replay_cache.tmp_swept", removed)
+        return removed
+
+    def _entries_by_age(self) -> List[Tuple[float, int, Path]]:
+        out = []
+        for path in self.root.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((stat.st_mtime, stat.st_size, path))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Entries in this process's live set (written or hit here) are
+        exempt, so the cap can be transiently exceeded rather than ever
+        evicting a result a running sweep is about to reuse.
+        """
+        if self.max_bytes is None or not self.root.is_dir():
+            return
+        entries = self._entries_by_age()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path.name in self._live:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            _metrics.counter_add("replay_cache.evictions")
+            _metrics.counter_add("replay_cache.evicted_bytes", size)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
@@ -254,6 +420,10 @@ class ReplayCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Total size of all entries currently on disk."""
+        return sum(size for _, size, _ in self._entries_by_age())
 
     def should_cache(self, trace: Trace) -> bool:
         """Whether a trace is worth caching (enabled + long enough)."""

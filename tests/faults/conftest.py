@@ -1,0 +1,61 @@
+"""Fixtures for the fault-injection harness.
+
+Every test here runs against an isolated replay-cache directory and a
+fresh fault-state directory, with the hook environment scrubbed, so
+injected faults cannot leak between tests (or into a developer's real
+``~/.cache``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.parallel import FAULT_HOOK_ENV, SweepCell
+from repro.sim.replay_cache import CACHE_DIR_ENV, reset_default_cache
+
+from tests.faults import hooks
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the process-wide replay cache at a per-test directory."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "replay-cache"))
+    monkeypatch.delenv(FAULT_HOOK_ENV, raising=False)
+    monkeypatch.delenv(hooks.STATE_ENV, raising=False)
+    monkeypatch.delenv(hooks.WORKLOAD_ENV, raising=False)
+    reset_default_cache()
+    yield
+    reset_default_cache()
+
+
+@pytest.fixture
+def fault_state(tmp_path, monkeypatch):
+    """A state directory for once-only hook coordination files."""
+    state = tmp_path / "fault-state"
+    state.mkdir()
+    monkeypatch.setenv(hooks.STATE_ENV, str(state))
+    (state / "parent.pid").write_text(str(os.getpid()))
+    return state
+
+
+def arm_hook(monkeypatch, name: str, workload: str = None) -> None:
+    """Point REPRO_FAULT_HOOK at one of :mod:`tests.faults.hooks`."""
+    monkeypatch.setenv(FAULT_HOOK_ENV, f"tests.faults.hooks:{name}")
+    if workload is not None:
+        monkeypatch.setenv(hooks.WORKLOAD_ENV, workload)
+
+
+def make_cells(seeds=(1, 2, 3, 4)):
+    """Small distinct cells (one workload each, two models)."""
+    return [
+        SweepCell(
+            workload="leela",
+            configuration="fixed-capacity",
+            model_names=("SRAM", "Jan_S"),
+            seed=seed,
+            n_accesses=6000,
+        )
+        for seed in seeds
+    ]

@@ -1,0 +1,113 @@
+"""Fault injection: checkpoint writes failing mid-run (ENOSPC et al.).
+
+Losing the *journal* must never lose the *run*: results stay correct in
+memory, the operator is warned once, the journal remains loadable, and
+whatever prefix did reach disk still resumes.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+from repro.experiments.common import ExperimentContext
+from repro.sim.checkpoint import CheckpointJournal, cell_digest
+
+
+def _context(tmp_path, jobs=1, **kwargs):
+    return ExperimentContext(
+        scale=0.05,
+        jobs=jobs,
+        checkpoint=CheckpointJournal(tmp_path / "run"),
+        **kwargs,
+    )
+
+
+def _cells(context, workloads=("leela", "exchange2", "gamess")):
+    return [
+        context.cell(w, "fixed-capacity", ("SRAM", "Jan_S"), n_accesses=6000)
+        for w in workloads
+    ]
+
+
+class _FullDisk:
+    """A file handle whose writes fail with ENOSPC."""
+
+    def __init__(self, handle):
+        self._handle = handle
+
+    def write(self, text):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    def flush(self):
+        pass
+
+    def fileno(self):
+        return self._handle.fileno()
+
+    def close(self):
+        self._handle.close()
+
+
+def _fill_disk(journal: CheckpointJournal) -> None:
+    """Make every subsequent journal write fail like a full disk."""
+    handle = journal._handle or open(os.devnull, "a")
+    journal._handle = _FullDisk(handle)
+
+
+class TestEnospcMidRun:
+    def test_run_survives_full_disk(self, tmp_path, capsys):
+        """The disk fills after the first cell: the sweep still returns
+        every result, warns exactly once, and the journal keeps the
+        prefix that made it to disk."""
+        context = _context(tmp_path)
+        cells = _cells(context)
+
+        first = context.run_cells(cells[:1])
+        _fill_disk(context.checkpoint)
+        rest = context.run_cells(cells[1:])
+        context.checkpoint.close()
+
+        results = first + rest
+        assert len(results) == 3 and all(r is not None for r in results)
+        stderr = capsys.readouterr().err
+        assert stderr.count("resumability degraded") == 1  # warned once
+
+        loaded = CheckpointJournal(tmp_path / "run").load()
+        assert set(loaded) == {cell_digest(cells[0])}
+
+    def test_journaled_prefix_still_resumes(self, tmp_path):
+        context = _context(tmp_path)
+        cells = _cells(context)
+        reference = context.run_cells(cells[:2])
+        _fill_disk(context.checkpoint)
+        reference += context.run_cells(cells[2:])
+        context.checkpoint.close()
+
+        resumed_context = _context(tmp_path)
+        assert len(resumed_context._checkpointed) == 2
+        resumed = resumed_context.run_cells(_cells(resumed_context))
+        resumed_context.checkpoint.close()
+        assert resumed_context.cells_skipped == 2
+        for got, want in zip(resumed, reference):
+            for name in want:
+                assert got[name] == want[name]
+
+    def test_total_write_failure_is_only_a_warning(self, tmp_path, capsys):
+        context = _context(tmp_path)
+        _fill_disk(context.checkpoint)
+        results = context.run_cells(_cells(context))
+        context.checkpoint.close()
+        assert all(r is not None for r in results)
+        assert "resumability degraded" in capsys.readouterr().err
+        assert CheckpointJournal(tmp_path / "run").load() == {}
+
+    def test_parallel_sweep_survives_full_disk(self, tmp_path, capsys):
+        """The parent journals workers' results via on_result; a dead
+        journal must not take the pool down with it."""
+        context = _context(tmp_path, jobs=2)
+        _fill_disk(context.checkpoint)
+        results = context.run_cells(_cells(context))
+        context.checkpoint.close()
+        assert all(r is not None for r in results)
+        assert "resumability degraded" in capsys.readouterr().err

@@ -1,0 +1,210 @@
+"""Tests for the per-cell checkpoint journal (:mod:`repro.sim.checkpoint`)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import (
+    CHECKPOINT_NAME,
+    CheckpointJournal,
+    cell_digest,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.energy import LLCEnergy
+from repro.sim.llc import LLCCounts
+from repro.sim.parallel import SweepCell
+from repro.sim.results import SimResult
+from repro.sim.timing import CoreBreakdown, SystemTiming
+
+
+def _result(workload="leela", llc_name="SRAM", runtime_s=0.123456789012345):
+    """A hand-built SimResult with awkward floats (exact round-trip bait)."""
+    return SimResult(
+        workload=workload,
+        llc_name=llc_name,
+        configuration="fixed-capacity",
+        runtime_s=runtime_s,
+        energy=LLCEnergy(
+            hit_energy_j=1.0 / 3.0,
+            miss_energy_j=2.2e-9,
+            write_energy_j=math.pi * 1e-10,
+            leakage_energy_j=0.07,
+        ),
+        counts=LLCCounts(
+            capacity_bytes=1 << 20,
+            associativity=16,
+            read_lookups=1000,
+            read_hits=800,
+            read_misses=200,
+            write_accesses=300,
+            write_hits=250,
+            write_misses=50,
+            dirty_evictions=12,
+            per_core_read_hits=[400, 400],
+            per_core_read_misses=[100, 100],
+            per_core_mlp=[1.5, 1.0 / 7.0],
+        ),
+        timing=SystemTiming(
+            runtime_s=runtime_s,
+            core_breakdowns=[
+                CoreBreakdown(1e6, 2e4, 3e3, 4e5),
+                CoreBreakdown(9e5, 1e4, 2e3, 3e5),
+            ],
+            dram_latency_s=60e-9,
+            dram_utilization=0.333333333333333314829616256247390992939472198486328125,
+            llc_busy_s=0.01,
+            bound="dram",
+        ),
+        total_instructions=5_000_000,
+    )
+
+
+def _cell(workload="leela", seed=7):
+    return SweepCell(
+        workload=workload,
+        configuration="fixed-capacity",
+        model_names=("SRAM", "Jan_S"),
+        seed=seed,
+        n_accesses=6000,
+    )
+
+
+class TestCellDigest:
+    def test_stable(self):
+        assert cell_digest(_cell()) == cell_digest(_cell())
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            _cell(workload="gamess"),
+            _cell(seed=8),
+            SweepCell("leela", "capacity-sweep", ("SRAM", "Jan_S"), seed=7,
+                      n_accesses=6000),
+            SweepCell("leela", "fixed-capacity", ("SRAM",), seed=7,
+                      n_accesses=6000),
+            SweepCell("leela", "fixed-capacity", ("SRAM", "Jan_S"), seed=7,
+                      n_accesses=9000),
+        ],
+    )
+    def test_sensitive_to_every_field(self, other):
+        assert cell_digest(_cell()) != cell_digest(other)
+
+    def test_covers_cache_version(self, monkeypatch):
+        before = cell_digest(_cell())
+        import repro.sim.replay_cache as rc
+
+        monkeypatch.setattr(rc, "CACHE_VERSION", rc.CACHE_VERSION + 1)
+        assert cell_digest(_cell()) != before
+
+
+class TestResultSerialization:
+    def test_exact_round_trip(self):
+        """JSON floats are repr-exact: restore == recompute, which is
+        what makes resumed output byte-identical."""
+        original = _result()
+        assert result_from_dict(result_to_dict(original)) == original
+
+    def test_round_trip_through_json_text(self):
+        original = _result()
+        text = json.dumps(result_to_dict(original))
+        assert result_from_dict(json.loads(text)) == original
+
+    def test_numpy_scalars_become_native(self):
+        import numpy as np
+
+        result = _result(runtime_s=float(np.float64(0.25)))
+        data = result_to_dict(result)
+        assert type(data["runtime_s"]) is float
+        assert json.dumps(data)  # nothing non-JSON-native survives
+
+
+class TestJournal:
+    def test_record_and_load(self, tmp_path):
+        cells = [_cell(seed=s) for s in (1, 2)]
+        results = {c: {"SRAM": _result(workload=c.workload)} for c in cells}
+        with CheckpointJournal(tmp_path) as journal:
+            for cell in cells:
+                journal.record(cell, results[cell])
+            assert journal.recorded == 2
+        loaded = CheckpointJournal(tmp_path).load()
+        assert set(loaded) == {cell_digest(c) for c in cells}
+        for cell in cells:
+            assert loaded[cell_digest(cell)] == results[cell]
+
+    def test_load_missing_journal_is_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "nowhere").load() == {}
+
+    def test_truncated_tail_loses_only_last_record(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        for seed in (1, 2, 3):
+            journal.record(_cell(seed=seed), {"SRAM": _result()})
+        journal.close()
+        path = tmp_path / CHECKPOINT_NAME
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - len(blob.splitlines()[-1]) // 2 - 1])
+        fresh = CheckpointJournal(tmp_path)
+        loaded = fresh.load()
+        assert set(loaded) == {cell_digest(_cell(seed=s)) for s in (1, 2)}
+        assert fresh.skipped_corrupt == 1
+
+    def test_bit_flipped_line_is_skipped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record(_cell(seed=1), {"SRAM": _result()})
+        journal.record(_cell(seed=2), {"SRAM": _result()})
+        journal.close()
+        path = tmp_path / CHECKPOINT_NAME
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace("1", "2", 1)
+        path.write_text("\n".join(lines) + "\n")
+        fresh = CheckpointJournal(tmp_path)
+        loaded = fresh.load()
+        assert set(loaded) == {cell_digest(_cell(seed=2))}
+        assert fresh.skipped_corrupt == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        path.write_text('not json\n{"check": "00", "payload": {}}\n\n')
+        fresh = CheckpointJournal(tmp_path)
+        assert fresh.load() == {}
+        assert fresh.skipped_corrupt == 2  # blank line is not a record
+
+    def test_append_preserves_existing_records(self, tmp_path):
+        first = CheckpointJournal(tmp_path)
+        first.record(_cell(seed=1), {"SRAM": _result()})
+        first.close()
+        second = CheckpointJournal(tmp_path)
+        assert len(second.load()) == 1
+        second.record(_cell(seed=2), {"SRAM": _result()})
+        second.close()
+        assert len(CheckpointJournal(tmp_path).load()) == 2
+
+    def test_discard_removes_file(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.record(_cell(), {"SRAM": _result()})
+        journal.discard()
+        assert not (tmp_path / CHECKPOINT_NAME).exists()
+        journal.discard()  # idempotent
+
+    def test_write_failure_raises_checkpoint_error(self, tmp_path, monkeypatch):
+        """ENOSPC (simulated) surfaces as CheckpointError and the next
+        successful record resynchronises the framing."""
+        journal = CheckpointJournal(tmp_path)
+        journal.record(_cell(seed=1), {"SRAM": _result()})
+
+        real_fsync = __import__("os").fsync
+
+        def exploding_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.sim.checkpoint.os.fsync", exploding_fsync)
+        with pytest.raises(CheckpointError):
+            journal.record(_cell(seed=2), {"SRAM": _result()})
+        monkeypatch.setattr("repro.sim.checkpoint.os.fsync", real_fsync)
+        journal.record(_cell(seed=3), {"SRAM": _result()})
+        journal.close()
+        loaded = CheckpointJournal(tmp_path).load()
+        digests = {cell_digest(_cell(seed=s)) for s in (1, 3)}
+        assert digests <= set(loaded)

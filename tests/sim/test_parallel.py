@@ -4,7 +4,11 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.sim.parallel import (
+    BACKOFF_ENV,
+    FaultPolicy,
+    RETRIES_ENV,
     SweepCell,
+    TIMEOUT_ENV,
     default_jobs,
     resolve_jobs,
     resolve_model,
@@ -95,3 +99,49 @@ class TestRunCells:
         # jobs > 1 with one cell must not pay pool startup.
         results = run_cells([_cell()], jobs=4)
         assert len(results) == 1
+
+
+class TestFaultPolicy:
+    def test_defaults(self, monkeypatch):
+        for env in (TIMEOUT_ENV, RETRIES_ENV, BACKOFF_ENV):
+            monkeypatch.delenv(env, raising=False)
+        policy = FaultPolicy.from_env()
+        assert policy.cell_timeout_s is None
+        assert policy.max_retries == 2
+        assert policy.backoff_s == 0.1
+
+    def test_env_values_parsed(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "45.5")
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        monkeypatch.setenv(BACKOFF_ENV, "0.25")
+        policy = FaultPolicy.from_env()
+        assert policy.cell_timeout_s == 45.5
+        assert policy.max_retries == 5
+        assert policy.backoff_s == 0.25
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "45.5")
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        policy = FaultPolicy.from_env(cell_timeout_s=2.0, max_retries=0)
+        assert policy.cell_timeout_s == 2.0
+        assert policy.max_retries == 0
+
+    def test_garbage_env_rejected_loudly(self, monkeypatch):
+        """A typo'd env var must not be silently ignored."""
+        monkeypatch.setenv(TIMEOUT_ENV, "soon")
+        with pytest.raises(ExperimentError):
+            FaultPolicy.from_env()
+
+    def test_negative_backoff_clamps_to_zero(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        monkeypatch.setenv(BACKOFF_ENV, "-1")
+        assert FaultPolicy.from_env().backoff_s == 0.0
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        for env in (TIMEOUT_ENV, RETRIES_ENV, BACKOFF_ENV):
+            monkeypatch.delenv(env, raising=False)
+        with pytest.raises(ExperimentError):
+            FaultPolicy.from_env(max_retries=-1)
+        with pytest.raises(ExperimentError):
+            FaultPolicy.from_env(cell_timeout_s=0.0)

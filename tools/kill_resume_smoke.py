@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL a checkpointed run mid-sweep, resume, diff.
+
+Exercises the whole resilience stack end-to-end, from outside the
+process: a paced `repro-experiments --run-dir` run is killed (whole
+process group, workers included) once its journal holds a few cells,
+then `--resume` finishes the job. The resumed report must match an
+uninterrupted reference byte-for-byte once wall-clock timing stamps
+are stripped — the output-identity invariant
+``serial == parallel == resumed``.
+
+Exit 0 on success; nonzero with a diagnostic otherwise. Usage:
+
+    python tools/kill_resume_smoke.py [--scale 0.1] [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Wall-clock noise: stdout "[1.2s]" stamps, report "(generated in …)".
+_TIMING = re.compile(r"\[[0-9.]+s\]|_\(generated in [0-9.]+s\)_")
+
+
+def _normalize(text: str) -> str:
+    return _TIMING.sub("", text)
+
+
+def _base_env(cache_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO / "src"), env.get("PYTHONPATH", "")])
+    )
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_FAULT_HOOK", None)
+    return env
+
+
+def _cmd(args: list) -> list:
+    return [sys.executable, "-m", "repro.experiments.runner", *args]
+
+
+def _journal_lines(path: Path) -> int:
+    try:
+        return len(path.read_text().splitlines())
+    except FileNotFoundError:
+        return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.1")
+    parser.add_argument("--only", default="figure1")
+    parser.add_argument("--jobs", default="2")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh temp dir)")
+    parser.add_argument("--min-journaled", type=int, default=3,
+                        help="cells that must be journaled before the kill")
+    options = parser.parse_args(argv)
+
+    workdir = Path(options.workdir or tempfile.mkdtemp(prefix="kill-resume-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = _base_env(workdir / "replay-cache")
+    base = ["--scale", options.scale, "--only", options.only,
+            "--jobs", options.jobs]
+
+    print(f"[1/3] reference run ({options.only} @ {options.scale}) ...")
+    reference = subprocess.run(
+        _cmd(base + ["--write", str(workdir / "ref.md")]),
+        env=env, cwd=str(REPO), capture_output=True, text=True, timeout=600,
+    )
+    if reference.returncode != 0:
+        print(reference.stdout + reference.stderr, file=sys.stderr)
+        print("FAIL: reference run failed", file=sys.stderr)
+        return 1
+
+    run_dir = workdir / "run"
+    journal = run_dir / "checkpoint.jsonl"
+    victim_env = dict(env)
+    # Pace the sweep so the kill reliably lands mid-run. The hook lives
+    # in the test harness; fall back to unpaced if it isn't importable
+    # (e.g. an installed package without the repo checkout).
+    if (REPO / "tests" / "faults" / "hooks.py").exists():
+        victim_env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO), victim_env["PYTHONPATH"]]
+        )
+        victim_env["REPRO_FAULT_HOOK"] = "tests.faults.hooks:sleepy"
+        victim_env["REPRO_FAULT_SLEEP"] = "0.2"
+
+    print("[2/3] victim run, SIGKILL once "
+          f"{options.min_journaled} cells are journaled ...")
+    victim = subprocess.Popen(
+        _cmd(base + ["--run-dir", str(run_dir),
+                     "--write", str(workdir / "dead.md")]),
+        env=victim_env, cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.time() + 300
+    try:
+        while _journal_lines(journal) < options.min_journaled:
+            if victim.poll() is not None:
+                print("FAIL: victim finished before it could be killed "
+                      "(raise --min-journaled or lower --scale)",
+                      file=sys.stderr)
+                return 1
+            if time.time() > deadline:
+                print("FAIL: victim never journaled enough cells",
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+    finally:
+        try:
+            os.killpg(victim.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    victim.wait(timeout=60)
+    journaled = _journal_lines(journal)
+    print(f"      killed with {journaled} cells journaled")
+
+    print("[3/3] resume and diff against the reference ...")
+    resumed = subprocess.run(
+        _cmd(base + ["--resume", str(run_dir),
+                     "--write", str(workdir / "final.md")]),
+        env=env, cwd=str(REPO), capture_output=True, text=True, timeout=600,
+    )
+    if resumed.returncode != 0:
+        print(resumed.stdout + resumed.stderr, file=sys.stderr)
+        print("FAIL: resume run failed", file=sys.stderr)
+        return 1
+    if "resuming from" not in resumed.stdout:
+        print("FAIL: resume run did not report resuming", file=sys.stderr)
+        return 1
+    skipped = re.search(r"checkpoint: (\d+) cells skipped", resumed.stdout)
+    if not skipped or int(skipped.group(1)) < 1:
+        print("FAIL: resume run skipped no journaled cells", file=sys.stderr)
+        return 1
+
+    final = _normalize((workdir / "final.md").read_text())
+    ref = _normalize((workdir / "ref.md").read_text())
+    if final != ref:
+        sys.stderr.writelines(difflib.unified_diff(
+            ref.splitlines(keepends=True), final.splitlines(keepends=True),
+            fromfile="reference", tofile="resumed",
+        ))
+        print("FAIL: resumed report differs from the reference",
+              file=sys.stderr)
+        return 1
+
+    print(f"OK: resumed output identical "
+          f"(skipped {skipped.group(1)} journaled cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
