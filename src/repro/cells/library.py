@@ -266,8 +266,12 @@ def cell_by_name(name: str) -> NVMCell:
     key = name.lower()
     cell = _BY_NAME.get(key) or _BY_DISPLAY.get(key)
     if cell is None:
-        known = ", ".join(sorted(c.display_name for c in ALL_CELLS))
-        raise CellParameterError(f"unknown cell {name!r}; known cells: {known}")
+        from repro.validate.schema import unknown_key_message
+
+        candidates = sorted(
+            {c.name for c in ALL_CELLS} | {c.display_name for c in ALL_CELLS}
+        )
+        raise CellParameterError(unknown_key_message("cell", name, candidates))
     return cell
 
 

@@ -9,10 +9,15 @@ Subcommands (each prints a small report to stdout):
 - ``techniques``   — evaluate the management techniques on a workload
 - ``workloads``    — list the benchmark suite
 - ``cache``        — inspect/clear the on-disk replay cache
+- ``doctor``       — self-check the installation (environment, cell
+  library, model generation, a golden-trace sweep)
 
 The global ``--metrics`` flag (before the subcommand) collects
 :mod:`repro.obs` telemetry for the invocation — replay events, cache
 hits, engine usage — and prints the summary to stderr afterwards.
+The global ``--validate`` flag (or ``REPRO_VALIDATE``) selects the
+input/output validation policy: ``strict`` (default), ``lenient`` or
+``off`` — see :mod:`repro.validate`.
 
 ``repro-experiments`` (see :mod:`repro.experiments.runner`) remains the
 paper-regeneration entry point; this CLI serves ad-hoc use.
@@ -26,7 +31,7 @@ from typing import List, Optional
 
 from repro import units
 from repro.cells.library import cell_by_name
-from repro.errors import ReproError
+from repro.errors import ReproError, render_error
 from repro.nvsim.config import CacheDesign
 from repro.nvsim.model import generate_llc_model
 from repro.nvsim.published import published_model, sram_baseline
@@ -179,6 +184,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.validate.doctor import run_doctor
+
+    return run_doctor()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -189,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect run telemetry (repro.obs) and print a summary to "
         "stderr after the command",
+    )
+    parser.add_argument(
+        "--validate",
+        choices=("strict", "lenient", "off"),
+        default=None,
+        help="input/output validation policy "
+        "(also: REPRO_VALIDATE; default: strict)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -229,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--sweep-tmp", action="store_true",
                        help="remove orphaned *.tmp files regardless of age")
 
+    sub.add_parser(
+        "doctor",
+        help="self-check the installation (exit 0 = healthy; "
+        "10/11/12/13 = environment/cells/models/sweep failure)",
+    )
+
     return parser
 
 
@@ -240,6 +264,7 @@ _HANDLERS = {
     "lifetime": _cmd_lifetime,
     "techniques": _cmd_techniques,
     "cache": _cmd_cache,
+    "doctor": _cmd_doctor,
 }
 
 
@@ -249,12 +274,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.validate is not None:
+        import os
+
+        from repro.validate.policy import POLICY_ENV, resolve_policy, set_policy
+
+        policy = resolve_policy(args.validate)
+        set_policy(policy)
+        # Export so worker processes spawned by this run see the same
+        # policy the parent enforces.
+        os.environ[POLICY_ENV] = policy.value
     registry = obs.enable() if args.metrics else None
     try:
         return _HANDLERS[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        print(render_error(error), file=sys.stderr)
+        return error.exit_code
     finally:
         if registry is not None:
             sys.stderr.write(obs.render_summary(registry.snapshot()))

@@ -2,53 +2,149 @@
 
 Every error raised by the library derives from :class:`ReproError` so
 callers can catch library failures with a single ``except`` clause.
+
+Structured error contract
+-------------------------
+
+Every subclass carries two stable class attributes the command-line
+entry points rely on:
+
+- ``code`` — a short, stable identifier rendered as
+  ``error[<code>]: <message>`` (see :func:`render_error`).  Codes are
+  part of the public interface: scripts may grep for them, so they
+  never change once released.
+- ``exit_code`` — the process exit status the CLIs map the error to.
+  The full table lives in ``docs/CONFIGURATION.md`` ("Exit codes");
+  in short: ``1`` generic failure, ``2`` usage (argparse), ``3``
+  partial sweep results, ``4`` input validation / plausibility,
+  ``10``-``13`` ``repro-cli doctor`` failure classes.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: Stable identifier rendered as ``error[<code>]`` by the CLIs.
+    code = "REPRO"
+
+    #: Process exit status the CLI entry points map this error to.
+    exit_code = 1
+
 
 class CellParameterError(ReproError):
     """A cell specification is missing or has an invalid parameter."""
+
+    code = "CELL"
 
 
 class HeuristicError(ReproError):
     """A modeling heuristic could not be applied (e.g. no donor cell)."""
 
+    code = "HEURISTIC"
+
 
 class ModelGenerationError(ReproError):
     """The circuit model could not produce an LLC model for a cell."""
 
+    code = "MODEL"
+
 
 class TraceError(ReproError):
-    """A memory trace is malformed or inconsistent."""
+    """A memory trace is malformed or inconsistent.
+
+    Structured context (all optional) lets callers — and the
+    ``error[TRACE]`` rendering — say exactly what was wrong where:
+    ``lineno`` (1-based text-format line), ``field`` (``address`` /
+    ``thread`` / ``gap`` / an npz array name) and ``value`` (the
+    offending raw token).
+    """
+
+    code = "TRACE"
+    exit_code = 4
+
+    def __init__(
+        self,
+        message: str,
+        lineno: Optional[int] = None,
+        field: Optional[str] = None,
+        value: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.lineno = lineno
+        self.field = field
+        self.value = value
 
 
 class WorkloadError(ReproError):
     """An unknown workload was requested or a generator misbehaved."""
 
+    code = "WORKLOAD"
+
 
 class SimulationError(ReproError):
     """The system simulator reached an inconsistent state."""
+
+    code = "SIM"
 
 
 class ConfigurationError(ReproError):
     """An architecture or cache configuration is invalid."""
 
+    code = "CONFIG"
+
 
 class CorrelationError(ReproError):
     """The correlation framework received unusable inputs."""
+
+    code = "CORRELATE"
 
 
 class ExperimentError(ReproError):
     """An experiment could not be assembled or executed."""
 
+    code = "EXPERIMENT"
+
 
 class CheckpointError(ReproError):
     """A checkpoint journal could not be written or read."""
+
+    code = "CHECKPOINT"
+
+
+class PlausibilityError(ReproError):
+    """A value passed structural checks but is physically impossible.
+
+    Raised by the validation firewall (:mod:`repro.validate`) when a
+    cell parameter, model output or simulation result falls outside its
+    plausibility bounds — NaN latency, negative energy, a femtosecond
+    pulse width.  Carries the offending ``field``, its ``value``, the
+    violated ``bound`` (human-readable) and the ``provenance`` chain
+    (which heuristic produced the number), so the error message names
+    the culprit, not just the symptom.
+    """
+
+    code = "PLAUSIBILITY"
+    exit_code = 4
+
+    def __init__(
+        self,
+        message: str,
+        subject: str = "",
+        field: str = "",
+        value: object = None,
+        bound: str = "",
+        provenance: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.subject = subject
+        self.field = field
+        self.value = value
+        self.bound = bound
+        self.provenance = provenance
 
 
 class PartialResultError(ExperimentError):
@@ -67,7 +163,19 @@ class PartialResultError(ExperimentError):
         ``{input_index: message}`` for every cell that did not.
     """
 
+    code = "PARTIAL"
+    exit_code = 3
+
     def __init__(self, message, completed=None, failures=None):
         super().__init__(message)
         self.completed = dict(completed or {})
         self.failures = dict(failures or {})
+
+
+def render_error(error: ReproError) -> str:
+    """The CLI rendering of a library error: ``error[<code>]: <message>``.
+
+    Every ``repro-cli`` / ``repro-experiments`` entry point prints this
+    (to stderr, no traceback) and exits with ``error.exit_code``.
+    """
+    return f"error[{error.code}]: {error}"

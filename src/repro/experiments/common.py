@@ -29,6 +29,7 @@ from repro.sim.parallel import (
 from repro.sim.results import NormalizedResult, SimResult, normalize
 from repro.sim.system import SimulationSession
 from repro.trace.stream import Trace
+from repro.validate.policy import POLICY_ENV, current_policy, resolve_policy, set_policy
 from repro.workloads.generators import DEFAULT_SEED, generate_from_profile
 from repro.workloads.profiles import profile
 
@@ -64,6 +65,12 @@ class ExperimentContext:
         Timeout/retry/pool-recovery policy for sweeps
         (:class:`~repro.sim.parallel.FaultPolicy`); defaults to the
         environment configuration.
+    validate:
+        Validation policy for this run (``strict``/``lenient``/``off``,
+        see :mod:`repro.validate.policy`).  When given it overrides the
+        ``REPRO_VALIDATE`` environment variable and is exported to it so
+        parallel worker processes apply the same policy; when omitted
+        the environment (default ``strict``) decides.
     """
 
     def __init__(
@@ -74,9 +81,17 @@ class ExperimentContext:
         jobs: Optional[int] = None,
         checkpoint: Optional[CheckpointJournal] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        validate: Optional[str] = None,
     ) -> None:
         if not 0.0 < scale <= 1.0:
             raise ExperimentError("scale must be in (0, 1]")
+        if validate is not None:
+            import os
+
+            policy = resolve_policy(validate)
+            set_policy(policy)
+            os.environ[POLICY_ENV] = policy.value
+        self.validate_policy = current_policy()
         self.scale = scale
         self.seed = seed
         self.arch = arch or gainestown()

@@ -71,6 +71,7 @@ def _run_settings(
     from repro.sim.engine import resolve_engine
     from repro.sim.parallel import resolve_jobs
     from repro.sim.replay_cache import cache_enabled, default_cache_dir
+    from repro.validate.policy import current_policy
 
     return {
         "scale": scale,
@@ -86,6 +87,7 @@ def _run_settings(
         "resumed_from": resumed_from,
         "cell_timeout_s": policy.cell_timeout_s if policy else None,
         "cell_retries": policy.max_retries if policy else None,
+        "validate": current_policy().value,
     }
 
 
@@ -102,6 +104,7 @@ def run_all(
     resume: Optional[str] = None,
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
+    validate: Optional[str] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
     a markdown report (``write_path``).
@@ -146,12 +149,15 @@ def run_all(
         if resume is None:
             checkpoint.discard()  # fresh run: a stale journal would lie
 
+    context = ExperimentContext(
+        scale=scale, jobs=jobs, checkpoint=checkpoint, fault_policy=policy,
+        validate=validate,
+    )
+    # Settings are gathered after the context resolves the validation
+    # policy so the manifest records what the run actually enforced.
     settings = _run_settings(
         scale, only, jobs, write_path, trace_file, DEFAULT_SEED,
         run_dir=run_dir, resumed_from=resume, policy=policy,
-    )
-    context = ExperimentContext(
-        scale=scale, jobs=jobs, checkpoint=checkpoint, fault_policy=policy
     )
     if resume is not None:
         stream.write(
@@ -276,7 +282,7 @@ def run_all(
 
 def metrics_summary_main(argv: Optional[List[str]] = None, stream=None) -> int:
     """``repro-experiments metrics-summary`` — render saved run metrics."""
-    from repro.errors import ReproError
+    from repro.errors import ReproError, render_error
     from repro.obs.manifest import load_run
     from repro.obs.report import render_summary
 
@@ -298,8 +304,8 @@ def metrics_summary_main(argv: Optional[List[str]] = None, stream=None) -> int:
     try:
         metrics, manifest = load_run(args.path)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        print(render_error(error), file=sys.stderr)
+        return error.exit_code
     stream.write(render_summary(metrics, manifest))
     return 0
 
@@ -391,8 +397,15 @@ def main(argv: Optional[list] = None) -> int:
         help="directory for manifest.json/metrics.json (default: the "
         "--write report's directory, else results/)",
     )
+    parser.add_argument(
+        "--validate",
+        choices=("strict", "lenient", "off"),
+        default=None,
+        help="input/output validation policy for this run "
+        "(also: REPRO_VALIDATE; default: strict)",
+    )
     args = parser.parse_args(argv)
-    from repro.errors import PartialResultError
+    from repro.errors import PartialResultError, ReproError, render_error
 
     try:
         run_all(
@@ -407,9 +420,10 @@ def main(argv: Optional[list] = None) -> int:
             resume=args.resume,
             cell_timeout=args.cell_timeout,
             cell_retries=args.cell_retries,
+            validate=args.validate,
         )
     except PartialResultError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(render_error(error), file=sys.stderr)
         run_dir = args.resume or args.run_dir
         if run_dir:
             print(
@@ -417,7 +431,10 @@ def main(argv: Optional[list] = None) -> int:
                 f"--resume {run_dir} to finish the remainder",
                 file=sys.stderr,
             )
-        return 3
+        return error.exit_code
+    except ReproError as error:
+        print(render_error(error), file=sys.stderr)
+        return error.exit_code
     return 0
 
 

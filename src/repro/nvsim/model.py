@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from repro import units
 from repro.cells.base import CellClass, NVMCell
 from repro.cells.heuristics import apply_electrical_properties
-from repro.cells.validation import require_complete
+from repro.cells.validation import require_complete, require_plausible
 from repro.errors import ModelGenerationError
 from repro.nvsim.area import compute_area
 from repro.nvsim.config import CacheDesign
@@ -121,10 +121,18 @@ def generate_llc_model(cell: NVMCell, design: CacheDesign) -> LLCModel:
     Heuristic 1 (electrical properties) is applied first, closing any
     gaps derivable from reported parameters — e.g. PCRAM set/reset
     energies from currents and pulses via equation (2).  The cell must
-    then pass :func:`repro.cells.validation.require_complete`.
+    then pass :func:`repro.cells.validation.require_complete` and — so
+    a heuristic-derived value that is physically impossible fails here,
+    naming the heuristic, rather than skewing a sweep —
+    :func:`repro.cells.validation.require_plausible` under the active
+    validation policy.  The finished model passes
+    :func:`repro.validate.guard.guard_model` before being returned.
     """
+    from repro.validate.guard import guard_model
+
     cell = apply_electrical_properties(cell)
     require_complete(cell)
+    require_plausible(cell)
     timing = compute_timing(cell, design)
     energy = compute_energy(cell, design)
     area = compute_area(cell, design)
@@ -135,7 +143,7 @@ def generate_llc_model(cell: NVMCell, design: CacheDesign) -> LLCModel:
         # them; other classes report a single write latency.
         worst = max(set_latency, reset_latency)
         set_latency = reset_latency = worst
-    return LLCModel(
+    return guard_model(LLCModel(
         name=cell.display_name,
         cell_class=cell.cell_class,
         capacity_bytes=design.capacity_bytes,
@@ -149,4 +157,4 @@ def generate_llc_model(cell: NVMCell, design: CacheDesign) -> LLCModel:
         write_energy_j=energy.write_energy_j,
         leakage_w=energy.leakage_w,
         source="generated",
-    )
+    ))

@@ -139,10 +139,14 @@ def published_model(name: str, configuration: str = "fixed-capacity") -> LLCMode
         )
     model = table.get(name)
     if model is None:
+        from repro.validate.schema import unknown_key_message
+
         raise ModelGenerationError(
-            f"unknown LLC model {name!r}; known: {', '.join(sorted(table))}"
+            unknown_key_message("LLC model", name, list(table))
         )
-    return model
+    from repro.validate.guard import guard_model
+
+    return guard_model(model)
 
 
 def sram_baseline(configuration: str = "fixed-capacity") -> LLCModel:

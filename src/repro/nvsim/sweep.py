@@ -58,11 +58,25 @@ def generate_fixed_area_model(
     area_budget_mm2: float = FIXED_AREA_BUDGET_MM2,
     design_template: Optional[CacheDesign] = None,
 ) -> LLCModel:
-    """Circuit-model LLC at the capacity the area budget buys."""
+    """Circuit-model LLC at the capacity the area budget buys.
+
+    The returned model is checked against the fixed-area invariant
+    (paper equation (5)): its modelled area fits the budget, except at
+    the smallest ladder capacity — the paper's Jan_S case — which is
+    kept despite overshooting.
+    """
+    from repro.validate.guard import check_sweep_models
+
     capacity = solve_fixed_area_capacity(cell, area_budget_mm2, design_template)
     template = design_template or CacheDesign(capacity_bytes=capacity)
     design = replace(template, capacity_bytes=capacity)
-    return generate_llc_model(cell, design)
+    model = generate_llc_model(cell, design)
+    check_sweep_models(
+        [model], "fixed-area",
+        area_budget_mm2=area_budget_mm2,
+        min_capacity_bytes=CAPACITY_LADDER[0],
+    )
+    return model
 
 
 def capacity_sweep(cell: NVMCell, capacities_bytes: List[int]) -> List[LLCModel]:

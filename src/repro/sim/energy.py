@@ -11,6 +11,7 @@ runs (paper Section V-C).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
@@ -58,8 +59,13 @@ def llc_energy(
     is the ablation DESIGN.md calls out (physically, an NVM data array
     pays programming energy on every installation).
     """
-    if runtime_s < 0:
-        raise SimulationError("runtime must be nonnegative")
+    if not math.isfinite(runtime_s) or runtime_s < 0:
+        # `runtime_s < 0` alone lets NaN through (NaN compares False),
+        # and a NaN runtime would poison leakage — and then every
+        # downstream ratio — silently.
+        raise SimulationError(
+            f"runtime must be a finite non-negative number, got {runtime_s!r}"
+        )
     writes = counts.data_writes if include_fill_writes else counts.write_accesses
     return LLCEnergy(
         hit_energy_j=counts.read_hits * llc_model.hit_energy_j,

@@ -8,6 +8,7 @@ SRAM baseline: overall system *speedup*, *LLC total energy*, and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -75,8 +76,16 @@ def normalize(result: SimResult, baseline: SimResult) -> NormalizedResult:
             "normalisation requires the same workload: "
             f"{result.workload!r} vs {baseline.workload!r}"
         )
-    if baseline.runtime_s <= 0 or baseline.energy.total_j <= 0:
-        raise SimulationError("baseline has degenerate runtime or energy")
+    for label, value in (
+        ("baseline runtime", baseline.runtime_s),
+        ("baseline energy", baseline.energy.total_j),
+    ):
+        # `value <= 0` alone lets NaN through (NaN compares False) and a
+        # NaN baseline would turn every ratio below into NaN silently.
+        if not math.isfinite(value) or value <= 0:
+            raise SimulationError(
+                f"degenerate {label} for {baseline.workload!r}: {value!r}"
+            )
     return NormalizedResult(
         workload=result.workload,
         llc_name=result.llc_name,

@@ -46,13 +46,22 @@ def assemble_result(
     llc_model: LLCModel,
     arch: ArchitectureConfig,
 ) -> SimResult:
-    """Resolve timing and energy from precomputed counts."""
+    """Resolve timing and energy from precomputed counts.
+
+    Every assembled result — serial, parallel-worker and resumed paths
+    all converge here — passes the output guard
+    (:func:`repro.validate.guard.guard_result`) before it is returned,
+    so an implausible result can never reach the checkpoint journal,
+    the replay cache or a rendered table.
+    """
+    from repro.validate.guard import guard_result
+
     timing = resolve_timing(private, counts, llc_model, arch)
     energy = llc_energy(
         counts, llc_model, timing.runtime_s,
         include_fill_writes=arch.llc_fill_writes,
     )
-    return SimResult(
+    return guard_result(SimResult(
         workload=workload,
         llc_name=llc_model.name,
         configuration=configuration,
@@ -61,7 +70,7 @@ def assemble_result(
         counts=counts,
         timing=timing,
         total_instructions=private.total_instructions,
-    )
+    ))
 
 
 def simulate_system(
@@ -165,7 +174,13 @@ class SimulationSession:
                 if cached is not None:
                     self._llc_cache[key] = cached
                     return cached
-            counts = replay_llc(self.private, llc_model, self.arch)
+            from repro.validate.guard import guard_counts
+
+            counts = guard_counts(
+                replay_llc(self.private, llc_model, self.arch),
+                subject=f"LLC replay {self.trace.name or 'trace'}"
+                        f"@{llc_model.capacity_bytes}B",
+            )
             self._llc_cache[key] = counts
             if use_disk:
                 cache.put(disk_key, counts)

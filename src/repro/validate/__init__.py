@@ -1,0 +1,61 @@
+"""repro.validate — the input-boundary validation firewall.
+
+Gates every external input and every model output behind a
+``strict | lenient | off`` policy (``REPRO_VALIDATE`` / ``--validate``):
+
+- :mod:`repro.validate.policy` — the policy knob itself;
+- :mod:`repro.validate.guard` — model/result/counts plausibility
+  guards run before anything is journaled, cached or rendered;
+- :mod:`repro.validate.schema` — did-you-mean name lookups and
+  config-mapping schema checks;
+- :mod:`repro.validate.doctor` — the ``repro-cli doctor`` self-check.
+
+The trace-ingestion layer lives with the formats it validates
+(:mod:`repro.trace.io`) and cell plausibility with the cell schema
+(:mod:`repro.cells.validation`); both consult this package's policy.
+
+Design rule: validation *rejects, never repairs* — no value is ever
+modified on the way through, so a passing run's outputs are
+byte-identical whatever the policy, and ``off`` restores pre-firewall
+behavior exactly.
+"""
+
+from repro.validate.guard import (
+    check_sweep_models,
+    guard_counts,
+    guard_model,
+    guard_result,
+    guard_value,
+)
+from repro.validate.policy import (
+    POLICY_ENV,
+    Policy,
+    current_policy,
+    policy_from_env,
+    resolve_policy,
+    set_policy,
+)
+from repro.validate.schema import (
+    architecture_from_mapping,
+    did_you_mean,
+    unknown_key_message,
+    validate_keys,
+)
+
+__all__ = [
+    "POLICY_ENV",
+    "Policy",
+    "architecture_from_mapping",
+    "check_sweep_models",
+    "current_policy",
+    "did_you_mean",
+    "guard_counts",
+    "guard_model",
+    "guard_result",
+    "guard_value",
+    "policy_from_env",
+    "resolve_policy",
+    "set_policy",
+    "unknown_key_message",
+    "validate_keys",
+]

@@ -1,0 +1,82 @@
+"""Schema validation for user-supplied names and config mappings.
+
+Two facilities the lookup boundaries share:
+
+- :func:`did_you_mean` / :func:`unknown_key_message` — close-match
+  suggestions (``difflib``) appended to every "unknown X" error, so a
+  typo'd cell, workload, model or parameter name fails with the fix in
+  the message;
+- :func:`validate_keys` and :func:`architecture_from_mapping` — schema
+  checks for dict-shaped configuration (e.g. sweep/architecture
+  overrides loaded from JSON), rejecting unknown keys with suggestions
+  and coercing values through the dataclass's own ``__post_init__``
+  invariants.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Type
+
+from repro.errors import ConfigurationError, ReproError
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> Optional[str]:
+    """The closest candidate to ``name``, or None when nothing is close."""
+    matches = difflib.get_close_matches(
+        str(name), [str(c) for c in candidates], n=1, cutoff=0.6
+    )
+    return matches[0] if matches else None
+
+
+def unknown_key_message(
+    kind: str, name: str, candidates: Sequence[str]
+) -> str:
+    """A uniform "unknown X" message with a suggestion and the full list."""
+    suggestion = did_you_mean(name, candidates)
+    hint = f" — did you mean {suggestion!r}?" if suggestion else ""
+    known = ", ".join(sorted(str(c) for c in candidates))
+    return f"unknown {kind} {name!r}{hint} (known: {known})"
+
+
+def validate_keys(
+    given: Iterable[str],
+    allowed: Sequence[str],
+    kind: str = "key",
+    error: Type[ReproError] = ConfigurationError,
+) -> None:
+    """Reject any key outside ``allowed`` with a did-you-mean message."""
+    allowed_set = set(allowed)
+    for key in given:
+        if key not in allowed_set:
+            raise error(unknown_key_message(kind, key, list(allowed)))
+
+
+def architecture_from_mapping(overrides: Mapping[str, object]):
+    """Build an :class:`~repro.sim.config.ArchitectureConfig` from a
+    dict of field overrides (the shape sweep/config files use).
+
+    Unknown keys fail with a suggestion; value errors surface as the
+    dataclass's own :class:`~repro.errors.ConfigurationError`.  Nested
+    cache levels may be given as ``{"capacity_bytes": ..., ...}`` dicts.
+    """
+    import dataclasses
+
+    from repro.sim.config import ArchitectureConfig, CacheLevelConfig, DRAMConfig
+
+    fields = {f.name: f for f in dataclasses.fields(ArchitectureConfig)}
+    validate_keys(overrides.keys(), list(fields), kind="architecture field")
+    nested: Dict[str, type] = {"l1d": CacheLevelConfig, "l2": CacheLevelConfig,
+                               "dram": DRAMConfig}
+    resolved = {}
+    for key, value in overrides.items():
+        cls = nested.get(key)
+        if cls is not None and isinstance(value, Mapping):
+            sub_fields = [f.name for f in dataclasses.fields(cls)]
+            validate_keys(value.keys(), sub_fields, kind=f"{key} field")
+            value = cls(**value)
+        resolved[key] = value
+    try:
+        return ArchitectureConfig(**resolved)
+    except TypeError as error:
+        raise ConfigurationError(f"invalid architecture overrides: {error}")

@@ -521,6 +521,9 @@ AI_BENCHMARKS = ("deepsjeng", "leela", "exchange2")
 def profile(name: str) -> BenchmarkProfile:
     """Look up a profile by benchmark name."""
     if name not in PROFILES:
-        known = ", ".join(sorted(PROFILES))
-        raise WorkloadError(f"unknown benchmark {name!r}; known: {known}")
+        from repro.validate.schema import unknown_key_message
+
+        raise WorkloadError(
+            unknown_key_message("benchmark", name, sorted(PROFILES))
+        )
     return PROFILES[name]

@@ -2,15 +2,19 @@
 
 import pytest
 
-from repro.cells.base import CellClass
+from repro.cells.base import CellClass, Param, Provenance
 from repro.cells.heuristics import apply_electrical_properties
 from repro.cells.library import ALL_CELLS, CHUNG, OH, SRAM
 from repro.cells.validation import (
+    PLAUSIBILITY_BOUNDS,
+    check_plausibility,
+    describe_provenance,
     required_parameters,
     require_complete,
+    require_plausible,
     validate_cell,
 )
-from repro.errors import CellParameterError
+from repro.errors import CellParameterError, PlausibilityError
 
 
 class TestRequiredParameters:
@@ -61,3 +65,72 @@ class TestValidateCell:
         with pytest.raises(CellParameterError) as excinfo:
             require_complete(incomplete)
         assert "read_power_uw" in str(excinfo.value)
+
+
+class TestPlausibility:
+    def test_library_cells_all_plausible(self):
+        # The paper's own cells — published or heuristic-filled — must
+        # never trip the bounds; they exist to catch unit mistakes.
+        for cell in ALL_CELLS:
+            assert check_plausibility(apply_electrical_properties(cell)) == []
+
+    def test_out_of_range_value_flagged(self):
+        lo, hi = PLAUSIBILITY_BOUNDS["set_pulse_ns"]
+        broken = OH.with_params(
+            set_pulse_ns=Param(hi * 10, Provenance.INTERPOLATED)
+        )
+        violations = check_plausibility(broken)
+        assert any(v.parameter == "set_pulse_ns" for v in violations)
+
+    def test_violation_names_the_heuristic(self):
+        broken = OH.with_params(
+            set_pulse_ns=Param(1e7, Provenance.INTERPOLATED)
+        )
+        with pytest.raises(PlausibilityError) as excinfo:
+            require_plausible(broken, policy="strict")
+        error = excinfo.value
+        assert "heuristic 2" in error.provenance
+        assert error.field == "set_pulse_ns"
+        assert "Oh_P" in str(error)
+
+    def test_pcram_pulse_ordering_checked(self):
+        # set (crystallisation) faster than reset means the operations
+        # were swapped somewhere upstream.
+        swapped = OH.with_params(
+            set_pulse_ns=Param(5.0, Provenance.REPORTED),
+            reset_pulse_ns=Param(100.0, Provenance.REPORTED),
+        )
+        violations = check_plausibility(swapped)
+        assert any("set>=reset" in v.bound for v in violations)
+
+    def test_write_below_read_energy_flagged(self):
+        cheap_write = CHUNG.with_params(
+            set_energy_pj=Param(1e-4, Provenance.SIMILARITY),
+            reset_energy_pj=Param(1e-4, Provenance.SIMILARITY),
+        )
+        violations = check_plausibility(cheap_write)
+        assert any("write>=read" in v.bound for v in violations)
+
+    def test_lenient_returns_violations(self):
+        broken = OH.with_params(
+            set_pulse_ns=Param(1e7, Provenance.INTERPOLATED)
+        )
+        violations = require_plausible(broken, policy="lenient")
+        assert violations and violations[0].parameter == "set_pulse_ns"
+
+    def test_off_skips_scan(self):
+        broken = OH.with_params(
+            set_pulse_ns=Param(1e7, Provenance.INTERPOLATED)
+        )
+        assert require_plausible(broken, policy="off") == []
+
+    def test_describe_provenance_labels(self):
+        assert "reported" in describe_provenance(
+            Param(1.0, Provenance.REPORTED)
+        )
+        assert "heuristic 1" in describe_provenance(
+            Param(1.0, Provenance.ELECTRICAL)
+        )
+        assert "heuristic 3" in describe_provenance(
+            Param(1.0, Provenance.SIMILARITY, note="donor: Kang")
+        )

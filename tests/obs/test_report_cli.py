@@ -118,7 +118,9 @@ class TestExperimentsCliMetrics:
         from repro.experiments import runner
 
         assert runner.main(["metrics-summary", str(tmp_path / "nowhere")]) == 1
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error[" in err
+        assert "Traceback" not in err
 
     def test_metrics_off_leaves_no_run_files(self, tmp_path, isolated_cache, capsys):
         from repro.experiments import runner

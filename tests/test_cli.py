@@ -83,4 +83,6 @@ class TestCommands:
             "simulate", "--workload", "tonto", "--accesses", "5000",
             "--llc", "Bogus_X",
         ]) == 1
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error[MODEL]:" in err
+        assert "Traceback" not in err

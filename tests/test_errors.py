@@ -15,7 +15,29 @@ ALL_ERRORS = (
     errors.ConfigurationError,
     errors.CorrelationError,
     errors.ExperimentError,
+    errors.CheckpointError,
+    errors.PlausibilityError,
+    errors.PartialResultError,
 )
+
+#: The released code of every error class.  Codes are public interface
+#: (scripts grep for ``error[<code>]``); changing one is a breaking
+#: change, so this mapping is pinned verbatim.
+EXPECTED_CODES = {
+    errors.ReproError: "REPRO",
+    errors.CellParameterError: "CELL",
+    errors.HeuristicError: "HEURISTIC",
+    errors.ModelGenerationError: "MODEL",
+    errors.TraceError: "TRACE",
+    errors.WorkloadError: "WORKLOAD",
+    errors.SimulationError: "SIM",
+    errors.ConfigurationError: "CONFIG",
+    errors.CorrelationError: "CORRELATE",
+    errors.ExperimentError: "EXPERIMENT",
+    errors.CheckpointError: "CHECKPOINT",
+    errors.PlausibilityError: "PLAUSIBILITY",
+    errors.PartialResultError: "PARTIAL",
+}
 
 
 def test_all_derive_from_repro_error():
@@ -48,3 +70,40 @@ def test_errors_carry_messages():
 
         cell_by_name("doesnotexist")
     assert "doesnotexist" in str(excinfo.value)
+
+
+class TestStructuredErrorContract:
+    def test_codes_are_pinned(self):
+        for error_type, code in EXPECTED_CODES.items():
+            assert error_type.code == code
+
+    def test_codes_are_unique(self):
+        codes = [t.code for t in EXPECTED_CODES]
+        assert len(set(codes)) == len(codes)
+
+    def test_every_class_has_an_exit_code(self):
+        for error_type in EXPECTED_CODES:
+            assert isinstance(error_type.exit_code, int)
+            assert error_type.exit_code >= 1
+
+    def test_exit_code_table(self):
+        assert errors.ReproError.exit_code == 1
+        assert errors.PartialResultError.exit_code == 3
+        assert errors.TraceError.exit_code == 4
+        assert errors.PlausibilityError.exit_code == 4
+
+    def test_render_error_format(self):
+        rendered = errors.render_error(errors.TraceError("bad line"))
+        assert rendered == "error[TRACE]: bad line"
+
+    def test_trace_error_carries_context(self):
+        error = errors.TraceError("x", lineno=7, field="gap", value="zz")
+        assert (error.lineno, error.field, error.value) == (7, "gap", "zz")
+
+    def test_plausibility_error_carries_context(self):
+        error = errors.PlausibilityError(
+            "x", subject="cell", field="pulse", value=1.0,
+            bound="range", provenance="heuristic 2",
+        )
+        assert error.subject == "cell"
+        assert error.provenance == "heuristic 2"

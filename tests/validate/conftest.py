@@ -1,0 +1,25 @@
+"""Fixtures for the validation-firewall tests.
+
+Every test in this package runs with a clean policy slate: no
+process-local override, no ``REPRO_VALIDATE`` in the environment, and
+the once-per-process lenient warning re-armed.
+"""
+
+import pytest
+
+from repro.validate.guard import reset_lenient_warning
+from repro.validate.policy import POLICY_ENV, set_policy
+
+
+@pytest.fixture(autouse=True)
+def clean_policy(monkeypatch):
+    monkeypatch.delenv(POLICY_ENV, raising=False)
+    set_policy(None)
+    reset_lenient_warning()
+    yield
+    # Clear the env again before resetting: a test may have left garbage
+    # in REPRO_VALIDATE (monkeypatch restores it after this finalizer),
+    # and set_policy(None) re-reads the environment.
+    monkeypatch.delenv(POLICY_ENV, raising=False)
+    set_policy(None)
+    reset_lenient_warning()

@@ -1,0 +1,83 @@
+"""Tests for the ``repro-cli doctor`` self-check."""
+
+import io
+
+from repro.validate import doctor
+from repro.validate.doctor import (
+    EXIT_CELLS,
+    EXIT_ENVIRONMENT,
+    EXIT_MODELS,
+    EXIT_SWEEP,
+    run_doctor,
+)
+
+
+def test_exit_codes_are_distinct_and_documented():
+    codes = (EXIT_ENVIRONMENT, EXIT_CELLS, EXIT_MODELS, EXIT_SWEEP)
+    assert codes == (10, 11, 12, 13)
+    assert len(set(codes)) == 4
+
+
+def test_clean_checkout_is_healthy():
+    stream = io.StringIO()
+    assert run_doctor(stream) == 0
+    out = stream.getvalue()
+    assert "doctor: healthy" in out
+    assert "FAIL" not in out
+    # One line per check plus the verdict.
+    assert len(out.strip().splitlines()) == len(doctor.CHECKS) + 1
+
+
+def test_first_failing_class_sets_exit_code(monkeypatch):
+    def boom():
+        raise RuntimeError("injected failure")
+
+    def fine():
+        return "ok"
+
+    monkeypatch.setattr(doctor, "CHECKS", [
+        (EXIT_ENVIRONMENT, "env ok", fine),
+        (EXIT_CELLS, "cells bad", boom),
+        (EXIT_SWEEP, "sweep bad", boom),
+    ])
+    stream = io.StringIO()
+    assert run_doctor(stream) == EXIT_CELLS
+    out = stream.getvalue()
+    assert "FAIL [RuntimeError] injected failure" in out
+    assert "doctor: exit 11" in out
+    # Failures render structured, never as tracebacks.
+    assert "Traceback" not in out
+
+
+def test_later_checks_still_run_after_failure(monkeypatch):
+    ran = []
+
+    def boom():
+        ran.append("boom")
+        raise ValueError("nope")
+
+    def fine():
+        ran.append("fine")
+        return "ok"
+
+    monkeypatch.setattr(doctor, "CHECKS", [
+        (EXIT_MODELS, "a", boom),
+        (EXIT_SWEEP, "b", fine),
+    ])
+    assert run_doctor(io.StringIO()) == EXIT_MODELS
+    assert ran == ["boom", "fine"]
+
+
+def test_cli_doctor_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["doctor"]) == 0
+    assert "doctor: healthy" in capsys.readouterr().out
+
+
+def test_golden_sweep_below_cache_threshold():
+    """The golden sweep must never touch the on-disk replay cache, so
+    doctor results are independent of cache state."""
+    from repro.sim.replay_cache import DEFAULT_MIN_ACCESSES
+
+    assert doctor.GOLDEN_ACCESSES < DEFAULT_MIN_ACCESSES

@@ -1,0 +1,78 @@
+"""Tests for the validation policy knob (strict | lenient | off)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validate.policy import (
+    POLICY_ENV,
+    Policy,
+    current_policy,
+    policy_from_env,
+    resolve_policy,
+    set_policy,
+)
+
+
+class TestEnvironment:
+    def test_default_is_strict(self):
+        assert policy_from_env() is Policy.STRICT
+        assert current_policy() is Policy.STRICT
+
+    def test_env_selects_policy(self, monkeypatch):
+        for raw, want in (
+            ("strict", Policy.STRICT),
+            ("lenient", Policy.LENIENT),
+            ("off", Policy.OFF),
+            ("  LENIENT \n", Policy.LENIENT),  # trimmed, case-insensitive
+        ):
+            monkeypatch.setenv(POLICY_ENV, raw)
+            assert current_policy() is want
+
+    def test_blank_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "   ")
+        assert current_policy() is Policy.STRICT
+
+    def test_garbage_env_is_structured_error(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "paranoid")
+        with pytest.raises(ConfigurationError, match="REPRO_VALIDATE"):
+            current_policy()
+
+    def test_env_read_at_call_time(self, monkeypatch):
+        assert current_policy() is Policy.STRICT
+        monkeypatch.setenv(POLICY_ENV, "off")
+        assert current_policy() is Policy.OFF
+
+
+class TestOverride:
+    def test_set_policy_beats_env(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "off")
+        assert set_policy("lenient") is Policy.LENIENT
+        assert current_policy() is Policy.LENIENT
+
+    def test_set_policy_none_removes_override(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "lenient")
+        set_policy("off")
+        set_policy(None)
+        assert current_policy() is Policy.LENIENT
+
+
+class TestResolve:
+    def test_none_means_current(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "lenient")
+        assert resolve_policy(None) is Policy.LENIENT
+
+    def test_policy_instance_passes_through(self):
+        assert resolve_policy(Policy.OFF) is Policy.OFF
+
+    def test_string_parses(self):
+        assert resolve_policy("Strict") is Policy.STRICT
+
+    def test_bad_string_is_structured_error(self):
+        with pytest.raises(ConfigurationError):
+            resolve_policy("yes")
+
+
+def test_active_flag():
+    assert Policy.STRICT.active
+    assert Policy.LENIENT.active
+    assert not Policy.OFF.active

@@ -1,0 +1,90 @@
+"""Tests for did-you-mean suggestions and config-mapping schema checks."""
+
+import pytest
+
+from repro.errors import CellParameterError, ConfigurationError, WorkloadError
+from repro.validate.schema import (
+    architecture_from_mapping,
+    did_you_mean,
+    unknown_key_message,
+    validate_keys,
+)
+
+
+class TestDidYouMean:
+    def test_close_match_found(self):
+        assert did_you_mean("leela", ["leela", "lu", "mg"]) == "leela"
+        assert did_you_mean("lela", ["leela", "lu", "mg"]) == "leela"
+
+    def test_no_match_is_none(self):
+        assert did_you_mean("zzzzzz", ["leela", "lu", "mg"]) is None
+
+    def test_message_includes_suggestion_and_known(self):
+        message = unknown_key_message("benchmark", "lela", ["leela", "lu"])
+        assert "did you mean 'leela'?" in message
+        assert "known: leela, lu" in message
+
+    def test_message_without_suggestion(self):
+        message = unknown_key_message("benchmark", "qqq", ["leela", "lu"])
+        assert "did you mean" not in message
+        assert "unknown benchmark 'qqq'" in message
+
+
+class TestLookupBoundaries:
+    """The library's name lookups all suggest the fix for a typo."""
+
+    def test_cell_lookup_suggests(self):
+        from repro.cells.library import cell_by_name
+
+        with pytest.raises(CellParameterError, match="did you mean 'Kang_P'"):
+            cell_by_name("Kang_X")
+
+    def test_workload_lookup_suggests(self):
+        from repro.workloads.profiles import profile
+
+        with pytest.raises(WorkloadError, match="did you mean 'leela'"):
+            profile("lela")
+
+    def test_model_lookup_suggests(self):
+        from repro.errors import ModelGenerationError
+        from repro.nvsim.published import published_model
+
+        with pytest.raises(ModelGenerationError, match="did you mean 'Xue_S'"):
+            published_model("Xue")
+
+
+class TestValidateKeys:
+    def test_allowed_keys_pass(self):
+        validate_keys(["a", "b"], ["a", "b", "c"])
+
+    def test_unknown_key_rejected_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'n_cores'"):
+            validate_keys(["n_coers"], ["n_cores", "clock_hz"], kind="field")
+
+
+class TestArchitectureFromMapping:
+    def test_valid_overrides(self):
+        arch = architecture_from_mapping({"n_cores": 8, "llc_associativity": 8})
+        assert arch.n_cores == 8
+        assert arch.llc_associativity == 8
+
+    def test_empty_mapping_is_default(self):
+        from repro.sim.config import gainestown
+
+        assert architecture_from_mapping({}) == gainestown()
+
+    def test_typo_suggests_field(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'n_cores'"):
+            architecture_from_mapping({"n_coers": 8})
+
+    def test_nested_level_dict(self):
+        arch = architecture_from_mapping(
+            {"l2": {"capacity_bytes": 512 * 1024, "associativity": 8}}
+        )
+        assert arch.l2.capacity_bytes == 512 * 1024
+
+    def test_nested_typo_suggests(self):
+        with pytest.raises(
+            ConfigurationError, match="did you mean 'capacity_bytes'"
+        ):
+            architecture_from_mapping({"l2": {"capacity_byte": 512 * 1024}})
