@@ -11,6 +11,10 @@ Subcommands (each prints a small report to stdout):
 - ``cache``        — inspect/clear the on-disk replay cache
 - ``doctor``       — self-check the installation (environment, cell
   library, model generation, a golden-trace sweep)
+- ``serve``        — run the experiment service daemon (:mod:`repro.serve`)
+- ``submit``       — submit a job to a running service
+- ``status``       — poll the service (one job, or every job + health)
+- ``fetch``        — fetch a finished job's result payload
 
 The global ``--metrics`` flag (before the subcommand) collects
 :mod:`repro.obs` telemetry for the invocation — replay events, cache
@@ -161,7 +165,7 @@ def _cmd_techniques(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.sim.replay_cache import ReplayCache, cache_max_bytes
+    from repro.sim.replay_cache import ReplayCache
 
     cache = ReplayCache()
     if args.clear:
@@ -172,15 +176,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         swept = cache.sweep_stale_tmp(max_age_s=0.0)
         print(f"swept {swept} stale temp files from {cache.root}")
         return 0
-    cap = cache_max_bytes()
-    total_mb = cache.total_bytes() / (1024 * 1024)
-    tmp_files = sum(1 for _ in cache.root.glob("*.tmp")) if cache.root.is_dir() else 0
-    print(f"replay cache: {cache.root}")
-    print(f"  enabled     {cache.enabled}")
-    print(f"  entries     {cache.entries()}")
+    stats = cache.stats()
+    cap = stats["max_bytes"]
+    total_mb = stats["total_bytes"] / (1024 * 1024)
+    print(f"replay cache: {stats['root']}")
+    print(f"  enabled     {stats['enabled']}")
+    print(f"  entries     {stats['entries']}")
     print(f"  size        {total_mb:.1f} MB"
           + (f" (cap {cap / (1024 * 1024):.0f} MB)" if cap else " (no cap)"))
-    print(f"  temp files  {tmp_files}")
+    print(f"  temp files  {stats['tmp_files']}")
     return 0
 
 
@@ -188,6 +192,85 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.validate.doctor import run_doctor
 
     return run_doctor()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ExperimentServer
+
+    server = ExperimentServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queued=args.queue_max,
+        state_dir=args.dir,
+    )
+    server.serve_until_drained()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    response = client.submit(
+        args.experiment, scale=args.scale, seed=args.seed,
+        priority=args.priority,
+    )
+    job = response["job"]
+    dedup = " (deduplicated onto an existing job)" if response["deduped"] else ""
+    print(f"job {job['id']}  state={job['state']}  "
+          f"digest={job['digest'][:16]}{dedup}")
+    if not args.wait:
+        return 0
+    record = client.wait(job["id"], timeout_s=args.timeout)
+    if record["state"] != "done":
+        print(f"job {job['id']} {record['state']}: "
+              f"{record['error'] or '(no detail)'}", file=sys.stderr)
+        return 5
+    sys.stdout.write(client.result(job["id"])["render"])
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.job_id:
+        record = client.status(args.job_id)
+        for key in ("id", "state", "digest", "submissions", "error"):
+            if record[key] is not None:
+                print(f"  {key:12s} {record[key]}")
+        spec = record["spec"]
+        print(f"  {'spec':12s} {spec['experiment']} scale={spec['scale']:g} "
+              f"seed={spec['seed']}")
+        return 0
+    health = client.health()
+    print(f"service {client.url}: {health['status']}  "
+          f"workers={health['workers']}  queued={health['queued']}  "
+          f"running={health['running']}")
+    jobs = client.list_jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for record in jobs:
+        spec = record["spec"]
+        print(f"  {record['id']}  {record['state']:9s} "
+              f"{spec['experiment']:12s} scale={spec['scale']:g} "
+              f"submissions={record['submissions']}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.json:
+        sys.stdout.write(client.result_bytes(args.job_id).decode() + "\n")
+        return 0
+    payload = client.result(args.job_id)
+    print(payload["title"])
+    sys.stdout.write(payload["render"])
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -253,6 +336,59 @@ def build_parser() -> argparse.ArgumentParser:
         "10/11/12/13 = environment/cells/models/sweep failure)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the experiment service daemon (SIGTERM drains gracefully)",
+    )
+    p.add_argument("--host", default=None,
+                   help="bind address (also: REPRO_SERVE_HOST; "
+                   "default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port, 0 = ephemeral (also: REPRO_SERVE_PORT; "
+                   "default 8765)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads (also: REPRO_SERVE_WORKERS; "
+                   "default 2)")
+    p.add_argument("--queue-max", type=int, default=None,
+                   help="queued-job bound before 429 backpressure "
+                   "(also: REPRO_SERVE_QUEUE_MAX; default 64)")
+    p.add_argument("--dir", default=None,
+                   help="state directory for the drain journal and per-job "
+                   "checkpoints (also: REPRO_SERVE_DIR)")
+
+    def add_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=None,
+                       help="service base URL (also: REPRO_SERVE_URL; "
+                       "default http://127.0.0.1:8765)")
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("--experiment", required=True,
+                   help="experiment id (e.g. table2, figure1, coresweep)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="trace-length scale factor in (0, 1]")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload generator seed")
+    p.add_argument("--priority", type=int, default=0,
+                   help="dispatch priority (higher runs first)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until done and print the rendered result")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait with --wait (default 600)")
+    add_url(p)
+
+    p = sub.add_parser(
+        "status", help="poll the service (one job, or every job + health)"
+    )
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id (omit to list all jobs)")
+    add_url(p)
+
+    p = sub.add_parser("fetch", help="fetch a finished job's result payload")
+    p.add_argument("job_id", help="job id")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw canonical JSON payload")
+    add_url(p)
+
     return parser
 
 
@@ -265,6 +401,10 @@ _HANDLERS = {
     "techniques": _cmd_techniques,
     "cache": _cmd_cache,
     "doctor": _cmd_doctor,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
 }
 
 

@@ -147,6 +147,43 @@ class PlausibilityError(ReproError):
         self.provenance = provenance
 
 
+class ServeError(ReproError):
+    """The experiment service (:mod:`repro.serve`) rejected a request.
+
+    Carries ``http_status`` — the HTTP response status the daemon maps
+    the error to — alongside the usual ``code``/``exit_code`` contract,
+    so the same exception type serves both the HTTP boundary and the
+    ``repro-cli submit``/``fetch`` client (which exits 5 on any
+    service-side failure).
+    """
+
+    code = "SERVE"
+    exit_code = 5
+
+    #: Default HTTP status the daemon renders this error with.
+    http_status = 400
+
+    def __init__(self, message: str, http_status: Optional[int] = None) -> None:
+        super().__init__(message)
+        if http_status is not None:
+            self.http_status = http_status
+
+
+class QueueFullError(ServeError):
+    """The service job queue is at capacity (backpressure).
+
+    Rendered as HTTP 429 with a ``Retry-After`` header carrying
+    ``retry_after_s``; callers should back off and resubmit.
+    """
+
+    code = "BUSY"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class PartialResultError(ExperimentError):
     """A sweep finished with some cells failed — but none lost.
 

@@ -61,6 +61,76 @@ EXPERIMENTS = (
 DEFAULT_RESULTS_DIR = "results"
 
 
+def run_experiment(name: str, context: ExperimentContext, features=None):
+    """Run one experiment by id; returns ``(title, rendered_text, features)``.
+
+    The single dispatch point every front end shares: :func:`run_all`,
+    the experiment service (:mod:`repro.serve`) and the golden-result
+    suite all produce their output through this function, so their
+    renders are identical by construction.
+
+    ``features`` threads the Table VI result through to Figure 4 so a
+    full run computes it once; a standalone Figure 4 run recomputes it.
+    The returned ``features`` is the Table VI result when this
+    experiment produced one, else the value passed in.
+    """
+    if name == "table2":
+        return "Table II", table2.render(table2.run()), features
+    if name == "table3":
+        result = table3.run()
+        text = (
+            table3.render(result, "fixed-capacity")
+            + "\n\n"
+            + table3.render(result, "fixed-area")
+        )
+        return "Table III", text, features
+    if name == "table5":
+        return "Table V", table5.render(table5.run(context)), features
+    if name == "table6":
+        features = table6.run(context)
+        return "Table VI", table6.render(features), features
+    if name == "figure1":
+        return "Figure 1", figure1.render(figure1.run(context)), features
+    if name == "figure2":
+        return "Figure 2", figure2.render(figure2.run(context)), features
+    if name == "figure4":
+        return (
+            "Figure 4",
+            figure4.render(figure4.run(context, features)),
+            features,
+        )
+    if name == "coresweep":
+        return (
+            "Core sweep (Section V-C)",
+            coresweep.render(coresweep.run(context=context)),
+            features,
+        )
+    if name == "lifetime":
+        return (
+            "Lifetime study (Section VII)",
+            lifetime.render(lifetime.run(context)),
+            features,
+        )
+    if name == "techniques":
+        return (
+            "Techniques study (extension)",
+            techniques_study.render(techniques_study.run(context)),
+            features,
+        )
+    if name == "sensitivity":
+        return (
+            "Sensitivity study (extension)",
+            sensitivity.render(sensitivity.run(context=context)),
+            features,
+        )
+    from repro.errors import ExperimentError
+    from repro.validate.schema import unknown_key_message
+
+    raise ExperimentError(
+        unknown_key_message("experiment", name, list(EXPERIMENTS))
+    )
+
+
 def _run_settings(
     scale: float, only: Optional[str], jobs: Optional[int],
     write_path: Optional[str], trace_file: Optional[str], seed: int,
@@ -182,43 +252,8 @@ def run_all(
 
     def run_one(name: str) -> Tuple[str, str]:
         nonlocal features
-        if name == "table2":
-            return "Table II", table2.render(table2.run())
-        if name == "table3":
-            result = table3.run()
-            return "Table III", (
-                table3.render(result, "fixed-capacity")
-                + "\n\n"
-                + table3.render(result, "fixed-area")
-            )
-        if name == "table5":
-            return "Table V", table5.render(table5.run(context))
-        if name == "table6":
-            features = table6.run(context)
-            return "Table VI", table6.render(features)
-        if name == "figure1":
-            return "Figure 1", figure1.render(figure1.run(context))
-        if name == "figure2":
-            return "Figure 2", figure2.render(figure2.run(context))
-        if name == "figure4":
-            return "Figure 4", figure4.render(figure4.run(context, features))
-        if name == "coresweep":
-            return "Core sweep (Section V-C)", coresweep.render(
-                coresweep.run(context=context)
-            )
-        if name == "lifetime":
-            return "Lifetime study (Section VII)", lifetime.render(
-                lifetime.run(context)
-            )
-        if name == "techniques":
-            return "Techniques study (extension)", techniques_study.render(
-                techniques_study.run(context)
-            )
-        if name == "sensitivity":
-            return "Sensitivity study (extension)", sensitivity.render(
-                sensitivity.run(context=context)
-            )
-        raise ValueError(f"unknown experiment {name!r}")
+        title, text, features = run_experiment(name, context, features)
+        return title, text
 
     selected = [name for name in EXPERIMENTS if only is None or name == only]
 

@@ -1,0 +1,65 @@
+"""repro.serve — the experiment service daemon and its client.
+
+A long-running HTTP JSON service over the experiment engine: a
+priority job queue that deduplicates concurrent identical submissions
+onto one computation (:mod:`repro.serve.queue`), a bounded worker pool
+with the sweep layer's fault/retry discipline
+(:mod:`repro.serve.executor`), graceful SIGTERM drain with a durable
+queued-job journal (:mod:`repro.serve.journal`), and stdlib HTTP
+endpoints plus a urllib client (:mod:`repro.serve.server`,
+:mod:`repro.serve.client`).  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import DEFAULT_URL, URL_ENV, ServeClient, resolve_url
+from repro.serve.executor import DEFAULT_WORKERS, WORKERS_ENV, WorkerPool
+from repro.serve.jobs import (
+    Job,
+    JobSpec,
+    JobState,
+    execute_spec,
+    normalize_spec,
+    spec_digest,
+)
+from repro.serve.journal import JOB_JOURNAL_NAME, JobJournal
+from repro.serve.queue import (
+    DEFAULT_MAX_QUEUED,
+    DEFAULT_RETRY_AFTER_S,
+    JobQueue,
+)
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DIR_ENV,
+    HOST_ENV,
+    PORT_ENV,
+    QUEUE_MAX_ENV,
+    ExperimentServer,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_QUEUED",
+    "DEFAULT_PORT",
+    "DEFAULT_RETRY_AFTER_S",
+    "DEFAULT_URL",
+    "DEFAULT_WORKERS",
+    "DIR_ENV",
+    "ExperimentServer",
+    "HOST_ENV",
+    "JOB_JOURNAL_NAME",
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "PORT_ENV",
+    "QUEUE_MAX_ENV",
+    "ServeClient",
+    "URL_ENV",
+    "WORKERS_ENV",
+    "WorkerPool",
+    "execute_spec",
+    "normalize_spec",
+    "resolve_url",
+    "spec_digest",
+]

@@ -1,0 +1,175 @@
+"""Client for the experiment service: urllib over the JSON API.
+
+:class:`ServeClient` is what ``repro-cli submit|status|fetch`` (and the
+tests, and the CI smoke job) speak through.  Error responses are mapped
+back into the structured error hierarchy: a 429 becomes a
+:class:`~repro.errors.QueueFullError` carrying the server's
+``Retry-After`` hint, anything else with a JSON error body becomes a
+:class:`~repro.errors.ServeError` whose ``code`` is the server-side
+error code — so a caller sees the same ``error[<code>]`` rendering
+whether the failure happened locally or across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import QueueFullError, ServeError
+
+#: Environment variable naming the service base URL.
+URL_ENV = "REPRO_SERVE_URL"
+
+#: Default base URL (the daemon's default bind address).
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+def resolve_url(url: Optional[str] = None) -> str:
+    """Base URL: explicit argument > ``REPRO_SERVE_URL`` > default."""
+    if url is None:
+        url = os.environ.get(URL_ENV, "").strip() or DEFAULT_URL
+    return url.rstrip("/")
+
+
+class ServeClient:
+    """Thin JSON client over one service base URL."""
+
+    def __init__(
+        self, url: Optional[str] = None, timeout_s: float = 30.0
+    ) -> None:
+        self.url = resolve_url(url)
+        self.timeout_s = timeout_s
+
+    # -- transport --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error)
+        except urllib.error.URLError as error:
+            raise ServeError(
+                f"cannot reach experiment service at {self.url}: "
+                f"{error.reason}",
+                http_status=503,
+            )
+
+    @staticmethod
+    def _to_error(error: urllib.error.HTTPError) -> ServeError:
+        """Rebuild the server's structured error from an HTTP response."""
+        raw = error.read()
+        message = f"HTTP {error.code}"
+        code = None
+        try:
+            payload = json.loads(raw)
+            message = str(payload.get("error", message))
+            code = payload.get("code")
+        except (json.JSONDecodeError, AttributeError):
+            if raw:
+                message = f"{message}: {raw[:200]!r}"
+        if error.code == 429:
+            try:
+                retry_after = float(error.headers.get("Retry-After", "1"))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            return QueueFullError(message, retry_after_s=retry_after)
+        out = ServeError(message, http_status=error.code)
+        if isinstance(code, str) and code:
+            out.code = code
+        return out
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, body))
+
+    # -- API --------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` — the service's obs registry snapshot."""
+        return self._json("GET", "/metrics")
+
+    def submit(
+        self,
+        experiment: str,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """``POST /jobs`` — returns ``{"job": {...}, "deduped": bool}``."""
+        body: Dict[str, Any] = {"experiment": experiment, "scale": scale}
+        if seed is not None:
+            body["seed"] = seed
+        if priority:
+            body["priority"] = priority
+        return self._json("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — the job's status record."""
+        return self._json("GET", f"/jobs/{job_id}")["job"]
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs`` — every job's status record."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /jobs/<id>/result`` — the raw canonical payload bytes."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The result payload, parsed."""
+        return json.loads(self.result_bytes(job_id))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /jobs/<id>/cancel``."""
+        return self._json("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record.
+
+        Raises :class:`~repro.errors.ServeError` on timeout.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout_s:g}s waiting for job "
+                    f"{job_id} (last state: {record['state']})",
+                    http_status=504,
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,117 @@
+"""Bounded worker pool executing queued jobs in daemon threads.
+
+Workers pull from the :class:`~repro.serve.queue.JobQueue` and run each
+job through :func:`~repro.serve.jobs.execute_spec` under the sweep
+layer's :class:`~repro.sim.parallel.FaultPolicy` retry discipline
+(:func:`~repro.sim.parallel.call_with_retries`): deterministic library
+errors fail the job immediately — rerunning them reproduces the
+failure — while anything else is treated as transient and retried with
+exponential backoff before the job is marked FAILED.
+
+Threads (not processes) are the right pool here: one job already
+amortises its heavy lifting through numpy replays, the on-disk replay
+cache and per-job cell checkpoints, and results must land in the shared
+queue under one lock.  ``REPRO_SERVE_WORKERS`` (or the ``workers``
+argument) bounds concurrency; the default of 2 keeps a small host
+responsive while still overlapping a long job with short ones.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.obs import metrics as _metrics
+from repro.serve.jobs import execute_spec
+from repro.serve.queue import JobQueue
+from repro.sim.parallel import FaultPolicy, call_with_retries
+
+#: Environment variable bounding the worker thread count.
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+
+#: Default worker threads when neither argument nor environment decide.
+DEFAULT_WORKERS = 2
+
+#: How long an idle worker waits on the queue before re-checking stop.
+_POLL_S = 0.1
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > environment > default (2)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                )
+        else:
+            workers = DEFAULT_WORKERS
+    if workers < 1:
+        raise ExperimentError("serve workers must be >= 1")
+    return workers
+
+
+class WorkerPool:
+    """N daemon threads draining a :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        workers: Optional[int] = None,
+        policy: Optional[FaultPolicy] = None,
+        state_dir: Optional[str] = None,
+    ) -> None:
+        self.queue = queue
+        self.workers = resolve_workers(workers)
+        self.policy = policy if policy is not None else FaultPolicy.from_env()
+        self.state_dir = state_dir
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        _metrics.gauge_set("serve.workers", self.workers)
+
+    def stop(self, wait: bool = True) -> None:
+        """Ask workers to exit; with ``wait``, block until in-flight
+        jobs finish (queued jobs are left queued — the drain path
+        journals them)."""
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=_POLL_S)
+            if job is None:
+                continue
+            start = time.perf_counter()
+            try:
+                result = call_with_retries(
+                    lambda: execute_spec(job.spec, self.state_dir),
+                    self.policy,
+                    retry_counter="serve.retries",
+                )
+            except Exception as error:
+                self.queue.fail(job, error)
+            else:
+                self.queue.finish(job, result)
+                _metrics.timer_record(
+                    "serve.job", time.perf_counter() - start
+                )

@@ -127,6 +127,41 @@ def _checksum(text: str) -> str:
     return hashlib.blake2b(text.encode(), digest_size=8).hexdigest()
 
 
+def journal_line(payload: Dict[str, Any]) -> str:
+    """One checksummed journal line (no trailing newline) for ``payload``.
+
+    The line format every durable JSONL journal in this package shares
+    (the cell checkpoint here, the service job journal in
+    :mod:`repro.serve.journal`): ``{"check": <blake2b of canonical
+    payload JSON>, "payload": {...}}`` with sorted keys, so
+    :func:`parse_journal_line` can verify integrity line-by-line.
+    """
+    body = _canonical(payload)
+    return json.dumps(
+        {"check": _checksum(body), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def parse_journal_line(line: str) -> Dict[str, Any]:
+    """Parse and verify one :func:`journal_line`; returns the payload.
+
+    Raises :class:`ValueError` on any damage — unparseable JSON, a
+    missing field, or a checksum mismatch — so callers can skip (and
+    count) corrupt records without ever trusting their contents.
+    """
+    try:
+        record = json.loads(line)
+        payload = record["payload"]
+        check = record["check"]
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise ValueError(f"unreadable journal line: {error}")
+    if check != _checksum(_canonical(payload)):
+        raise ValueError("journal line checksum mismatch")
+    return payload
+
+
 class CheckpointJournal:
     """Append-only, checksummed JSONL journal of completed sweep cells.
 
@@ -172,10 +207,7 @@ class CheckpointJournal:
             if not line:
                 continue
             try:
-                record = json.loads(line)
-                payload = record["payload"]
-                if record["check"] != _checksum(_canonical(payload)):
-                    raise ValueError("checksum mismatch")
+                payload = parse_journal_line(line)
                 if payload["schema"] != JOURNAL_SCHEMA:
                     raise ValueError("unknown journal schema")
                 results = {
@@ -207,12 +239,7 @@ class CheckpointJournal:
             "configuration": cell.configuration,
             "results": {name: result_to_dict(r) for name, r in results.items()},
         }
-        body = _canonical(payload)
-        line = json.dumps(
-            {"check": _checksum(body), "payload": payload},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        line = journal_line(payload)
         try:
             if self._handle is None:
                 self.directory.mkdir(parents=True, exist_ok=True)

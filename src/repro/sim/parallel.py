@@ -267,20 +267,38 @@ def _backoff(policy: FaultPolicy, attempt: int) -> None:
         time.sleep(delay)
 
 
-def _retrying_run(cell: SweepCell, policy: FaultPolicy) -> Dict[str, SimResult]:
-    """Run one cell in-process with the policy's transient-retry loop."""
+def call_with_retries(
+    fn: Callable[[], Any],
+    policy: FaultPolicy,
+    retry_counter: str = "parallel.retries",
+) -> Any:
+    """Call ``fn`` with the policy's transient-retry loop.
+
+    The retry discipline of a sweep cell, exposed for any caller with
+    the same failure taxonomy (the experiment service's worker threads
+    use it per job): deterministic library failures
+    (:class:`~repro.errors.ReproError`) fail fast — a retry would
+    reproduce them — while any other exception is treated as transient
+    and retried up to ``policy.max_retries`` times with exponential
+    backoff, counting each retry in ``retry_counter``.
+    """
     attempt = 0
     while True:
         try:
-            return run_cell(cell)
+            return fn()
         except ReproError:
             raise  # deterministic: retrying reproduces the same failure
         except Exception:
             attempt += 1
             if attempt > policy.max_retries:
                 raise
-            _metrics.counter_add("parallel.retries")
+            _metrics.counter_add(retry_counter)
             _backoff(policy, attempt)
+
+
+def _retrying_run(cell: SweepCell, policy: FaultPolicy) -> Dict[str, SimResult]:
+    """Run one cell in-process with the policy's transient-retry loop."""
+    return call_with_retries(lambda: run_cell(cell), policy)
 
 
 class _PoolFailure(Exception):

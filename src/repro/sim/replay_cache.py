@@ -425,6 +425,26 @@ class ReplayCache:
         """Total size of all entries currently on disk."""
         return sum(size for _, size, _ in self._entries_by_age())
 
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of the cache's on-disk state.
+
+        The shape ``repro-cli cache``, ``repro-cli serve``'s health
+        endpoint and the doctor all render: root, enabled flag, entry
+        count, total/capped bytes and orphaned temp files.
+        """
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": self.entries(),
+            "total_bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "tmp_files": (
+                sum(1 for _ in self.root.glob("*.tmp"))
+                if self.root.is_dir()
+                else 0
+            ),
+        }
+
     def should_cache(self, trace: Trace) -> bool:
         """Whether a trace is worth caching (enabled + long enough)."""
         return self.enabled and len(trace) >= self.min_accesses

@@ -1,0 +1,176 @@
+"""Tolerance-aware comparison of rendered experiment output.
+
+The golden-result regression suite (``tests/golden/``) pins the full
+rendered text of every experiment at a tiny, seeded scale.  A byte
+comparison would be too brittle — a different BLAS, platform ``libm`` or
+numpy version can legitimately flip the last bit of a float — so
+:func:`compare_rendered` compares *structure exactly, numbers
+approximately*:
+
+- the two texts must have the same line count;
+- per line, everything between numbers (whitespace-collapsed) must
+  match byte-for-byte;
+- numeric tokens must agree within ``rel_tol``/``abs_tol``
+  (:func:`math.isclose` semantics);
+- runs of chart glyphs (bars, shading ramps, sparklines) may differ by
+  one glyph — a value sitting exactly on a bucket boundary may round
+  either way under a one-ulp input change.
+
+Snapshots are stored as JSON (:func:`save_snapshot` /
+:func:`load_snapshot`) carrying the experiment id, the scale/seed that
+produced them and the rendered text; ``tools/regen_golden.py``
+regenerates the whole set when a change to the numbers is *intended*.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import ExperimentError
+
+#: Snapshot file schema (bump on incompatible layout changes).
+SNAPSHOT_SCHEMA = 1
+
+#: Default relative tolerance for numeric tokens.  Wide enough for
+#: cross-platform libm/BLAS noise, far tighter than any real regression.
+DEFAULT_REL_TOL = 1e-6
+
+#: Default absolute tolerance (matters only for values near zero).
+DEFAULT_ABS_TOL = 1e-9
+
+_NUMBER_RE = re.compile(r"[-+]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?")
+
+#: Characters used by the text-mode charts; runs of these tolerate a
+#: one-glyph length difference (bucket-boundary rounding).
+_GLYPH_CHARS = set("█▓▒░▁▂▃▄▅▆▇|^")
+
+
+def _parts(line: str) -> List[tuple]:
+    """Split a line into ``("text", str)`` / ``("num", float)`` parts.
+
+    Text parts are whitespace-collapsed so tolerated numeric width
+    changes (and the column padding they shift) never register as
+    structural differences.
+    """
+    parts: List[tuple] = []
+    pos = 0
+    for match in _NUMBER_RE.finditer(line):
+        text = " ".join(line[pos:match.start()].split())
+        if text:
+            parts.append(("text", text))
+        parts.append(("num", float(match.group())))
+        pos = match.end()
+    text = " ".join(line[pos:].split())
+    if text:
+        parts.append(("text", text))
+    return parts
+
+
+def _glyph_run(text: str) -> bool:
+    return bool(text) and all(ch in _GLYPH_CHARS for ch in text)
+
+
+def _text_matches(expected: str, actual: str) -> bool:
+    if expected == actual:
+        return True
+    if _glyph_run(expected) and _glyph_run(actual):
+        return abs(len(expected) - len(actual)) <= 1
+    return False
+
+
+def compare_rendered(
+    expected: str,
+    actual: str,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+    label: str = "render",
+) -> List[str]:
+    """Compare two rendered texts; returns a list of mismatch messages.
+
+    An empty list means the texts agree (structure exactly, numbers
+    within tolerance).  Each message names the 1-based line and what
+    diverged, so a failing golden test reads like a diff.
+    """
+    mismatches: List[str] = []
+    expected_lines = expected.splitlines()
+    actual_lines = actual.splitlines()
+    if len(expected_lines) != len(actual_lines):
+        mismatches.append(
+            f"{label}: line count {len(actual_lines)} != expected "
+            f"{len(expected_lines)}"
+        )
+        return mismatches
+    for lineno, (want, got) in enumerate(
+        zip(expected_lines, actual_lines), start=1
+    ):
+        want_parts = _parts(want)
+        got_parts = _parts(got)
+        if len(want_parts) != len(got_parts):
+            mismatches.append(
+                f"{label} line {lineno}: structure differs\n"
+                f"  expected: {want}\n  actual:   {got}"
+            )
+            continue
+        for (want_kind, want_value), (got_kind, got_value) in zip(
+            want_parts, got_parts
+        ):
+            if want_kind != got_kind:
+                mismatches.append(
+                    f"{label} line {lineno}: {got_value!r} where "
+                    f"{want_value!r} expected\n"
+                    f"  expected: {want}\n  actual:   {got}"
+                )
+                break
+            if want_kind == "num":
+                if not math.isclose(
+                    want_value, got_value, rel_tol=rel_tol, abs_tol=abs_tol
+                ):
+                    mismatches.append(
+                        f"{label} line {lineno}: {got_value!r} != "
+                        f"{want_value!r} (rel_tol={rel_tol:g})\n"
+                        f"  expected: {want}\n  actual:   {got}"
+                    )
+                    break
+            elif not _text_matches(want_value, got_value):
+                mismatches.append(
+                    f"{label} line {lineno}: text {got_value!r} != "
+                    f"{want_value!r}\n"
+                    f"  expected: {want}\n  actual:   {got}"
+                )
+                break
+    return mismatches
+
+
+def save_snapshot(path: Union[str, Path], record: Dict[str, Any]) -> Path:
+    """Write one golden snapshot (sorted-key JSON, trailing newline)."""
+    path = Path(path)
+    payload = dict(record)
+    payload["schema"] = SNAPSHOT_SCHEMA
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one golden snapshot, validating its schema and shape."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ExperimentError(
+            f"no golden snapshot at {path} — run tools/regen_golden.py"
+        )
+    except json.JSONDecodeError as error:
+        raise ExperimentError(f"unreadable golden snapshot {path}: {error}")
+    if not isinstance(payload, dict) or "render" not in payload:
+        raise ExperimentError(f"{path} is not a golden snapshot")
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        raise ExperimentError(
+            f"golden snapshot {path} has schema {payload.get('schema')!r}, "
+            f"expected {SNAPSHOT_SCHEMA} — run tools/regen_golden.py"
+        )
+    return payload

@@ -52,6 +52,42 @@ def validate_keys(
             raise error(unknown_key_message(kind, key, list(allowed)))
 
 
+def coerce_number(
+    kind: str,
+    value: object,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    integer: bool = False,
+    error: Type[ReproError] = ConfigurationError,
+) -> float:
+    """Coerce a user-supplied number, rejecting junk with a clear message.
+
+    Used by dict-shaped request boundaries (the experiment service's job
+    specs, config files): ``value`` must parse as a finite number,
+    optionally an integer, and fall inside the closed ``[lo, hi]``
+    bounds.  Returns the coerced float (or int when ``integer``).
+    """
+    import math
+
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise error(f"{kind} must be a number, got {value!r}")
+    try:
+        number = float(value)
+    except ValueError:
+        raise error(f"{kind} must be a number, got {value!r}") from None
+    if not math.isfinite(number):
+        raise error(f"{kind} must be finite, got {value!r}")
+    if integer:
+        if number != int(number):
+            raise error(f"{kind} must be an integer, got {value!r}")
+        number = int(number)
+    if lo is not None and number < lo:
+        raise error(f"{kind} must be >= {lo:g}, got {number:g}")
+    if hi is not None and number > hi:
+        raise error(f"{kind} must be <= {hi:g}, got {number:g}")
+    return number
+
+
 def architecture_from_mapping(overrides: Mapping[str, object]):
     """Build an :class:`~repro.sim.config.ArchitectureConfig` from a
     dict of field overrides (the shape sweep/config files use).

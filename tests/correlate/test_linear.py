@@ -82,3 +82,44 @@ class TestTopCorrelates:
     def test_name_length_mismatch(self):
         with pytest.raises(CorrelationError):
             top_correlates(np.zeros((3, 1)), ["a", "b"])
+
+    def test_response_index_selects_column(self):
+        matrix = np.array([[0.1, -0.9], [0.8, 0.2]])
+        ranked = top_correlates(matrix, ["a", "b"], response_index=1)
+        assert ranked[0] == ("a", pytest.approx(-0.9))
+
+
+class TestNumericalEdgeCases:
+    def test_subnormal_samples_do_not_underflow(self):
+        # centred subnormals would underflow the denominator without the
+        # unit-rescale; the correlation must still come out exactly 1
+        tiny = 5e-324
+        x = np.array([tiny, 2 * tiny, 3 * tiny, 4 * tiny])
+        assert pearson(x, x.copy()) == pytest.approx(1.0)
+
+    def test_huge_samples_do_not_overflow(self):
+        big = 8e307  # ptp stays finite: 2*big < float64 max
+        x = np.array([big, -big, big / 2, -big / 2])
+        assert pearson(x, x.copy()) == pytest.approx(1.0)
+
+    def test_nearly_constant_after_centering(self):
+        # identical floats whose mean rounds slightly off must still be
+        # treated as degenerate (the raw-range test)
+        x = np.array([0.1] * 5)
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert pearson(x, y) == 0.0
+
+    def test_matrix_accepts_single_column_vectors(self):
+        # atleast_2d: a 1-D response is one response column, transposed
+        features = np.array([[1.0], [2.0], [3.0]])
+        responses = np.array([[2.0], [4.0], [6.0]])
+        matrix = correlation_matrix(features, responses)
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_matrix_with_degenerate_feature_column(self):
+        features = np.array([[1.0, 5.0], [1.0, 6.0], [1.0, 7.0]])
+        responses = np.array([[1.0], [2.0], [3.0]])
+        matrix = correlation_matrix(features, responses)
+        assert matrix[0, 0] == 0.0
+        assert matrix[1, 0] == pytest.approx(1.0)

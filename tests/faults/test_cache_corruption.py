@@ -18,6 +18,11 @@ import pytest
 from repro.sim.parallel import SweepCell, run_cells
 from repro.sim.replay_cache import CACHE_DIR_ENV, default_cache, reset_default_cache
 
+# Fault-injection tests mutate process-global state (env hooks,
+# the default replay cache, child processes, signals): CI runs
+# them in the dedicated non-parallel `serial` job.
+pytestmark = pytest.mark.serial
+
 #: Long enough to clear DEFAULT_MIN_ACCESSES so the sweep uses the cache.
 _N_ACCESSES = 12_000
 

@@ -14,7 +14,14 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parents[2]
+
+# Fault-injection tests mutate process-global state (env hooks,
+# the default replay cache, child processes, signals): CI runs
+# them in the dedicated non-parallel `serial` job.
+pytestmark = pytest.mark.serial
 
 _WORKER = r"""
 import json, random, sys

@@ -13,6 +13,13 @@ import os
 from repro.experiments.common import ExperimentContext
 from repro.sim.checkpoint import CheckpointJournal, cell_digest
 
+import pytest
+
+# Fault-injection tests mutate process-global state (env hooks,
+# the default replay cache, child processes, signals): CI runs
+# them in the dedicated non-parallel `serial` job.
+pytestmark = pytest.mark.serial
+
 
 def _context(tmp_path, jobs=1, **kwargs):
     return ExperimentContext(

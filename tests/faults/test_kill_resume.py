@@ -19,6 +19,11 @@ from pathlib import Path
 
 import pytest
 
+# Fault-injection tests mutate process-global state (env hooks,
+# the default replay cache, child processes, signals): CI runs
+# them in the dedicated non-parallel `serial` job.
+pytestmark = pytest.mark.serial
+
 REPO = Path(__file__).resolve().parents[2]
 
 #: Strips wall-clock noise: stdout "[1.2s]" stamps and the report's

@@ -15,6 +15,11 @@ from repro.sim.parallel import FaultPolicy, SweepCell, run_cells
 
 from tests.faults.conftest import arm_hook
 
+# Fault-injection tests mutate process-global state (env hooks,
+# the default replay cache, child processes, signals): CI runs
+# them in the dedicated non-parallel `serial` job.
+pytestmark = pytest.mark.serial
+
 
 def _cells(workloads=("leela", "exchange2", "gamess", "tonto")):
     return [

@@ -1,0 +1,104 @@
+"""Unit tests for the tolerance-aware golden comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.validate.golden import (
+    SNAPSHOT_SCHEMA,
+    compare_rendered,
+    load_snapshot,
+    save_snapshot,
+)
+
+
+class TestCompareRendered:
+    def test_identical_text_matches(self):
+        text = "mpki 12.34 | speedup 0.981\nbar ███▓░\n"
+        assert compare_rendered(text, text) == []
+
+    def test_number_within_tolerance_matches(self):
+        want = "speedup 0.981000"
+        got = "speedup 0.981000000001"
+        assert compare_rendered(want, got) == []
+
+    def test_number_outside_tolerance_reported_with_line(self):
+        want = "a 1.0\nb 2.0\nc 3.0"
+        got = "a 1.0\nb 2.5\nc 3.0"
+        mismatches = compare_rendered(want, got)
+        assert len(mismatches) == 1
+        assert "line 2" in mismatches[0]
+        assert "2.5" in mismatches[0]
+
+    def test_custom_tolerance(self):
+        assert compare_rendered("x 100", "x 101", rel_tol=0.05) == []
+        assert compare_rendered("x 100", "x 101", rel_tol=1e-6)
+
+    def test_line_count_mismatch_short_circuits(self):
+        mismatches = compare_rendered("a 1\nb 2", "a 1")
+        assert len(mismatches) == 1
+        assert "line count" in mismatches[0]
+
+    def test_text_difference_reported(self):
+        mismatches = compare_rendered("mpki 1.0", "ipc 1.0")
+        assert len(mismatches) == 1
+        assert "text" in mismatches[0]
+
+    def test_structure_difference_reported(self):
+        mismatches = compare_rendered("a 1 b", "a 1 b 2")
+        assert len(mismatches) == 1
+        assert "structure" in mismatches[0]
+
+    def test_whitespace_padding_is_ignored(self):
+        # numeric width changes shift column padding; that is tolerated
+        assert compare_rendered("val   9.99  ok", "val 10.01 ok",
+                                rel_tol=0.01) == []
+
+    def test_glyph_run_tolerates_one_glyph(self):
+        assert compare_rendered("x 1 ████", "x 1 █████") == []
+        assert compare_rendered("x 1 ▁▂▃", "x 1 ▁▂") == []
+
+    def test_glyph_run_two_glyphs_off_fails(self):
+        assert compare_rendered("x 1 ████", "x 1 ██████")
+
+    def test_plain_text_gets_no_glyph_slack(self):
+        assert compare_rendered("abc 1", "abcd 1")
+
+    def test_scientific_notation_numbers(self):
+        assert compare_rendered("rate 1.5e-09 /s", "rate 1.5e-9 /s") == []
+
+    def test_label_prefixes_messages(self):
+        mismatches = compare_rendered("1", "2", label="table9")
+        assert mismatches[0].startswith("table9")
+
+
+class TestSnapshotIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"experiment": "x", "render": "a 1\n"})
+        payload = load_snapshot(path)
+        assert payload["render"] == "a 1\n"
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+
+    def test_missing_snapshot_mentions_regen_tool(self, tmp_path):
+        with pytest.raises(ExperimentError, match="regen_golden"):
+            load_snapshot(tmp_path / "nope.json")
+
+    def test_corrupt_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError, match="unreadable"):
+            load_snapshot(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text('{"schema": 1}')
+        with pytest.raises(ExperimentError, match="not a golden snapshot"):
+            load_snapshot(path)
+
+    def test_schema_mismatch_mentions_regen_tool(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"schema": 0, "render": "x"}')
+        with pytest.raises(ExperimentError, match="regen_golden"):
+            load_snapshot(path)

@@ -40,3 +40,33 @@ class TestReportBuilder:
         builder.add_section("Only", "body")
         path = builder.write(tmp_path / "report.md")
         assert path.read_text().startswith("# Run")
+
+    def test_write_accepts_string_path(self, tmp_path):
+        builder = ReportBuilder(title="Run")
+        out = builder.write(str(tmp_path / "report.md"))
+        assert out.is_file()
+
+    def test_extra_provenance_bullets(self):
+        builder = ReportBuilder(
+            title="Run", provenance=["engine: vectorized", "jobs: 4"]
+        )
+        text = builder.render()
+        assert "- engine: vectorized" in text
+        assert "- jobs: 4" in text
+
+    def test_section_without_elapsed_has_no_suffix(self):
+        builder = ReportBuilder(title="Run")
+        builder.add_section("Plain", "body")
+        assert "generated in" not in builder.render()
+
+    def test_section_body_fenced(self):
+        builder = ReportBuilder(title="Run")
+        builder.add_section("S", "| a | b |")
+        text = builder.render()
+        assert "```\n| a | b |\n```" in text
+
+    def test_empty_report_renders_header_only(self):
+        text = ReportBuilder(title="Empty").render()
+        assert text.startswith("# Empty")
+        assert "##" not in text
+        assert ReportBuilder(title="Empty").n_sections == 0

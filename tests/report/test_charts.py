@@ -4,7 +4,23 @@ import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
-from repro.report.charts import bar_chart, correlation_heatmap, sparkline
+from repro.report.charts import _shade, bar_chart, correlation_heatmap, sparkline
+
+
+class TestShade:
+    def test_degenerate_range_uses_weakest_glyph(self):
+        assert _shade(5.0, 1.0, 1.0) == " "
+        assert _shade(5.0, 2.0, 1.0) == " "
+
+    def test_extremes_clamped(self):
+        assert _shade(-10.0, 0.0, 1.0) == " "
+        assert _shade(10.0, 0.0, 1.0) == "█"
+
+    def test_monotone_in_value(self):
+        ramp = " ░▒▓█"
+        shades = [_shade(v / 10, 0.0, 1.0) for v in range(11)]
+        indices = [ramp.index(s) for s in shades]
+        assert indices == sorted(indices)
 
 
 class TestBarChart:
@@ -40,6 +56,27 @@ class TestBarChart:
         with pytest.raises(ExperimentError):
             bar_chart({"x": 1.0}, width=3)
 
+    def test_no_reference_no_marker_row(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, reference=None)
+        assert "reference" not in chart
+        assert "^" not in chart
+
+    def test_reference_marker_drawn_through_short_bars(self):
+        # a bar well below the reference must show the | marker
+        chart = bar_chart({"low": 0.1, "high": 2.0}, reference=1.0)
+        low_line = next(l for l in chart.splitlines() if l.startswith(" low"))
+        assert "|" in low_line
+
+    def test_equal_values_still_render(self):
+        # span collapses to zero; the or-1.0 fallback must kick in
+        chart = bar_chart({"a": 3.0, "b": 3.0}, reference=None)
+        assert chart.count("█") >= 2
+
+    def test_log_scale_clamps_nonpositive_values(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0},
+                          reference=None, log_scale=True)
+        assert "zero" in chart  # no math domain error
+
 
 class TestCorrelationHeatmap:
     def test_values_and_signs(self):
@@ -63,6 +100,23 @@ class TestCorrelationHeatmap:
         assert "█" in strong_line or "▓" in strong_line
         assert "█" not in weak_line
 
+    def test_title_line(self):
+        heat = correlation_heatmap(
+            np.zeros((1, 1)), ["f"], ["r"], title="Figure 4a"
+        )
+        assert heat.splitlines()[0] == "Figure 4a"
+
+    def test_long_column_labels_widen_columns(self):
+        heat = correlation_heatmap(
+            np.zeros((1, 2)), ["f"], ["short", "a-very-long-response-name"]
+        )
+        header = heat.splitlines()[0]
+        assert "a-very-long-response-name" in header
+
+    def test_negative_zero_shown_as_positive(self):
+        heat = correlation_heatmap(np.array([[0.0]]), ["f"], ["r"])
+        assert "+0.00" in heat
+
 
 class TestSparkline:
     def test_length_matches(self):
@@ -78,3 +132,10 @@ class TestSparkline:
     def test_empty_rejected(self):
         with pytest.raises(ExperimentError):
             sparkline([])
+
+    def test_single_value(self):
+        assert len(sparkline([7.0])) == 1
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[1] == "█"

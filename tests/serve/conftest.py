@@ -1,0 +1,49 @@
+"""Fixtures for the experiment-service tests.
+
+The replay cache is pointed at a session-scoped temp directory so serve
+tests are hermetic (no cross-run cache reuse) while still sharing
+replay work among themselves — the second serve test that runs a
+``table2`` job hits the cache the first one populated.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.replay_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_replay_cache(tmp_path_factory):
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(
+        tmp_path_factory.mktemp("serve-replay-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+
+
+@pytest.fixture
+def running_server(tmp_path):
+    """A started in-process daemon on an ephemeral port, drained on exit."""
+    from repro.serve import ExperimentServer
+
+    server = ExperimentServer(
+        port=0, workers=2, state_dir=str(tmp_path / "state")
+    )
+    server.start()
+    yield server
+    server.drain()
+
+
+@pytest.fixture
+def client(running_server):
+    """A client bound to the running server."""
+    from repro.serve import ServeClient
+
+    return ServeClient(running_server.url)

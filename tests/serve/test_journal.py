@@ -1,0 +1,87 @@
+"""Unit tests for the drain journal (durability, corruption handling)."""
+
+from __future__ import annotations
+
+from repro.serve.jobs import JobSpec, spec_digest
+from repro.serve.journal import JOB_JOURNAL_NAME, JobJournal
+from repro.serve.queue import JobQueue
+
+
+def queued(seeds):
+    queue = JobQueue()
+    return [queue.submit(JobSpec("table2", 0.05, s))[0] for s in seeds]
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        jobs = queued([1, 2, 3])
+        journal = JobJournal(tmp_path)
+        assert journal.write_jobs(jobs) == 3
+        records = JobJournal(tmp_path).load()
+        assert [r["id"] for r in records] == [j.id for j in jobs]
+        assert [r["priority"] for r in records] == [0, 0, 0]
+        for record, job in zip(records, jobs):
+            assert record["spec"] == job.spec.as_dict()
+            assert record["digest"] == spec_digest(job.spec)
+
+    def test_empty_load(self, tmp_path):
+        assert JobJournal(tmp_path).load() == []
+
+    def test_rewrite_replaces_previous_journal(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_jobs(queued([1, 2]))
+        journal.write_jobs(queued([3]))
+        records = journal.load()
+        assert len(records) == 1
+        assert records[0]["spec"]["seed"] == 3
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_jobs(queued([1, 2]))
+        path = tmp_path / JOB_JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"check": "00000000", "payload": {"id": "x"}}')
+        lines.append("not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        fresh = JobJournal(tmp_path)
+        records = fresh.load()
+        assert len(records) == 2  # the two genuine jobs survive
+        assert fresh.skipped_corrupt == 2
+
+    def test_truncated_tail_loses_only_that_line(self, tmp_path):
+        # a torn write (crash mid-line) must not poison earlier records
+        journal = JobJournal(tmp_path)
+        journal.write_jobs(queued([1, 2]))
+        path = tmp_path / JOB_JOURNAL_NAME
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        fresh = JobJournal(tmp_path)
+        assert len(fresh.load()) == 1
+        assert fresh.skipped_corrupt == 1
+
+    def test_unknown_schema_skipped(self, tmp_path):
+        from repro.sim.checkpoint import journal_line
+
+        path = tmp_path / JOB_JOURNAL_NAME
+        record = {"schema": 999, "id": "job-x", "spec": {"experiment": "t"}}
+        path.write_text(journal_line(record) + "\n")
+        fresh = JobJournal(tmp_path)
+        assert fresh.load() == []
+        assert fresh.skipped_corrupt == 1
+
+    def test_write_creates_directory(self, tmp_path):
+        journal = JobJournal(tmp_path / "deep" / "state")
+        journal.write_jobs(queued([1]))
+        assert journal.path.is_file()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_jobs(queued([1, 2, 3]))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_clear(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_jobs(queued([1]))
+        journal.clear()
+        assert journal.load() == []
+        journal.clear()  # idempotent

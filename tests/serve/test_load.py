@@ -1,0 +1,199 @@
+"""Load tests for the experiment service — the PR's acceptance proofs.
+
+- a storm of concurrent duplicate + distinct submissions performs
+  exactly one computation per digest (``serve.jobs.executed``) and
+  every caller fetches byte-identical payload bytes;
+- the queue bound produces 429 backpressure under a submission flood;
+- SIGTERM on a loaded daemon drains gracefully: in-flight jobs finish,
+  queued jobs are journaled, and a restarted daemon completes every one
+  of them (zero loss).
+
+Marked ``serial``: these tests drive real daemons (threads, sockets,
+subprocesses, signals) and must not share a pytest process with
+parallel friends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.serve import ExperimentServer, ServeClient
+
+pytestmark = pytest.mark.serial
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestDedupUnderLoad:
+    N_THREADS = 12
+    DISTINCT = 3  # seeds 0..2, four duplicate submitters each
+
+    def test_one_computation_per_digest_and_identical_payloads(
+        self, running_server
+    ):
+        client = ServeClient(running_server.url)
+        responses = [None] * self.N_THREADS
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def submit(index: int) -> None:
+            barrier.wait()  # line every submitter up on the same instant
+            responses[index] = client.submit(
+                "table2", scale=0.02, seed=index % self.DISTINCT
+            )
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        by_seed = {}
+        for index, response in enumerate(responses):
+            assert response is not None
+            by_seed.setdefault(index % self.DISTINCT, set()).add(
+                response["job"]["id"]
+            )
+        # every duplicate submitter was coalesced onto one job id
+        for seed, ids in by_seed.items():
+            assert len(ids) == 1, f"seed {seed} got {len(ids)} jobs"
+
+        job_ids = [ids.pop() for ids in by_seed.values()]
+        for job_id in job_ids:
+            record = client.wait(job_id, timeout_s=120)
+            assert record["state"] == "done"
+            assert record["submissions"] == self.N_THREADS // self.DISTINCT
+
+        # exactly one engine computation per distinct digest
+        counters = client.metrics()["counters"]
+        assert counters["serve.jobs.executed"] == self.DISTINCT
+        assert counters["serve.jobs.submitted"] == self.DISTINCT
+        assert (
+            counters["serve.jobs.deduped"]
+            == self.N_THREADS - self.DISTINCT
+        )
+
+        # every caller sees byte-identical payload bytes
+        for job_id in job_ids:
+            payloads = {client.result_bytes(job_id) for _ in range(4)}
+            assert len(payloads) == 1
+
+
+class TestBackpressure:
+    def test_flood_beyond_bound_gets_429(self, tmp_path):
+        server = ExperimentServer(
+            port=0, workers=1, max_queued=3,
+            state_dir=str(tmp_path / "state"),
+        )
+        server.start()
+        try:
+            server.queue.pause_dispatch()  # nothing drains during the flood
+            client = ServeClient(server.url)
+            accepted, rejected = 0, 0
+            for seed in range(10):
+                try:
+                    client.submit("table2", scale=0.02, seed=seed)
+                    accepted += 1
+                except QueueFullError as error:
+                    rejected += 1
+                    assert error.retry_after_s > 0
+            assert accepted == 3
+            assert rejected == 7
+            assert client.metrics()["counters"]["serve.jobs.rejected"] == 7
+        finally:
+            server.drain()
+
+
+class TestSigtermDrain:
+    def _start_daemon(self, state_dir: str, workers: int = 1):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", str(workers),
+                "--dir", state_dir,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=str(REPO),
+        )
+        banner = proc.stdout.readline()
+        match = re.search(r"(http://\S+)", banner)
+        assert match, f"no URL in banner {banner!r} (stderr: {proc.stderr})"
+        return proc, match.group(1)
+
+    def test_sigterm_drains_with_zero_job_loss(self, tmp_path):
+        state = str(tmp_path / "state")
+        proc, url = self._start_daemon(state)
+        client = ServeClient(url)
+        ids = [
+            client.submit("figure2", scale=0.05, seed=seed)["job"]["id"]
+            for seed in range(5)
+        ]
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert "drained:" in out
+
+        # every accepted job either finished before the drain or sits in
+        # the journal — none vanished
+        from repro.serve.journal import JobJournal
+
+        journaled = {r["id"] for r in JobJournal(state).load()}
+        match = re.search(r"drained: (\d+) done, (\d+) queued", out)
+        assert match, out
+        done, queued = int(match.group(1)), int(match.group(2))
+        assert len(journaled) == queued
+        assert done + queued == len(ids)
+        assert journaled <= set(ids)
+
+        # restart: journaled jobs are restored and complete under their
+        # original ids
+        proc2, url2 = self._start_daemon(state)
+        try:
+            client2 = ServeClient(url2)
+            for job_id in ids:
+                if job_id not in journaled:
+                    continue
+                record = client2.wait(job_id, timeout_s=120)
+                assert record["state"] == "done"
+                payload = json.loads(client2.result_bytes(job_id))
+                assert payload["experiment"] == "figure2"
+            if journaled:
+                counters = client2.metrics()["counters"]
+                assert counters["serve.jobs.restored"] == len(journaled)
+            assert JobJournal(state).load() == []  # consumed on restore
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            out2, _ = proc2.communicate(timeout=120)
+            assert proc2.returncode == 0
+
+    def test_sigterm_lets_in_flight_job_finish(self, tmp_path):
+        state = str(tmp_path / "state")
+        proc, url = self._start_daemon(state)
+        client = ServeClient(url)
+        job_id = client.submit("table2", scale=0.02, seed=99)["job"]["id"]
+        # give the worker a moment to pick the job up, then drain
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if client.status(job_id)["state"] != "queued":
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        match = re.search(r"drained: (\d+) done, (\d+) queued", out)
+        assert match, out
+        assert int(match.group(1)) + int(match.group(2)) == 1

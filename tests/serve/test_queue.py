@@ -1,0 +1,190 @@
+"""Unit tests for the deduplicating priority queue (no engine runs)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import QueueFullError, ServeError
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.queue import JobQueue
+
+
+def spec(seed: int, experiment: str = "table2") -> JobSpec:
+    return JobSpec(experiment=experiment, scale=0.05, seed=seed)
+
+
+@pytest.fixture
+def registry():
+    with _metrics.scoped_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+class TestDedup:
+    def test_duplicate_submission_coalesces(self, registry):
+        queue = JobQueue()
+        job, deduped = queue.submit(spec(1))
+        again, deduped2 = queue.submit(spec(1))
+        assert not deduped and deduped2
+        assert again is job
+        assert job.submissions == 2
+        assert registry.counters["serve.jobs.submitted"] == 1
+        assert registry.counters["serve.jobs.deduped"] == 1
+
+    def test_running_job_still_dedups(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        assert queue.get(timeout=0) is job
+        assert job.state is JobState.RUNNING
+        again, deduped = queue.submit(spec(1))
+        assert deduped and again is job
+
+    def test_done_job_still_dedups(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        queue.get(timeout=0)
+        queue.finish(job, b"{}")
+        again, deduped = queue.submit(spec(1))
+        assert deduped and again is job
+
+    def test_failed_job_releases_digest(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        queue.get(timeout=0)
+        queue.fail(job, RuntimeError("boom"))
+        fresh, deduped = queue.submit(spec(1))
+        assert not deduped and fresh is not job
+
+    def test_cancelled_job_releases_digest(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        queue.cancel(job.id)
+        fresh, deduped = queue.submit(spec(1))
+        assert not deduped and fresh is not job
+
+    def test_distinct_specs_do_not_coalesce(self):
+        queue = JobQueue()
+        a, _ = queue.submit(spec(1))
+        b, _ = queue.submit(spec(2))
+        assert a is not b
+
+
+class TestBackpressure:
+    def test_queue_full_raises_429_with_retry_after(self, registry):
+        queue = JobQueue(max_queued=2, retry_after_s=3.5)
+        queue.submit(spec(1))
+        queue.submit(spec(2))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(spec(3))
+        assert excinfo.value.http_status == 429
+        assert excinfo.value.retry_after_s == 3.5
+        assert registry.counters["serve.jobs.rejected"] == 1
+
+    def test_duplicates_never_count_against_the_bound(self):
+        queue = JobQueue(max_queued=1)
+        queue.submit(spec(1))
+        _, deduped = queue.submit(spec(1))
+        assert deduped
+
+    def test_running_jobs_free_queue_slots(self):
+        queue = JobQueue(max_queued=1)
+        queue.submit(spec(1))
+        queue.get(timeout=0)  # now running, slot free
+        queue.submit(spec(2))
+
+    def test_restore_bypasses_the_bound(self):
+        queue = JobQueue(max_queued=1)
+        queue.submit(spec(1))
+        job, deduped = queue.submit(spec(2), enforce_bound=False)
+        assert not deduped and job.state is JobState.QUEUED
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ServeError):
+            JobQueue(max_queued=0)
+
+
+class TestDispatch:
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue()
+        low, _ = queue.submit(spec(1), priority=0)
+        high, _ = queue.submit(spec(2), priority=10)
+        also_low, _ = queue.submit(spec(3), priority=0)
+        order = [queue.get(timeout=0) for _ in range(3)]
+        assert order == [high, low, also_low]
+
+    def test_get_times_out_empty(self):
+        assert JobQueue().get(timeout=0.01) is None
+
+    def test_get_skips_cancelled_jobs(self):
+        queue = JobQueue()
+        a, _ = queue.submit(spec(1))
+        b, _ = queue.submit(spec(2))
+        queue.cancel(a.id)
+        assert queue.get(timeout=0) is b
+        assert queue.get(timeout=0) is None
+
+    def test_get_wakes_on_submit(self):
+        queue = JobQueue()
+        got = []
+
+        def waiter():
+            got.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        job, _ = queue.submit(spec(1))
+        thread.join(timeout=5.0)
+        assert got == [job]
+
+    def test_pause_dispatch_keeps_jobs_queued(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        queue.pause_dispatch()
+        assert queue.get(timeout=0.01) is None
+        assert job.state is JobState.QUEUED
+        assert queue.queued_jobs() == [job]
+
+
+class TestControl:
+    def test_cancel_requires_queued(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(1))
+        queue.get(timeout=0)
+        with pytest.raises(ServeError) as excinfo:
+            queue.cancel(job.id)
+        assert excinfo.value.http_status == 409
+
+    def test_unknown_job_is_404(self):
+        with pytest.raises(ServeError) as excinfo:
+            JobQueue().job("job-nope")
+        assert excinfo.value.http_status == 404
+
+    def test_reject_submissions_is_503(self):
+        queue = JobQueue()
+        queue.reject_submissions("draining")
+        with pytest.raises(ServeError) as excinfo:
+            queue.submit(spec(1))
+        assert excinfo.value.http_status == 503
+
+    def test_counts_and_describe(self):
+        queue = JobQueue()
+        a, _ = queue.submit(spec(1))
+        queue.submit(spec(2))
+        queue.get(timeout=0)
+        queue.finish(a, b"{}")
+        counts = queue.counts()
+        assert counts["done"] == 1 and counts["queued"] == 1
+        records = queue.describe()
+        assert len(records) == 2
+        assert {r["state"] for r in records} == {"done", "queued"}
+
+    def test_executed_counter_counts_finishes(self, registry):
+        queue = JobQueue()
+        a, _ = queue.submit(spec(1))
+        queue.get(timeout=0)
+        queue.finish(a, b"{}")
+        assert registry.counters["serve.jobs.executed"] == 1
+        assert registry.gauges["serve.queue.depth"] == 0

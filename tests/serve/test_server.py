@@ -1,0 +1,214 @@
+"""HTTP endpoint tests for the experiment service (in-process daemon)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ExperimentServer, ServeClient
+from repro.serve.jobs import JobSpec, JobState
+
+
+class TestEndpoints:
+    def test_healthz(self, client, running_server):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["queue_bound"] == 64
+        assert health["uptime_s"] >= 0
+        assert set(health["queue"]) == {
+            s.value for s in JobState
+        }
+        assert "entries" in health["cache"]
+
+    def test_metrics_is_an_obs_snapshot(self, client):
+        snapshot = client.metrics()
+        assert "counters" in snapshot and "gauges" in snapshot
+
+    def test_submit_poll_fetch(self, client):
+        response = client.submit("table2", scale=0.02, seed=3)
+        assert response["deduped"] is False
+        job = response["job"]
+        record = client.wait(job["id"], timeout_s=120)
+        assert record["state"] == "done"
+        payload = client.result(job["id"])
+        assert payload["experiment"] == "table2"
+        assert "Table II" in payload["render"]
+        assert client.metrics()["counters"]["serve.jobs.executed"] == 1
+
+    def test_submit_rejects_bad_specs_with_400(self, client):
+        for body, fragment in [
+            ({"experiment": "tabel2"}, "table2"),  # did-you-mean
+            ({"experiment": "table2", "scal": 1}, "scale"),
+            ({"experiment": "table2", "scale": 2.0}, "scale"),
+        ]:
+            with pytest.raises(ServeError) as excinfo:
+                client._json("POST", "/jobs", body)
+            assert excinfo.value.http_status == 400
+            assert fragment in str(excinfo.value)
+
+    def test_submit_requires_json_object(self, client):
+        import urllib.error
+        import urllib.request
+
+        for raw in (b"", b"[1, 2]", b"{not json"):
+            request = urllib.request.Request(
+                client.url + "/jobs", data=raw, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+            assert b"JSON" in excinfo.value.read()
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.status("job-nope")
+        assert excinfo.value.http_status == 404
+
+    def test_result_of_pending_job_is_409(self, running_server, client):
+        running_server.queue.pause_dispatch()  # keep it queued
+        job = client.submit("table3", scale=0.02, seed=3)["job"]
+        with pytest.raises(ServeError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.http_status == 409
+
+    def test_cancel_queued_job_then_result_is_410(self, running_server, client):
+        running_server.queue.pause_dispatch()
+        job = client.submit("table5", scale=0.02, seed=3)["job"]
+        record = client.cancel(job["id"])
+        assert record["state"] == "cancelled"
+        with pytest.raises(ServeError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.http_status == 410
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._json("GET", "/nope")
+        assert excinfo.value.http_status == 404
+
+    def test_list_jobs(self, running_server, client):
+        running_server.queue.pause_dispatch()
+        client.submit("table2", scale=0.02, seed=3)
+        client.submit("table3", scale=0.02, seed=3)
+        jobs = client.list_jobs()
+        assert len(jobs) == 2
+        assert {j["spec"]["experiment"] for j in jobs} == {"table2", "table3"}
+
+    def test_error_body_carries_structured_code(self, client):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.url + "/jobs/job-nope", method="GET"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        body = json.loads(excinfo.value.read())
+        assert body["code"] == "SERVE"
+        assert body["error"].startswith("error[SERVE]:")
+
+    def test_unreachable_service_is_a_structured_error(self):
+        client = ServeClient("http://127.0.0.1:9", timeout_s=1.0)
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.health()
+
+
+class TestDrainRestore:
+    def test_drain_journals_queued_and_restart_completes_them(self, tmp_path):
+        state = str(tmp_path / "state")
+        first = ExperimentServer(port=0, workers=1, state_dir=state)
+        first.start()
+        client = ServeClient(first.url)
+        first.queue.pause_dispatch()  # hold everything queued
+        ids = [
+            client.submit(exp, scale=0.02, seed=3)["job"]["id"]
+            for exp in ("table2", "table3", "table5")
+        ]
+        summary = first.drain()
+        assert summary["journaled"] == 3
+
+        second = ExperimentServer(port=0, workers=1, state_dir=state)
+        second.start()
+        try:
+            assert second.restored_jobs == 3
+            client2 = ServeClient(second.url)
+            for job_id in ids:  # original ids survive the restart
+                record = client2.wait(job_id, timeout_s=120)
+                assert record["state"] == "done"
+                assert client2.result(job_id)["render"]
+            metrics = client2.metrics()
+            assert metrics["counters"]["serve.jobs.restored"] == 3
+            # journal consumed: a third start restores nothing
+            assert JobJournalEmpty(state)
+        finally:
+            second.drain()
+
+    def test_draining_server_rejects_submissions_with_503(self, tmp_path):
+        server = ExperimentServer(
+            port=0, workers=1, state_dir=str(tmp_path / "state")
+        )
+        server.start()
+        client = ServeClient(server.url)
+        server.queue.reject_submissions("service is draining")
+        with pytest.raises(ServeError) as excinfo:
+            client.submit("table2", scale=0.02, seed=3)
+        assert excinfo.value.http_status == 503
+        server.drain()
+
+    def test_drain_without_state_dir_journals_nothing(self):
+        server = ExperimentServer(port=0, workers=1)
+        server.start()
+        summary = server.drain()
+        assert summary["journaled"] == 0
+
+    def test_drain_is_idempotent(self, tmp_path):
+        server = ExperimentServer(
+            port=0, workers=1, state_dir=str(tmp_path / "state")
+        )
+        server.start()
+        server.drain()
+        summary = server.drain()
+        assert summary["journaled"] == 0
+
+
+def JobJournalEmpty(state_dir: str) -> bool:
+    from repro.serve.journal import JobJournal
+
+    return JobJournal(state_dir).load() == []
+
+
+class TestRestoreValidation:
+    def test_restore_skips_corrupt_spec_records(self, tmp_path):
+        from repro.serve.journal import JobJournal
+        from repro.serve.queue import JobQueue
+
+        state = tmp_path / "state"
+        queue = JobQueue()
+        good = queue.submit(JobSpec("table2", 0.02, 3))[0]
+        journal = JobJournal(state)
+        journal.write_jobs([good])
+        # hand-corrupt the spec: valid checksum, invalid experiment
+        from repro.sim.checkpoint import journal_line
+
+        bad = {
+            "schema": 1,
+            "id": "job-bad-0001",
+            "spec": {"experiment": "not-an-experiment"},
+            "digest": "x",
+            "priority": 0,
+            "submitted_unix": 0.0,
+        }
+        with journal.path.open("a") as handle:
+            handle.write(journal_line(bad) + "\n")
+
+        server = ExperimentServer(port=0, workers=1, state_dir=str(state))
+        server.start()
+        try:
+            assert server.restored_jobs == 1
+            assert server.queue.job(good.id).spec.experiment == "table2"
+            with pytest.raises(ServeError):
+                server.queue.job("job-bad-0001")
+        finally:
+            server.drain()

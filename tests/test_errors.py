@@ -18,6 +18,8 @@ ALL_ERRORS = (
     errors.CheckpointError,
     errors.PlausibilityError,
     errors.PartialResultError,
+    errors.ServeError,
+    errors.QueueFullError,
 )
 
 #: The released code of every error class.  Codes are public interface
@@ -37,6 +39,8 @@ EXPECTED_CODES = {
     errors.CheckpointError: "CHECKPOINT",
     errors.PlausibilityError: "PLAUSIBILITY",
     errors.PartialResultError: "PARTIAL",
+    errors.ServeError: "SERVE",
+    errors.QueueFullError: "BUSY",
 }
 
 
@@ -91,6 +95,15 @@ class TestStructuredErrorContract:
         assert errors.PartialResultError.exit_code == 3
         assert errors.TraceError.exit_code == 4
         assert errors.PlausibilityError.exit_code == 4
+        assert errors.ServeError.exit_code == 5
+        assert errors.QueueFullError.exit_code == 5
+
+    def test_serve_errors_carry_http_context(self):
+        assert errors.ServeError("x").http_status == 400
+        assert errors.ServeError("x", http_status=404).http_status == 404
+        busy = errors.QueueFullError("full", retry_after_s=2.5)
+        assert busy.http_status == 429
+        assert busy.retry_after_s == 2.5
 
     def test_render_error_format(self):
         rendered = errors.render_error(errors.TraceError("bad line"))

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the experiment service daemon (CI `serve-smoke`).
+
+Starts a real ``repro-cli serve`` subprocess, then drives the full
+client lifecycle against it:
+
+1. health check;
+2. submit a tiny golden-scale sweep (plus concurrent duplicates);
+3. poll every job to completion and fetch results;
+4. prove deduplication: one engine execution per distinct spec and
+   byte-identical payloads for duplicate submitters;
+5. compare each rendered result against the golden snapshots with the
+   tolerance-aware comparator;
+6. SIGTERM the daemon and assert a clean, zero-exit graceful drain.
+
+Exits nonzero (with a message) on the first failed expectation.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tools"))
+
+from regen_golden import GOLDEN_SEED, SNAPSHOT_DIR  # noqa: E402
+
+from repro.serve import ServeClient  # noqa: E402
+from repro.validate.golden import compare_rendered, load_snapshot  # noqa: E402
+
+#: Experiments the smoke drives (a representative slice of the golden set).
+SMOKE_EXPERIMENTS = ("table2", "table5", "figure2")
+
+#: Duplicate submissions per experiment (all must coalesce onto one job).
+DUPLICATES = 3
+
+
+def fail(message: str) -> "None":
+    print(f"serve-smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    import os
+
+    state_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "2", "--dir", state_dir,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"(http://\S+)", banner)
+        if not match:
+            fail(f"no URL in daemon banner {banner!r}")
+        client = ServeClient(match.group(1))
+
+        health = client.health()
+        if health["status"] != "ok":
+            fail(f"health status {health['status']!r}")
+        print(f"daemon healthy at {client.url} (v{health['version']})")
+
+        job_ids = {}
+        for experiment in SMOKE_EXPERIMENTS:
+            snapshot = load_snapshot(SNAPSHOT_DIR / f"{experiment}.json")
+            ids = set()
+            for _ in range(DUPLICATES):
+                response = client.submit(
+                    experiment, scale=snapshot["scale"], seed=GOLDEN_SEED
+                )
+                ids.add(response["job"]["id"])
+            if len(ids) != 1:
+                fail(f"{experiment}: {len(ids)} job ids for duplicates")
+            job_ids[experiment] = ids.pop()
+        print(f"submitted {len(job_ids)} specs x{DUPLICATES} duplicates")
+
+        for experiment, job_id in job_ids.items():
+            record = client.wait(job_id, timeout_s=300)
+            if record["state"] != "done":
+                fail(f"{experiment}: job {record['state']}: {record['error']}")
+            if record["submissions"] != DUPLICATES:
+                fail(
+                    f"{experiment}: {record['submissions']} submissions "
+                    f"recorded, expected {DUPLICATES}"
+                )
+            payloads = {client.result_bytes(job_id) for _ in range(3)}
+            if len(payloads) != 1:
+                fail(f"{experiment}: result payload not byte-stable")
+            snapshot = load_snapshot(SNAPSHOT_DIR / f"{experiment}.json")
+            mismatches = compare_rendered(
+                snapshot["render"], client.result(job_id)["render"],
+                label=experiment,
+            )
+            if mismatches:
+                fail(
+                    f"{experiment}: golden mismatch:\n" + "\n".join(mismatches)
+                )
+            print(f"{experiment}: done, deduped, matches golden")
+
+        counters = client.metrics()["counters"]
+        executed = counters.get("serve.jobs.executed")
+        deduped = counters.get("serve.jobs.deduped")
+        if executed != len(SMOKE_EXPERIMENTS):
+            fail(f"{executed} executions for {len(SMOKE_EXPERIMENTS)} specs")
+        if deduped != len(SMOKE_EXPERIMENTS) * (DUPLICATES - 1):
+            fail(f"unexpected dedup count {deduped}")
+        print(f"dedup proven: {executed} executions, {deduped} coalesced")
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        if proc.returncode != 0:
+            fail(f"daemon exit {proc.returncode}: {err}")
+        if "drained:" not in out:
+            fail(f"no drain banner in daemon output: {out!r}")
+        print(f"graceful drain: {out.strip().splitlines()[-1]}")
+        print("serve-smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
