@@ -106,6 +106,30 @@ def test_bench_llc_replay_reference(benchmark):
     assert counts.read_lookups > 0
 
 
+def test_bench_llc_replay_vector(benchmark):
+    """Vector-engine LLC replay, side-by-side with
+    ``test_bench_llc_replay`` (fast) and the reference variant."""
+    trace = generate_trace("bzip2", n_accesses=40_000)
+    arch = gainestown()
+    private = filter_private(trace, arch)
+    counts = benchmark.pedantic(
+        simulate_llc,
+        args=(private.stream,),
+        kwargs={
+            "capacity_bytes": sram_baseline().capacity_bytes,
+            "associativity": arch.llc_associativity,
+            "block_bytes": arch.llc_block_bytes,
+            "n_cores": arch.n_cores,
+            "mlp_window": arch.mlp_window_instructions,
+            "mlp_ceiling": arch.max_mlp,
+            "engine": "vector",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert counts.read_lookups > 0
+
+
 def test_bench_entropy_extraction(benchmark):
     rng = np.random.default_rng(10)
     addresses = rng.integers(0, 1 << 32, size=200_000).astype(np.uint64)

@@ -10,8 +10,11 @@ longer complete enough passes for fixed-area capacity effects to show.
 
 from __future__ import annotations
 
+import dataclasses
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CheckpointError, ExperimentError
 from repro.nvsim.published import nvm_models, published_models, sram_baseline
@@ -28,7 +31,7 @@ from repro.sim.parallel import (
 )
 from repro.sim.results import NormalizedResult, SimResult, normalize
 from repro.sim.system import SimulationSession
-from repro.trace.stream import Trace
+from repro.trace.stream import Trace, TraceSpill, resolve_spill_dir
 from repro.validate.policy import POLICY_ENV, current_policy, resolve_policy, set_policy
 from repro.workloads.generators import DEFAULT_SEED, generate_from_profile
 from repro.workloads.profiles import profile
@@ -218,11 +221,47 @@ class ExperimentContext:
                 print(f"warning: {error} — run continues, resumability "
                       "degraded for unjournaled cells", file=sys.stderr)
 
+    @contextmanager
+    def _spilled(self, todo: Sequence[Tuple[int, SweepCell]]) -> Iterator[List[SweepCell]]:
+        """Spill each distinct trace once and hand out cells carrying
+        zero-copy :class:`~repro.trace.stream.TraceSpill` handles.
+
+        The parent generates (or reuses its cached) trace per distinct
+        ``(workload, seed, length, threads)`` key and writes its columns
+        under a temporary directory (rooted at ``$REPRO_SPILL_DIR`` when
+        set), so N workers map one shared copy instead of regenerating N
+        times.  The directory lives exactly as long as the sweep.
+        """
+        with tempfile.TemporaryDirectory(
+            prefix="repro-spill-", dir=resolve_spill_dir()
+        ) as spill_dir:
+            spills: Dict[tuple, TraceSpill] = {}
+            cells: List[SweepCell] = []
+            for _, cell in todo:
+                key = (cell.workload, cell.seed, cell.n_accesses, cell.n_threads)
+                handle = spills.get(key)
+                if handle is None:
+                    trace = self.trace(
+                        cell.workload,
+                        seed=cell.seed,
+                        n_accesses=cell.n_accesses,
+                        n_threads=cell.n_threads,
+                    )
+                    handle = trace.spill(
+                        spill_dir, prefix=f"{len(spills):03d}-{cell.workload}"
+                    )
+                    spills[key] = handle
+                cells.append(dataclasses.replace(cell, trace_spill=handle))
+            _metrics.counter_add("experiments.traces_spilled", len(spills))
+            yield cells
+
     def run_cells(self, cells: Sequence[SweepCell]) -> List[Dict[str, SimResult]]:
         """Run cells honouring ``jobs``: serial runs go through the
         context's caches; parallel runs fan out over a process pool
         (workers share replays with the parent via the on-disk replay
-        cache).  Results are in input order either way.
+        cache, and map the parent's spilled trace columns read-only
+        instead of regenerating them).  Results are in input order
+        either way.
 
         With a checkpoint journal attached, cells already journaled are
         skipped (their recorded results are returned — byte-identical
@@ -263,12 +302,13 @@ class ExperimentContext:
             self._record_checkpoint(cell, results)
 
         try:
-            fresh = run_cells(
-                [cell for _, cell in todo],
-                self.jobs,
-                policy=self.fault_policy,
-                on_result=on_result,
-            )
+            with self._spilled(todo) as spilled:
+                fresh = run_cells(
+                    spilled,
+                    self.jobs,
+                    policy=self.fault_policy,
+                    on_result=on_result,
+                )
         except PartialResultError as error:
             # Re-map partial results to the caller's cell indices and
             # fold in the checkpoint-skipped cells — nothing is lost.

@@ -3,7 +3,8 @@
 Regenerates every table and figure of the paper and prints them as
 text tables.  ``--scale`` shortens traces for quick runs; ``--only``
 restricts to a subset of experiments; ``--jobs`` fans simulation cells
-out over worker processes.
+out over worker processes; ``--engine`` picks the (bit-identical)
+replay engine for the run and its workers.
 
 Observability (:mod:`repro.obs`): ``--metrics`` collects run telemetry —
 per-experiment spans, replay-cache hit rates, per-worker cell timings,
@@ -175,6 +176,7 @@ def run_all(
     cell_timeout: Optional[float] = None,
     cell_retries: Optional[int] = None,
     validate: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
     a markdown report (``write_path``).
@@ -193,11 +195,21 @@ def run_all(
     producing output byte-identical to an uninterrupted run.
     ``cell_timeout`` / ``cell_retries`` configure the sweep fault
     policy (:class:`~repro.sim.parallel.FaultPolicy`).
+
+    ``engine`` selects the replay engine for the whole run (every
+    engine is bit-identical; see :mod:`repro.sim.engine`).  It is
+    exported to ``$REPRO_SIM_ENGINE`` so parallel workers replay with
+    the same engine; ``None`` defers to the environment.
     """
     from repro.report.builder import ReportBuilder
     from repro.sim.checkpoint import CheckpointJournal
+    from repro.sim.engine import ENGINE_ENV, resolve_engine
     from repro.sim.parallel import FaultPolicy
     from repro.workloads.generators import DEFAULT_SEED
+
+    if engine is not None:
+        # Validate eagerly, then export: workers inherit the choice.
+        os.environ[ENGINE_ENV] = resolve_engine(engine)
 
     if stream is None:
         # Resolve at call time so test harnesses that swap sys.stdout
@@ -380,6 +392,15 @@ def main(argv: Optional[list] = None) -> int:
         default=1,
         help="worker processes for simulation cells (0 = one per CPU)",
     )
+    from repro.sim.engine import ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="replay engine for the run — all are bit-identical "
+        "(also: REPRO_SIM_ENGINE; default: fast)",
+    )
     checkpoint_group = parser.add_mutually_exclusive_group()
     checkpoint_group.add_argument(
         "--run-dir",
@@ -456,6 +477,7 @@ def main(argv: Optional[list] = None) -> int:
             cell_timeout=args.cell_timeout,
             cell_retries=args.cell_retries,
             validate=args.validate,
+            engine=args.engine,
         )
     except PartialResultError as error:
         print(render_error(error), file=sys.stderr)

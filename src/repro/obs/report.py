@@ -108,14 +108,25 @@ def headline_rates(counters: Dict[str, float]) -> List[str]:
             faults.append(f"{_fmt_count(value)} {label}")
     if faults:
         lines.append("fault recovery: " + ", ".join(faults))
+    # Engine mix per stage: accelerated share (fast + vector) over the
+    # reference loop, with the per-engine breakdown alongside.
     for stage in ("private_replays", "llc_replays"):
-        fast = counters.get(f"sim.engine.fast.{stage}", 0)
-        ref = counters.get(f"sim.engine.reference.{stage}", 0)
-        share = _ratio(fast, fast + ref)
+        by_engine = {
+            eng: counters.get(f"sim.engine.{eng}.{stage}", 0)
+            for eng in ("fast", "vector", "reference")
+        }
+        total = sum(by_engine.values())
+        accelerated = by_engine["fast"] + by_engine["vector"]
+        share = _ratio(accelerated, total)
         if share is not None:
+            breakdown = " / ".join(
+                f"{_fmt_count(count)} {eng}"
+                for eng, count in by_engine.items()
+                if count
+            )
             lines.append(
-                f"{stage.replace('_', ' ')} served by fast engine: {share:.1%} "
-                f"({_fmt_count(fast)} fast / {_fmt_count(ref)} reference)"
+                f"{stage.replace('_', ' ')} served by accelerated engines: "
+                f"{share:.1%} ({breakdown})"
             )
     llc_reads = counters.get("sim.llc.read_lookups", 0)
     llc_read_hits = counters.get("sim.llc.read_hits", 0)

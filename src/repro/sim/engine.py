@@ -1,4 +1,4 @@
-"""Fast batched cache-replay engine.
+"""Fast batched and vectorized cache-replay engines.
 
 The reference simulators (:mod:`repro.sim.hierarchy`,
 :mod:`repro.sim.llc`) spend ~95% of an experiment run in two pure-Python
@@ -7,8 +7,25 @@ access pays for numpy scalar indexing, a method dispatch, an
 :class:`~repro.sim.cache.AccessOutcome` allocation and several dataclass
 attribute updates — none of which change the simulated events.
 
-This module replays the same streams through the same LRU semantics but
-batched:
+Three engines share one contract (bit-identical events):
+
+- ``reference`` — the dict-of-caches per-access loops, any replacement
+  policy; the semantic ground truth.
+- ``fast`` — the batched flat loops below (3–5x): plain Python dicts,
+  inlined coherence, vectorized preprocessing.
+- ``vector`` — whole-trace numpy LLC replay
+  (:func:`simulate_llc_vector`, ~10–18x over reference on the LLC
+  replay): accesses are grouped by set index once and resolved in
+  *rounds* — round ``t`` replays the ``t``-th access of every set
+  simultaneously with array-based tag matching and an age-based LRU
+  stack, so the Python-level loop runs ``max accesses-per-set`` times
+  instead of once per access.  The private hierarchy under ``vector``
+  routes to the ``fast`` loop (its L1/L2/coherence interplay is
+  control-flow-bound, not replay-bound), so ``vector`` is a strict
+  superset of ``fast`` in speed and identical in output.
+
+The ``fast`` engine replays the same streams through the same LRU
+semantics but batched:
 
 - trace columns are converted to plain Python lists once
   (``ndarray.tolist`` is a single C call) and everything derivable ahead
@@ -65,7 +82,7 @@ from repro.trace.access import BLOCK_BITS
 from repro.trace.stream import Trace
 
 #: Engine names accepted by the ``engine=`` switches.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "vector")
 
 #: Environment variable overriding the default engine.
 ENGINE_ENV = "REPRO_SIM_ENGINE"
@@ -194,6 +211,201 @@ def simulate_llc_fast(
     counts.per_core_mlp = [
         estimate_mlp(np.array(p, dtype=np.uint64), mlp_window, mlp_ceiling)
         for p in miss_positions
+    ]
+    return counts
+
+
+#: Empty-way tag sentinel for the vector engine's tag array.  Block
+#: addresses are byte addresses shifted right by ``BLOCK_BITS``, so a
+#: real block can never reach the top bit of a uint64; any stream that
+#: somehow does (hand-built arrays) is routed to the fast loop instead.
+_VECTOR_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def simulate_llc_vector(
+    stream,
+    capacity_bytes: int,
+    associativity: int = 16,
+    block_bytes: int = 64,
+    n_cores: int = 4,
+    mlp_window: int = 128,
+    mlp_ceiling: float = 6.0,
+):
+    """Whole-trace vectorized LRU replay of an LLC stream.
+
+    Mirrors :func:`repro.sim.llc.simulate_llc` with ``policy="lru"``;
+    returns an identical :class:`~repro.sim.llc.LLCCounts` to both
+    other engines (the property suite pins this).
+
+    Algorithm — *rounds lockstep over sets*:
+
+    1. Group accesses by set index and rank sets by descending access
+       count, so the sets still active in round ``t`` (those with more
+       than ``t`` accesses) are exactly state rows ``[0, k_t)``.
+    2. Build the round-major permutation (sort by occurrence-index,
+       then set rank) with **one** stable sort: after sorting by set
+       rank, the destination of the ``j``-th access of the ``i``-th
+       busiest set is ``offsets[j] + i`` — pure arithmetic.
+    3. Replay round by round on flat state arrays ``tags`` / ``dirty``
+       / ``age`` of shape ``(n_rows * assoc,)``.  A hit is a tag match
+       (each block occupies at most one way); the LRU victim is
+       ``argmin(age)`` — empty ways carry age 0 and fill lowest-index
+       first, exactly the dict engines' install order, and evicting an
+       empty way is indistinguishable from installing into it because
+       the sentinel way is never dirty.
+    4. Scatter per-round hit/eviction flags back to stream order and
+       derive every :class:`~repro.sim.llc.LLCCounts` field — including
+       per-core splits and MLP miss positions, which depend only on
+       stream-ordered outcome flags — with bincounts and masks.
+
+    The per-access work is ``O(assoc)`` like the dict engines, but the
+    interpreter loop runs ``max accesses-per-set`` times (tens) instead
+    of once per access (tens of thousands).
+    """
+    from repro.sim.llc import LLCCounts, estimate_mlp
+
+    n_sets = _check_geometry(capacity_bytes, block_bytes, associativity)
+    assoc = associativity
+    blocks = np.ascontiguousarray(stream.blocks, dtype=np.uint64)
+    writes = np.ascontiguousarray(stream.writes, dtype=bool)
+    n = len(blocks)
+
+    if n and int(blocks.max()) >= 1 << 63:
+        # A "block" colliding with the sentinel tag space cannot come
+        # from a real trace (addresses >> BLOCK_BITS); fall back to the
+        # bit-identical fast loop rather than mis-simulate.
+        return simulate_llc_fast(
+            stream,
+            capacity_bytes,
+            associativity=associativity,
+            block_bytes=block_bytes,
+            n_cores=n_cores,
+            mlp_window=mlp_window,
+            mlp_ceiling=mlp_ceiling,
+        )
+
+    hit_out = np.zeros(n, dtype=bool)
+    evict_out = np.zeros(n, dtype=bool)
+
+    if n:
+        set_idx = (blocks % np.uint64(n_sets)).astype(np.int64)
+        if n_sets <= 2 * n:
+            # Dense: one state row per set, occupancy from bincount.
+            set_counts = np.bincount(set_idx, minlength=n_sets)
+            set_cid = set_idx
+            n_rows = n_sets
+        else:
+            # Sparse (huge cache, short stream): compact to touched sets
+            # so state stays O(accesses), not O(cache).
+            sets_u, set_cid, set_counts = np.unique(
+                set_idx, return_inverse=True, return_counts=True
+            )
+            n_rows = len(sets_u)
+
+        # Rank sets by descending access count so round t's active rows
+        # are exactly the contiguous slice [0, k_t).
+        max_count = int(set_counts.max())
+        if max_count <= np.iinfo(np.uint16).max:
+            rank_key = (max_count - set_counts).astype(np.uint16)
+        else:
+            rank_key = -set_counts
+        rank_order = np.argsort(rank_key, kind="stable")
+        rank = np.empty(n_rows, dtype=np.int64)
+        rank[rank_order] = np.arange(n_rows)
+        counts_desc = set_counts[rank_order]
+        row = rank[set_cid]
+        max_m = int(counts_desc[0])
+        # k_per_round[t] = number of sets with more than t accesses.
+        k_per_round = np.searchsorted(
+            -counts_desc, -np.arange(max_m), side="left"
+        )
+        offsets = np.r_[0, np.cumsum(k_per_round)]
+
+        # Round-major permutation via one stable sort by set rank: the
+        # j-th access of the i-th busiest set lands at offsets[j] + i.
+        if n_rows <= np.iinfo(np.uint16).max:
+            sort_key = row.astype(np.uint16)
+        else:
+            sort_key = row.astype(np.uint32)
+        order = np.argsort(sort_key, kind="stable")
+        n_active = int(np.count_nonzero(counts_desc))
+        active_counts = counts_desc[:n_active]
+        group_starts = np.r_[0, np.cumsum(active_counts[:-1])]
+        pos_sorted = np.arange(n, dtype=np.int64) - np.repeat(
+            group_starts, active_counts
+        )
+        row_sorted = np.repeat(np.arange(n_active, dtype=np.int64), active_counts)
+        dest = offsets[pos_sorted] + row_sorted
+        perm = np.empty(n, dtype=np.int64)
+        perm[dest] = order
+        bs = blocks[perm]
+        ws = writes[perm]
+
+        # Flat per-way state, row-major (n_rows, assoc).
+        tags = np.full(n_rows * assoc, _VECTOR_SENTINEL)
+        dirty = np.zeros(n_rows * assoc, dtype=bool)
+        age = np.zeros(n_rows * assoc, dtype=np.uint32)
+        tags2 = tags.reshape(n_rows, assoc)
+        age2 = age.reshape(n_rows, assoc)
+        row_base = np.arange(n_rows, dtype=np.int64) * assoc
+
+        hit_flat = np.empty(n, dtype=bool)
+        evict_flat = np.empty(n, dtype=bool)
+
+        # Round 0: every set is empty — guaranteed miss into way 0.
+        k0 = int(k_per_round[0])
+        hit_flat[:k0] = False
+        evict_flat[:k0] = False
+        tags2[:k0, 0] = bs[:k0]
+        dirty[row_base[:k0]] = ws[:k0]
+        age[row_base[:k0]] = 1
+
+        for t in range(1, max_m):
+            k = int(k_per_round[t])
+            lo, hi = int(offsets[t]), int(offsets[t + 1])
+            b = bs[lo:hi]
+            hitm = tags2[:k] == b[:, None]
+            way = hitm.argmax(axis=1)
+            hit = tags[row_base[:k] + way] == b
+            victim = age2[:k].argmin(axis=1)
+            flat = row_base[:k] + np.where(hit, way, victim)
+            old_d = dirty[flat]
+            hit_flat[lo:hi] = hit
+            evict_flat[lo:hi] = ~hit & old_d
+            tags[flat] = b
+            dirty[flat] = (hit & old_d) | ws[lo:hi]
+            age[flat] = t + 1
+
+        hit_out[perm] = hit_flat
+        evict_out[perm] = evict_flat
+
+    reads = ~writes
+    read_hit = hit_out & reads
+    read_miss = ~hit_out & reads
+    cores = np.asarray(stream.cores, dtype=np.int64)
+    positions = np.asarray(stream.instr_positions)
+
+    counts = LLCCounts(capacity_bytes=capacity_bytes, associativity=associativity)
+    counts.read_hits = int(read_hit.sum())
+    counts.read_misses = int(read_miss.sum())
+    counts.read_lookups = counts.read_hits + counts.read_misses
+    counts.write_hits = int((hit_out & writes).sum())
+    counts.write_misses = int((~hit_out & writes).sum())
+    counts.write_accesses = counts.write_hits + counts.write_misses
+    counts.dirty_evictions = int(evict_out.sum())
+    counts.per_core_read_hits = np.bincount(
+        cores[read_hit], minlength=n_cores
+    ).tolist()
+    counts.per_core_read_misses = np.bincount(
+        cores[read_miss], minlength=n_cores
+    ).tolist()
+    counts.per_core_mlp = [
+        estimate_mlp(
+            positions[read_miss & (cores == c)].astype(np.uint64),
+            mlp_window,
+            mlp_ceiling,
+        )
+        for c in range(n_cores)
     ]
     return counts
 

@@ -118,20 +118,23 @@ def filter_private(
 
     ``engine`` selects the replay implementation: ``"fast"`` (the batched
     engine in :mod:`repro.sim.engine`, the default) or ``"reference"``
-    (the dict-of-caches loop below).  Both produce identical results;
-    ``None`` defers to ``$REPRO_SIM_ENGINE``.
+    (the dict-of-caches loop below).  The ``"vector"`` engine only
+    vectorizes the shared-LLC replay, so here it routes to the batched
+    loop.  All produce identical results; ``None`` defers to
+    ``$REPRO_SIM_ENGINE``.
 
     When run metrics are enabled (:mod:`repro.obs`), the replay is
     wrapped in a ``sim.private_replay`` span and the per-level event
     totals — accesses, L1/L2 hits and misses, emitted LLC stream traffic,
-    coherence invalidations — are recorded, tagged with the engine that
-    actually served the call.
+    coherence invalidations — are recorded, tagged with the resolved
+    engine name (``vector`` counts as ``vector`` even though the batched
+    loop serves it).
     """
     from repro.sim.engine import filter_private_fast, resolve_engine
 
     eng = resolve_engine(engine)
     with _metrics.span("sim.private_replay"):
-        if eng == "fast":
+        if eng in ("fast", "vector"):
             result = filter_private_fast(trace, arch)
         else:
             result = _filter_private_reference(trace, arch)

@@ -7,14 +7,17 @@ that replay.  This module fans cells out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
 
 Workers receive only small, picklable :class:`SweepCell` keys —
-(workload, seed, length, threads, architecture, model names) — and
-regenerate traces deterministically from them, so no multi-megabyte
-trace or stream ever crosses the process boundary; only the compact
-:class:`~repro.sim.results.SimResult` objects come back.  Trace
-generation is seeded (:mod:`repro.workloads.generators`), so a worker's
-trace is bit-identical to the one the serial path would build, and the
-shared on-disk replay cache (:mod:`repro.sim.replay_cache`) lets the
-parent — and later runs — reuse whatever the workers replayed.
+(workload, seed, length, threads, architecture, model names) — so no
+multi-megabyte trace or stream ever crosses the process boundary; only
+the compact :class:`~repro.sim.results.SimResult` objects come back.  A
+cell may carry a :class:`~repro.trace.stream.TraceSpill` handle (paths
+to ``.npy`` columns the parent wrote once): the worker then maps the
+trace read-only through the page cache — zero copies, zero pickling —
+instead of regenerating it.  Either way the trace is bit-identical to
+the one the serial path would build (generation is fully seeded,
+:mod:`repro.workloads.generators`), and the shared on-disk replay cache
+(:mod:`repro.sim.replay_cache`) lets the parent — and later runs —
+reuse whatever the workers replayed.
 
 ``jobs`` semantics everywhere in the experiments layer: ``1`` (default)
 runs serially in-process, ``N > 1`` uses N worker processes, and ``0``
@@ -64,9 +67,10 @@ Invariants
   :class:`~repro.sim.results.SimResult` objects (plus, when metrics are
   on, a plain-dict metrics snapshot) come back — never traces or
   streams.
-- Trace regeneration in a worker is bit-identical to the serial path:
+- The trace a worker simulates is bit-identical to the serial path's:
   cells carry the resolved ``(workload, seed, n_accesses, n_threads)``
-  key and generation is fully seeded.
+  key and generation is fully seeded; a spill handle, when present,
+  holds exactly the trace that key would regenerate.
 - Retries and pool respawns never double-report a cell: a result is
   collected (and ``on_result`` fired) exactly once per cell.
 
@@ -96,6 +100,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.progress import ProgressLine
 from repro.sim.config import ArchitectureConfig, gainestown
 from repro.sim.results import SimResult
+from repro.trace.stream import TraceSpill
 
 #: Per-cell timeout in seconds (unset/empty = wait forever).
 TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
@@ -186,6 +191,13 @@ class SweepCell:
     the trace deterministically and run the sweep.  ``n_accesses`` /
     ``n_threads`` of None use the profile's defaults; ``arch`` of None
     uses the paper's Gainestown.
+
+    ``trace_spill`` is an optional zero-copy shortcut: a
+    :class:`~repro.trace.stream.TraceSpill` handle to the same trace the
+    key describes, already written to disk by the parent.  Workers map
+    it read-only instead of regenerating — bit-identical either way,
+    since generation is fully seeded — so the handle never affects
+    results, checkpoints digests or journal records.
     """
 
     workload: str
@@ -195,6 +207,7 @@ class SweepCell:
     n_accesses: Optional[int] = None
     n_threads: Optional[int] = None
     arch: Optional[ArchitectureConfig] = None
+    trace_spill: Optional[TraceSpill] = None
 
 
 def resolve_model(name: str, configuration: str):
@@ -224,21 +237,25 @@ def fire_fault_hook(cell: SweepCell) -> None:
 
 
 def run_cell(cell: SweepCell) -> Dict[str, SimResult]:
-    """Execute one cell (in a worker or inline): regenerate the trace,
-    share one private replay across the cell's models, return results
-    keyed by model name."""
+    """Execute one cell (in a worker or inline): map or regenerate the
+    trace, share one private replay across the cell's models, return
+    results keyed by model name."""
     from repro.sim.system import SimulationSession
     from repro.workloads.generators import generate_from_profile
     from repro.workloads.profiles import profile
 
     fire_fault_hook(cell)
-    bench = profile(cell.workload)
-    trace = generate_from_profile(
-        bench,
-        seed=cell.seed,
-        n_accesses=cell.n_accesses,
-        n_threads=cell.n_threads,
-    )
+    if cell.trace_spill is not None:
+        trace = cell.trace_spill.load()
+        _metrics.counter_add("parallel.spill_loads")
+    else:
+        bench = profile(cell.workload)
+        trace = generate_from_profile(
+            bench,
+            seed=cell.seed,
+            n_accesses=cell.n_accesses,
+            n_threads=cell.n_threads,
+        )
     session = SimulationSession(
         trace, arch=cell.arch or gainestown(), configuration=cell.configuration
     )

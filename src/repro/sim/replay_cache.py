@@ -111,6 +111,26 @@ DEFAULT_MIN_ACCESSES = 10_000
 #: younger ones may belong to a concurrent writer mid-store.
 TMP_SWEEP_AGE_S = 300.0
 
+#: Marker key of the optional metadata envelope around a stored value.
+#: Every engine produces bit-identical replay objects (pinned by the
+#: equivalence suite), so metadata is provenance only — it never enters
+#: the cache key and :data:`CACHE_VERSION` is unaffected by it.
+META_KEY = "__replay_cache_meta__"
+
+
+def _wrap(value: Any, meta: Optional[dict]) -> Any:
+    """Envelope a value with provenance metadata (no-op without meta)."""
+    if not meta:
+        return value
+    return {META_KEY: dict(meta), "value": value}
+
+
+def _split(obj: Any) -> Tuple[Any, dict]:
+    """Undo :func:`_wrap`; pre-metadata entries yield empty metadata."""
+    if isinstance(obj, dict) and META_KEY in obj:
+        return obj["value"], obj[META_KEY]
+    return obj, {}
+
 
 def default_cache_dir() -> Path:
     """The configured cache directory (not created until first write)."""
@@ -293,7 +313,7 @@ class ReplayCache:
             _metrics.counter_add("replay_cache.misses")
             return None
         try:
-            value = _unpack(blob)
+            value, _ = _split(_unpack(blob))
         except Exception:
             # Damaged container or unpicklable payload: a miss, and the
             # entry is removed so it cannot keep failing.
@@ -316,13 +336,18 @@ class ReplayCache:
             pass
         return value
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any, meta: Optional[dict] = None) -> None:
         """Store a value atomically (concurrent-writer safe), then
-        enforce the size cap if one is configured."""
+        enforce the size cap if one is configured.
+
+        ``meta`` attaches provenance (e.g. the producing engine) in an
+        envelope around the value; it is invisible to :meth:`get` —
+        which unwraps — and readable via :meth:`entry_meta`.
+        """
         if not self.enabled:
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        blob = _pack(value)
+        blob = _pack(_wrap(value, meta))
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -338,6 +363,21 @@ class ReplayCache:
         _metrics.counter_add("replay_cache.stores")
         _metrics.counter_add("replay_cache.bytes_written", len(blob))
         self._enforce_cap()
+
+    def entry_meta(self, key: str) -> Optional[dict]:
+        """Provenance metadata of a stored entry, or None if absent.
+
+        Pre-metadata entries (or entries stored without ``meta``) report
+        ``{}``.  Reading metadata is side-effect free: no hit/miss
+        counting, no recency touch.
+        """
+        if not self.enabled:
+            return None
+        try:
+            _, meta = _split(_unpack(self._path(key).read_bytes()))
+        except Exception:
+            return None
+        return meta
 
     # -- maintenance ------------------------------------------------------
 

@@ -143,6 +143,19 @@ class SimulationSession:
             self._trace_fp = trace_fingerprint(self.trace)
         return self._trace_fp
 
+    def _engine_meta(self) -> dict:
+        """Provenance recorded with LLC cache stores: the engine that
+        served the replay (non-LRU policies always use the reference
+        loop).  Every engine's output is bit-identical, so this never
+        affects keys or hits — it only documents who computed the
+        entry."""
+        from repro.sim.engine import resolve_engine
+
+        eng = resolve_engine(None)
+        if self.arch.llc_replacement != "lru":
+            eng = "reference"
+        return {"engine": eng}
+
     @property
     def private(self) -> PrivateResult:
         """The private-level replay (computed once, disk-memoised)."""
@@ -157,7 +170,13 @@ class SimulationSession:
                     return self._private
             self._private = filter_private(self.trace, self.arch)
             if use_disk:
-                cache.put(key, self._private)
+                from repro.sim.engine import resolve_engine
+
+                cache.put(
+                    key,
+                    self._private,
+                    meta={"engine": resolve_engine(None)},
+                )
         return self._private
 
     def counts_for(self, llc_model: LLCModel) -> LLCCounts:
@@ -183,7 +202,7 @@ class SimulationSession:
             )
             self._llc_cache[key] = counts
             if use_disk:
-                cache.put(disk_key, counts)
+                cache.put(disk_key, counts, meta=self._engine_meta())
         return self._llc_cache[key]
 
     def run(

@@ -52,3 +52,48 @@ class TestMain:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             runner.main(["--only", "table9"])
+
+
+class TestEngineFlag:
+    def test_engine_flag_exported_for_workers(self, capfd, monkeypatch, tmp_path):
+        """--engine must land in the environment (workers inherit it)
+        and be recorded in the report provenance."""
+        import os
+
+        from repro.sim.engine import ENGINE_ENV
+
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        path = tmp_path / "report.md"
+        assert (
+            runner.main(
+                [
+                    "--scale", "0.05", "--only", "table2",
+                    "--engine", "vector", "--write", str(path),
+                ]
+            )
+            == 0
+        )
+        assert os.environ[ENGINE_ENV] == "vector"
+        capfd.readouterr()
+        assert "engine: vector" in path.read_text()
+
+    def test_engine_results_match_default(self, monkeypatch):
+        """Same numbers whichever engine the run picks."""
+        import io
+
+        from repro.sim.engine import ENGINE_ENV
+
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        default, vector = io.StringIO(), io.StringIO()
+        runner.run_all(scale=0.05, only="table2", stream=default)
+        runner.run_all(scale=0.05, only="table2", stream=vector, engine="vector")
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+
+        def table(text):
+            return [l for l in text.splitlines() if "engine:" not in l]
+
+        assert table(vector.getvalue()) == table(default.getvalue())
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "table2", "--engine", "turbo"])

@@ -38,7 +38,8 @@ class TestRenderSummary:
     def test_headline_rates(self):
         text = render_summary(self._snapshot())
         assert "replay-cache hit rate: 75.0% (3 hits / 1 misses)" in text
-        assert "llc replays served by fast engine: 100.0%" in text
+        assert "llc replays served by accelerated engines: 100.0%" in text
+        assert "4 fast" in text
         assert "aggregate LLC demand hit rate: 25.0%" in text
 
     def test_sections_present(self):

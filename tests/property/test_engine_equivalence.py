@@ -1,13 +1,16 @@
-"""Property tests: the batched engine is bit-identical to the reference.
+"""Property tests: every accelerated engine is bit-identical to the
+reference.
 
 The fast engine (:mod:`repro.sim.engine`) re-implements the private
-hierarchy and LLC replay as flat loops; its correctness contract is
-*exact* event-count equality with the dict-of-caches reference path on
-every stream.  These tests drive both engines over randomized traces —
-single- and multi-threaded (exercising the directory's invalidate /
-downgrade / sharing-writeback paths), with and without the next-line
-prefetcher — against deliberately tiny cache geometries so evictions
-and coherence conflicts are frequent.
+hierarchy and LLC replay as flat loops, and the vector engine replays
+the whole LLC trace as numpy array rounds; the correctness contract of
+both is *exact* event-count equality with the dict-of-caches reference
+path on every stream.  These tests drive all engines over randomized
+traces — single- and multi-threaded (exercising the directory's
+invalidate / downgrade / sharing-writeback paths), with and without the
+next-line prefetcher, and through memmap-backed spilled traces —
+against deliberately tiny cache geometries so evictions and coherence
+conflicts are frequent.
 """
 
 import dataclasses
@@ -144,8 +147,55 @@ def test_llc_replay_equivalence(accesses, capacity_blocks):
         n_cores=4,
     )
     fast = simulate_llc(stream, engine="fast", **kwargs)
+    vector = simulate_llc(stream, engine="vector", **kwargs)
     ref = simulate_llc(stream, engine="reference", **kwargs)
     assert fast == ref
+    assert vector == ref
+
+
+@given(
+    accesses=ACCESSES,
+    n_threads=st.integers(min_value=1, max_value=4),
+    prefetch=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_full_path_three_way_equivalence(accesses, n_threads, prefetch):
+    """Whole pipeline under each engine: the private filter (coherence
+    invalidates, prefetch fills) feeds the LLC replay, and all three
+    engines must agree on the final counts."""
+    trace = _trace(accesses, n_threads=n_threads)
+    arch = _tiny_arch(n_cores=2, prefetch=prefetch)
+    kwargs = dict(
+        capacity_bytes=16 * 64, associativity=4, block_bytes=64, n_cores=2
+    )
+    results = {}
+    for engine in ("reference", "fast", "vector"):
+        private = filter_private(trace, arch, engine=engine)
+        results[engine] = simulate_llc(private.stream, engine=engine, **kwargs)
+    assert results["fast"] == results["reference"]
+    assert results["vector"] == results["reference"]
+
+
+@given(accesses=ACCESSES, n_threads=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_memmap_trace_equivalence(accesses, n_threads):
+    """A spilled, memmap-backed trace must replay exactly like its
+    in-memory original under every engine."""
+    import tempfile
+
+    trace = _trace(accesses, n_threads=n_threads)
+    arch = _tiny_arch(n_cores=2)
+    kwargs = dict(
+        capacity_bytes=16 * 64, associativity=4, block_bytes=64, n_cores=2
+    )
+    baseline = filter_private(trace, arch, engine="reference")
+    ref_counts = simulate_llc(baseline.stream, engine="reference", **kwargs)
+    with tempfile.TemporaryDirectory(prefix="repro-equiv-") as spill_dir:
+        mapped = trace.spill(spill_dir).load()
+        for engine in ("fast", "vector"):
+            private = filter_private(mapped, arch, engine=engine)
+            assert_private_equal(private, baseline)
+            assert simulate_llc(private.stream, engine=engine, **kwargs) == ref_counts
 
 
 def test_unknown_engine_rejected():
@@ -164,5 +214,7 @@ def test_engine_env_var_controls_default(monkeypatch):
     monkeypatch.setenv(ENGINE_ENV, "reference")
     assert resolve_engine() == "reference"
     assert resolve_engine("fast") == "fast"
+    monkeypatch.setenv(ENGINE_ENV, "vector")
+    assert resolve_engine() == "vector"
     monkeypatch.delenv(ENGINE_ENV)
     assert resolve_engine() == "fast"

@@ -101,6 +101,50 @@ class TestRunCells:
         assert len(results) == 1
 
 
+class TestSpilledCells:
+    def _spilled(self, cell, tmp_path):
+        import dataclasses
+
+        from repro.workloads.generators import generate_from_profile
+        from repro.workloads.profiles import profile
+
+        trace = generate_from_profile(
+            profile(cell.workload),
+            seed=cell.seed,
+            n_accesses=cell.n_accesses,
+            n_threads=cell.n_threads,
+        )
+        # Prefix must be unique per cell: same-named spills in one
+        # directory overwrite each other.
+        handle = trace.spill(str(tmp_path), prefix=f"{cell.workload}-{cell.seed}")
+        return dataclasses.replace(cell, trace_spill=handle)
+
+    def test_spilled_cell_matches_inline(self, tmp_path):
+        """A memmap-backed spill handle must be invisible in the
+        results — same trace, same replay, same numbers."""
+        cell = _cell()
+        inline = run_cell(cell)
+        spilled = run_cell(self._spilled(cell, tmp_path))
+        assert set(spilled) == set(inline)
+        for name in inline:
+            assert spilled[name].counts == inline[name].counts
+            assert spilled[name].runtime_s == inline[name].runtime_s
+            assert spilled[name].energy == inline[name].energy
+
+    def test_spilled_cells_across_pool_match_serial(self, tmp_path):
+        """Workers map the spilled columns read-only; fan-out over the
+        handle must equal the regenerate-in-worker serial path."""
+        cells = [_cell(seed=1), _cell(seed=2, model_names=("SRAM",))]
+        spilled = [self._spilled(c, tmp_path) for c in cells]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(spilled, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert set(s) == set(p)
+            for name in s:
+                assert s[name].counts == p[name].counts
+                assert s[name].runtime_s == p[name].runtime_s
+
+
 class TestFaultPolicy:
     def test_defaults(self, monkeypatch):
         for env in (TIMEOUT_ENV, RETRIES_ENV, BACKOFF_ENV):

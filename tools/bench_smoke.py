@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""CI gate: the three engines agree bit-for-bit and stay ordered.
+
+Replays one small-but-not-tiny LLC smoke trace (the ``benchmarks/``
+bzip2 shape) under every engine and fails if
+
+1. any engine's :class:`~repro.sim.llc.LLCCounts` differs from the
+   reference engine's — bit-identity is the contract every optimisation
+   rides on; or
+2. the vector engine is slower than the batched fast engine — the
+   regression this guard exists to catch.  Timings are best-of-N, and
+   the trace is sized well past the crossover point (vector is ~2.5x
+   fast here), so a failure means a real regression, not noise.
+
+Exit code 0 on success, 1 with a diagnostic on failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+os.environ.setdefault("REPRO_REPLAY_CACHE", "0")
+
+#: Accesses in the smoke trace.  Must stay comfortably above the size
+#: where the vector engine's fixed preprocessing cost is amortised
+#: (~5k accesses); at 40k the expected margin is ~2.5x.
+SMOKE_ACCESSES = 40_000
+
+#: Timing repetitions (best is kept).
+REPS = 5
+
+
+def main() -> int:
+    from repro.nvsim.published import sram_baseline
+    from repro.sim.config import gainestown
+    from repro.sim.engine import ENGINES
+    from repro.sim.hierarchy import filter_private
+    from repro.sim.llc import simulate_llc
+    from repro.workloads.generators import generate_trace
+
+    arch = gainestown()
+    trace = generate_trace("bzip2", n_accesses=SMOKE_ACCESSES)
+    private = filter_private(trace, arch)
+    kwargs = dict(
+        capacity_bytes=sram_baseline().capacity_bytes,
+        associativity=arch.llc_associativity,
+        block_bytes=arch.llc_block_bytes,
+        n_cores=arch.n_cores,
+        mlp_window=arch.mlp_window_instructions,
+        mlp_ceiling=arch.max_mlp,
+    )
+
+    best = {}
+    counts = {}
+    for engine in ENGINES:
+        best[engine] = float("inf")
+        for _ in range(REPS):
+            start = time.perf_counter()
+            counts[engine] = simulate_llc(private.stream, engine=engine, **kwargs)
+            best[engine] = min(best[engine], time.perf_counter() - start)
+
+    failures = []
+    for engine in ENGINES:
+        if engine != "reference" and counts[engine] != counts["reference"]:
+            failures.append(
+                f"engine {engine!r} diverged from reference: "
+                f"{counts[engine]} != {counts['reference']}"
+            )
+    if best["vector"] > best["fast"]:
+        failures.append(
+            f"vector engine slower than fast on the smoke trace: "
+            f"vector {best['vector'] * 1e3:.1f}ms > fast {best['fast'] * 1e3:.1f}ms"
+        )
+
+    for engine in ENGINES:
+        print(f"{engine:>9}: {best[engine] * 1e3:7.1f}ms  (best of {REPS})")
+    print(
+        f"speedups vs reference: fast "
+        f"{best['reference'] / best['fast']:.1f}x, vector "
+        f"{best['reference'] / best['vector']:.1f}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench smoke OK: engines bit-identical, vector fastest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
