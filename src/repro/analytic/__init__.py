@@ -1,0 +1,56 @@
+"""Analytical fast path and DSE planner.
+
+Predicts sweep-cell results from a workload's reuse profile instead of
+replaying it (:mod:`repro.analytic.surrogate`), and uses those
+predictions to prune design grids before full simulation
+(:mod:`repro.analytic.planner`).  The math, accuracy bounds and the
+Pareto-pruning safety argument live in ``docs/DSE.md``.
+"""
+
+from repro.analytic.planner import (
+    DEFAULT_DSE_MARGIN,
+    DSE_MARGIN_ENV,
+    DSE_WORKLOADS_ENV,
+    Plan,
+    PlanCell,
+    PlanGrid,
+    PlanOutcome,
+    dominates,
+    exhaustive_frontier,
+    execute,
+    ladder_models,
+    margin_pruned,
+    pareto_frontier,
+    plan_and_execute,
+    render,
+    resolve_margin,
+    resolve_workloads,
+    run_dse,
+    score,
+)
+from repro.analytic.surrogate import predict, predict_counts, predict_result
+
+__all__ = [
+    "DEFAULT_DSE_MARGIN",
+    "DSE_MARGIN_ENV",
+    "DSE_WORKLOADS_ENV",
+    "Plan",
+    "PlanCell",
+    "PlanGrid",
+    "PlanOutcome",
+    "dominates",
+    "exhaustive_frontier",
+    "execute",
+    "ladder_models",
+    "margin_pruned",
+    "pareto_frontier",
+    "plan_and_execute",
+    "render",
+    "resolve_margin",
+    "resolve_workloads",
+    "run_dse",
+    "score",
+    "predict",
+    "predict_counts",
+    "predict_result",
+]

@@ -1,0 +1,534 @@
+"""DSE planner: score a grid with the surrogate, simulate only survivors.
+
+The planner answers "which cells of a design grid could matter?"
+without replaying the grid.  Every cell — one (workload, configuration,
+model) point — is scored with the analytical surrogate
+(:mod:`repro.analytic.surrogate`); cells whose predicted
+(speedup, energy) point is Pareto-dominated *with slack* are pruned;
+only the survivors (plus each group's SRAM baseline, needed for
+normalisation) are dispatched to full simulation.  The margin knob
+makes pruning robust to surrogate error: a cell is pruned only when a
+rival beats it by at least the margin on *both* objectives, so any
+cell on the true frontier survives as long as the margin exceeds twice
+the surrogate's relative error (derivation in ``docs/DSE.md``).
+
+Observability: ``dse.cells_scored`` / ``dse.cells_pruned`` /
+``dse.cells_dispatched`` counters and ``dse.score`` / ``dse.dispatch``
+spans land in any enabled :mod:`repro.obs` registry.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.nvsim.model import LLCModel
+from repro.nvsim.published import CONFIGURATIONS, published_models
+from repro.obs import metrics as _metrics
+from repro.analytic.surrogate import predict_result
+from repro.sim.results import NormalizedResult, normalize
+
+#: Environment knobs (CLI flags override them; see docs/CONFIGURATION.md).
+DSE_MARGIN_ENV = "REPRO_DSE_MARGIN"
+DSE_WORKLOADS_ENV = "REPRO_DSE_WORKLOADS"
+
+#: Default pruning margin: relative slack a rival must have on *both*
+#: objectives before a cell is pruned.  Safe while the surrogate's
+#: relative error stays under margin/2 — the measured worst case on the
+#: golden workloads is ~0.14% (docs/DSE.md states bound and measurement).
+DEFAULT_DSE_MARGIN = 0.005
+
+
+def resolve_margin(margin: Optional[float] = None) -> float:
+    """Pruning margin: explicit argument > ``REPRO_DSE_MARGIN`` > default."""
+    if margin is None:
+        raw = os.environ.get(DSE_MARGIN_ENV, "").strip()
+        if not raw:
+            return DEFAULT_DSE_MARGIN
+        try:
+            margin = float(raw)
+        except ValueError:
+            raise PlanError(
+                f"{DSE_MARGIN_ENV} must be a number, got {raw!r}"
+            )
+    margin = float(margin)
+    if math.isnan(margin) or not 0.0 <= margin < 1.0:
+        raise PlanError(f"DSE margin must be in [0, 1), got {margin!r}")
+    return margin
+
+
+def resolve_workloads(
+    workloads: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Grid workloads: argument > ``REPRO_DSE_WORKLOADS`` > AI subset."""
+    if workloads is None:
+        raw = os.environ.get(DSE_WORKLOADS_ENV, "").strip()
+        if raw:
+            workloads = [part.strip() for part in raw.split(",") if part.strip()]
+    if not workloads:
+        from repro.workloads.registry import ai_benchmarks
+
+        return ai_benchmarks()
+    from repro.validate.schema import unknown_key_message
+    from repro.workloads.profiles import PROFILES
+
+    for name in workloads:
+        if name not in PROFILES:
+            raise PlanError(
+                unknown_key_message("DSE workload", name, list(PROFILES))
+            )
+    return list(workloads)
+
+
+@dataclass(frozen=True, eq=True)
+class PlanCell:
+    """One point of the grid: a workload on one model in one configuration."""
+
+    workload: str
+    configuration: str
+    model_name: str
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.configuration}/{self.model_name}"
+
+
+@dataclass(frozen=True)
+class PlanGrid:
+    """A declared design grid: workloads x configurations x models.
+
+    ``models`` maps each configuration name to its candidate models;
+    every configuration must carry exactly one SRAM model (the
+    normalisation baseline) and unique model names.
+    """
+
+    workloads: Tuple[str, ...]
+    configurations: Tuple[str, ...]
+    models: Mapping[str, Tuple[LLCModel, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise PlanError("DSE grid needs at least one workload")
+        if not self.configurations:
+            raise PlanError("DSE grid needs at least one configuration")
+        for configuration in self.configurations:
+            models = self.models.get(configuration)
+            if not models:
+                raise PlanError(
+                    f"DSE grid has no models for {configuration!r}"
+                )
+            names = [model.name for model in models]
+            if len(set(names)) != len(names):
+                raise PlanError(
+                    f"duplicate model names in {configuration!r} grid axis"
+                )
+            if sum(1 for model in models if model.is_sram) != 1:
+                raise PlanError(
+                    f"{configuration!r} grid axis needs exactly one SRAM "
+                    "baseline model"
+                )
+
+    @classmethod
+    def published(
+        cls,
+        workloads: Sequence[str],
+        configurations: Sequence[str] = CONFIGURATIONS,
+    ) -> "PlanGrid":
+        """The paper's Table III grid over the given workloads."""
+        return cls(
+            workloads=tuple(workloads),
+            configurations=tuple(configurations),
+            models={
+                configuration: tuple(published_models(configuration))
+                for configuration in configurations
+            },
+        )
+
+    def baseline(self, configuration: str) -> LLCModel:
+        return next(m for m in self.models[configuration] if m.is_sram)
+
+    def model(self, configuration: str, name: str) -> LLCModel:
+        for model in self.models[configuration]:
+            if model.name == name:
+                return model
+        raise PlanError(f"unknown model {name!r} in {configuration!r}")
+
+    def cells(self) -> List[PlanCell]:
+        """Every grid cell, in deterministic declaration order."""
+        return [
+            PlanCell(workload, configuration, model.name)
+            for workload in self.workloads
+            for configuration in self.configurations
+            for model in self.models[configuration]
+        ]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.workloads) * sum(
+            len(self.models[c]) for c in self.configurations
+        )
+
+
+def ladder_models(cell, capacities_bytes: Sequence[int]) -> List[LLCModel]:
+    """Circuit-model one NVM cell at several capacities, uniquely named.
+
+    A convenience for declaring capacity-axis grids: names become
+    ``<cell>@<MiB>MB`` so one cell's ladder points stay distinct grid
+    cells.  Models come from
+    :func:`repro.nvsim.sweep.capacity_sweep`, i.e. they pass the
+    ``guard_model`` chokepoint like every generated model.
+    """
+    from repro import units
+    from repro.nvsim.sweep import capacity_sweep
+
+    return [
+        replace(model, name=f"{model.name}@{model.capacity_bytes // units.MB}MB")
+        for model in capacity_sweep(cell, list(capacities_bytes))
+    ]
+
+
+# -- Pareto machinery -----------------------------------------------------
+
+
+def dominates(a: NormalizedResult, b: NormalizedResult, margin: float = 0.0) -> bool:
+    """Does ``a`` beat ``b`` on both objectives (with relative slack)?
+
+    Objectives: maximise ``speedup``, minimise ``energy_ratio``.  With
+    ``margin == 0`` this is classic strict Pareto dominance (at least
+    one strict inequality); with ``margin > 0`` it requires ``a`` to
+    beat ``b`` by a relative factor of ``margin`` on *both* axes.
+    """
+    if margin > 0.0:
+        return (
+            a.speedup >= b.speedup * (1.0 + margin)
+            and a.energy_ratio <= b.energy_ratio * (1.0 - margin)
+        )
+    return (
+        a.speedup >= b.speedup
+        and a.energy_ratio <= b.energy_ratio
+        and (a.speedup > b.speedup or a.energy_ratio < b.energy_ratio)
+    )
+
+
+def pareto_frontier(
+    values: Mapping[PlanCell, NormalizedResult]
+) -> List[PlanCell]:
+    """Cells not strictly dominated by any other cell of the mapping."""
+    cells = list(values)
+    return [
+        cell
+        for cell in cells
+        if not any(
+            dominates(values[other], values[cell])
+            for other in cells
+            if other != cell
+        )
+    ]
+
+
+def margin_pruned(
+    values: Mapping[PlanCell, NormalizedResult], margin: float
+) -> List[PlanCell]:
+    """Cells some rival dominates with at least ``margin`` slack."""
+    cells = list(values)
+    return [
+        cell
+        for cell in cells
+        if any(
+            dominates(values[other], values[cell], margin)
+            for other in cells
+            if other != cell
+        )
+    ]
+
+
+# -- Planning -------------------------------------------------------------
+
+
+@dataclass
+class Plan:
+    """A scored grid: surrogate predictions plus the pruning verdict."""
+
+    grid: PlanGrid
+    margin: float
+    predicted: Dict[PlanCell, NormalizedResult]
+    pruned: List[PlanCell]
+    survivors: List[PlanCell]
+    dispatch: List[PlanCell]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.predicted)
+
+    @property
+    def savings_ratio(self) -> float:
+        """Full simulations avoided: grid cells per dispatched cell."""
+        return self.n_cells / max(1, len(self.dispatch))
+
+
+@dataclass
+class PlanOutcome:
+    """An executed plan: simulated survivors and the resulting frontier."""
+
+    plan: Plan
+    simulated: Dict[PlanCell, NormalizedResult]
+    frontier: List[PlanCell]
+
+
+def _groups(
+    grid: PlanGrid, cells: Sequence[PlanCell]
+) -> Dict[Tuple[str, str], List[PlanCell]]:
+    grouped: Dict[Tuple[str, str], List[PlanCell]] = {}
+    for cell in cells:
+        grouped.setdefault((cell.workload, cell.configuration), []).append(cell)
+    return grouped
+
+
+def score(grid: PlanGrid, context, margin: Optional[float] = None) -> Plan:
+    """Score every grid cell with the surrogate and prune with margin.
+
+    One reuse-profile pass per workload (cached in the replay cache)
+    prices the whole grid; no full replays happen here.
+    """
+    margin = resolve_margin(margin)
+    predicted: Dict[PlanCell, NormalizedResult] = {}
+    with _metrics.span("dse.score"):
+        for workload in grid.workloads:
+            session = context.session(workload)
+            profile = session.reuse_profile()
+            private = session.private
+            for configuration in grid.configurations:
+                baseline_model = grid.baseline(configuration)
+                baseline = predict_result(
+                    workload, configuration, private, profile,
+                    baseline_model, session.arch,
+                )
+                for model in grid.models[configuration]:
+                    result = (
+                        baseline
+                        if model.name == baseline_model.name
+                        else predict_result(
+                            workload, configuration, private, profile,
+                            model, session.arch,
+                        )
+                    )
+                    predicted[
+                        PlanCell(workload, configuration, model.name)
+                    ] = normalize(result, baseline)
+    _metrics.counter_add("dse.cells_scored", len(predicted))
+
+    pruned: List[PlanCell] = []
+    survivors: List[PlanCell] = []
+    for group_cells in _groups(grid, list(predicted)).values():
+        values = {cell: predicted[cell] for cell in group_cells}
+        group_pruned = set(margin_pruned(values, margin))
+        for cell in group_cells:
+            (pruned if cell in group_pruned else survivors).append(cell)
+    _metrics.counter_add("dse.cells_pruned", len(pruned))
+
+    dispatch = list(survivors)
+    needed = {(cell.workload, cell.configuration) for cell in survivors}
+    for workload, configuration in sorted(needed):
+        baseline_cell = PlanCell(
+            workload, configuration, grid.baseline(configuration).name
+        )
+        if baseline_cell not in dispatch:
+            dispatch.append(baseline_cell)
+    return Plan(
+        grid=grid,
+        margin=margin,
+        predicted=predicted,
+        pruned=pruned,
+        survivors=survivors,
+        dispatch=dispatch,
+    )
+
+
+def execute(plan: Plan, context) -> PlanOutcome:
+    """Fully simulate the dispatched cells; frontier over the survivors.
+
+    Baseline cells dispatched only for normalisation do not join the
+    frontier candidates unless they survived pruning themselves.
+    """
+    grid = plan.grid
+    simulated: Dict[PlanCell, NormalizedResult] = {}
+    with _metrics.span("dse.dispatch"):
+        for (workload, configuration), cells in _groups(
+            grid, plan.dispatch
+        ).items():
+            session = context.session(workload)
+            baseline_model = grid.baseline(configuration)
+            baseline = session.run(baseline_model, configuration)
+            for cell in cells:
+                result = (
+                    baseline
+                    if cell.model_name == baseline_model.name
+                    else session.run(
+                        grid.model(configuration, cell.model_name),
+                        configuration,
+                    )
+                )
+                simulated[cell] = normalize(result, baseline)
+    _metrics.counter_add("dse.cells_dispatched", len(plan.dispatch))
+
+    survivor_set = set(plan.survivors)
+    frontier: List[PlanCell] = []
+    for group_cells in _groups(grid, plan.survivors).values():
+        values = {
+            cell: simulated[cell]
+            for cell in group_cells
+            if cell in survivor_set
+        }
+        frontier.extend(pareto_frontier(values))
+    _metrics.gauge_set("dse.frontier_size", len(frontier))
+    return PlanOutcome(plan=plan, simulated=simulated, frontier=frontier)
+
+
+def plan_and_execute(
+    grid: PlanGrid, context, margin: Optional[float] = None
+) -> PlanOutcome:
+    """Score, prune and simulate in one call."""
+    return execute(score(grid, context, margin), context)
+
+
+def exhaustive_frontier(
+    grid: PlanGrid, context
+) -> Tuple[Dict[PlanCell, NormalizedResult], List[PlanCell]]:
+    """Oracle for validation: full-simulate *every* cell, then frontier.
+
+    Returns ``(simulated, frontier)``; the acceptance check (and
+    ``tools/dse_smoke.py``) compares this frontier against the
+    planner's.
+    """
+    simulated: Dict[PlanCell, NormalizedResult] = {}
+    for workload in grid.workloads:
+        session = context.session(workload)
+        for configuration in grid.configurations:
+            baseline = session.run(grid.baseline(configuration), configuration)
+            for model in grid.models[configuration]:
+                result = (
+                    baseline
+                    if model.is_sram
+                    else session.run(model, configuration)
+                )
+                simulated[
+                    PlanCell(workload, configuration, model.name)
+                ] = normalize(result, baseline)
+    frontier: List[PlanCell] = []
+    for group_cells in _groups(grid, list(simulated)).values():
+        frontier.extend(
+            pareto_frontier({cell: simulated[cell] for cell in group_cells})
+        )
+    return simulated, frontier
+
+
+# -- Experiment surface ---------------------------------------------------
+
+
+def render(outcome: PlanOutcome) -> str:
+    """Human-readable planner report with per-cell provenance."""
+    from repro.experiments.common import TableWriter
+
+    plan = outcome.plan
+    frontier_set = set(outcome.frontier)
+    pruned_set = set(plan.pruned)
+    lines = [
+        f"grid: {len(plan.grid.workloads)} workloads x "
+        f"{sum(len(plan.grid.models[c]) for c in plan.grid.configurations)} "
+        f"models = {plan.n_cells} cells",
+        f"margin: {plan.margin:g}   scored: {plan.n_cells}   "
+        f"pruned: {len(plan.pruned)}   dispatched: {len(plan.dispatch)} "
+        f"({plan.savings_ratio:.1f}x fewer full simulations)",
+        "",
+    ]
+    frontier_table = TableWriter(
+        headers=["workload", "configuration", "LLC", "speedup", "energy", "ED^2P"]
+    )
+    for cell in sorted(
+        outcome.frontier,
+        key=lambda c: (c.workload, c.configuration, c.model_name),
+    ):
+        value = outcome.simulated[cell]
+        frontier_table.add(
+            cell.workload, cell.configuration, cell.model_name,
+            value.speedup, value.energy_ratio, value.ed2p_ratio,
+        )
+    lines.append("Pareto frontier (simulated)")
+    lines.append(frontier_table.render())
+    lines.append("")
+
+    provenance = TableWriter(
+        headers=[
+            "workload", "configuration", "LLC",
+            "pred speedup", "pred energy",
+            "sim speedup", "sim energy", "status",
+        ]
+    )
+    for cell in plan.grid.cells():
+        pred = plan.predicted[cell]
+        sim = outcome.simulated.get(cell)
+        status = (
+            "pruned" if cell in pruned_set
+            else "frontier" if cell in frontier_set
+            else "dominated"
+        )
+        provenance.add(
+            cell.workload, cell.configuration, cell.model_name,
+            pred.speedup, pred.energy_ratio,
+            sim.speedup if sim is not None else "-",
+            sim.energy_ratio if sim is not None else "-",
+            status,
+        )
+    lines.append("Per-cell provenance (surrogate vs simulated)")
+    lines.append(provenance.render())
+    return "\n".join(lines)
+
+
+def provenance_record(outcome: PlanOutcome) -> dict:
+    """JSON-safe provenance for the run manifest: one row per cell."""
+    plan = outcome.plan
+    frontier_set = set(outcome.frontier)
+    pruned_set = set(plan.pruned)
+    cells = []
+    for cell in plan.grid.cells():
+        pred = plan.predicted[cell]
+        sim = outcome.simulated.get(cell)
+        cells.append({
+            "workload": cell.workload,
+            "configuration": cell.configuration,
+            "model": cell.model_name,
+            "surrogate": {
+                "speedup": pred.speedup,
+                "energy_ratio": pred.energy_ratio,
+            },
+            "simulated": None if sim is None else {
+                "speedup": sim.speedup,
+                "energy_ratio": sim.energy_ratio,
+            },
+            "status": (
+                "pruned" if cell in pruned_set
+                else "frontier" if cell in frontier_set
+                else "dominated"
+            ),
+        })
+    return {
+        "margin": plan.margin,
+        "cells_scored": plan.n_cells,
+        "cells_pruned": len(plan.pruned),
+        "cells_dispatched": len(plan.dispatch),
+        "savings_ratio": plan.savings_ratio,
+        "frontier": sorted(cell.label() for cell in outcome.frontier),
+        "cells": cells,
+    }
+
+
+def run_dse(
+    context,
+    margin: Optional[float] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> PlanOutcome:
+    """The ``dse`` experiment: planner over the published-model grid."""
+    grid = PlanGrid.published(resolve_workloads(workloads))
+    return plan_and_execute(grid, context, margin)

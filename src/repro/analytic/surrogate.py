@@ -1,0 +1,125 @@
+"""Analytical surrogate: reuse profile -> predicted sweep-cell result.
+
+Predicts what a full LLC replay would count — hits, misses, writes,
+dirty evictions, per-core splits, MLP — from one capacity-parameterised
+:class:`~repro.prism.reuse.StreamReuseProfile`, then prices the
+prediction through the same :func:`repro.nvsim.pricing.price_counts`
+hook the simulator uses.  One profile pass per workload amortises over
+every cell of a design-space grid: evaluating a new (model, capacity)
+point costs microseconds instead of a replay.
+
+The prediction is *exact* for a fully-associative LRU cache (stack
+distances and the dirty-eviction curve are exact); the residual error
+against the 16-way simulator is set-conflict noise, measured and
+bounded in ``docs/DSE.md``.  Predicted counts flow through
+:func:`repro.validate.guard.guard_counts` and priced results through
+:func:`repro.validate.guard.guard_result` — the surrogate obeys the
+same validation chokepoints as the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.nvsim.model import LLCModel
+from repro.nvsim.pricing import price_counts
+from repro.obs import metrics as _metrics
+from repro.prism.reuse import StreamReuseProfile
+from repro.sim.config import ArchitectureConfig
+from repro.sim.llc import LLCCounts, estimate_mlp
+from repro.sim.results import SimResult
+
+
+def predict_counts(
+    profile: StreamReuseProfile,
+    capacity_bytes: int,
+    arch: ArchitectureConfig,
+    subject: str = "surrogate",
+) -> LLCCounts:
+    """Predicted FA-LRU counts at one capacity, guarded like a replay.
+
+    The returned counts satisfy the simulator's exact invariants by
+    construction (``hits + misses == lookups`` per access type,
+    ``dirty_evictions <= fills``) and are checked by
+    :func:`~repro.validate.guard.guard_counts` regardless.
+    """
+    import numpy as np
+
+    from repro.validate.guard import guard_counts
+
+    capacity_blocks = max(1, capacity_bytes // arch.llc_block_bytes)
+    read_hits = profile.read_hits_at(capacity_blocks)
+    write_hits = profile.write_hits_at(capacity_blocks)
+
+    counts = LLCCounts(
+        capacity_bytes=capacity_bytes,
+        associativity=arch.llc_associativity,
+    )
+    counts.read_lookups = profile.n_reads
+    counts.read_hits = read_hits
+    counts.read_misses = profile.n_reads - read_hits
+    counts.write_accesses = profile.n_writes
+    counts.write_hits = write_hits
+    counts.write_misses = profile.n_writes - write_hits
+    counts.dirty_evictions = profile.dirty_evictions_at(capacity_blocks)
+
+    per_core_hits = profile.per_core_read_hits(capacity_blocks)
+    per_core_reads = np.bincount(
+        profile.read_cores, minlength=profile.n_cores
+    ).tolist()
+    counts.per_core_read_hits = per_core_hits
+    counts.per_core_read_misses = [
+        total - hits for total, hits in zip(per_core_reads, per_core_hits)
+    ]
+    counts.per_core_mlp = [
+        estimate_mlp(
+            positions, arch.mlp_window_instructions, arch.max_mlp
+        )
+        for positions in profile.per_core_miss_positions(capacity_blocks)
+    ]
+    return guard_counts(counts, subject=subject)
+
+
+def predict_result(
+    workload: str,
+    configuration: str,
+    private,
+    profile: StreamReuseProfile,
+    llc_model: LLCModel,
+    arch: ArchitectureConfig,
+) -> SimResult:
+    """Predict one sweep cell: surrogate counts, simulator pricing.
+
+    ``private`` is the workload's technology-independent
+    :class:`~repro.sim.hierarchy.PrivateResult` (already computed for
+    the profile); the model's latencies/energies/leakage price the
+    predicted counts through :func:`repro.nvsim.pricing.price_counts`,
+    so surrogate and simulator disagree only where their *counts* do.
+    """
+    counts = predict_counts(
+        profile,
+        llc_model.capacity_bytes,
+        arch,
+        subject=f"surrogate {workload}@{llc_model.capacity_bytes}B",
+    )
+    _metrics.counter_add("analytic.predictions")
+    return price_counts(
+        workload, configuration, private, counts, llc_model, arch
+    )
+
+
+def predict(session, llc_model: LLCModel, configuration=None) -> SimResult:
+    """Surrogate counterpart of :meth:`SimulationSession.run`.
+
+    Uses the session's cached reuse profile (computed once, persisted
+    in the replay cache) — scoring many models against one session is
+    the intended access pattern.
+    """
+    with _metrics.span("analytic.predict"):
+        profile = session.reuse_profile()
+        return predict_result(
+            workload=session.trace.name or "trace",
+            configuration=configuration or session.configuration,
+            private=session.private,
+            profile=profile,
+            llc_model=llc_model,
+            arch=session.arch,
+        )

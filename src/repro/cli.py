@@ -231,6 +231,43 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.submit:
+        from repro.serve import ServeClient
+
+        client = ServeClient(args.url)
+        response = client.plan(scale=args.scale, seed=args.seed)
+        job = response["job"]
+        dedup = (
+            " (deduplicated onto an existing job)" if response["deduped"]
+            else ""
+        )
+        print(f"plan job {job['id']}  state={job['state']}  "
+              f"priority={job['priority']}{dedup}")
+        if not args.wait:
+            return 0
+        record = client.wait(job["id"], timeout_s=args.timeout)
+        if record["state"] != "done":
+            print(f"job {job['id']} {record['state']}: "
+                  f"{record['error'] or '(no detail)'}", file=sys.stderr)
+            return 5
+        sys.stdout.write(client.result(job["id"])["render"])
+        return 0
+
+    from repro.analytic import planner
+    from repro.experiments.common import ExperimentContext
+    from repro.workloads.generators import DEFAULT_SEED
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    context = ExperimentContext(scale=args.scale, seed=seed)
+    workloads = args.workloads.split(",") if args.workloads else None
+    outcome = planner.run_dse(
+        context, margin=args.margin, workloads=workloads
+    )
+    sys.stdout.write(planner.render(outcome))
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
 
@@ -377,6 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_url(p)
 
     p = sub.add_parser(
+        "plan",
+        help="run the analytical DSE planner (surrogate-pruned sweep; "
+        "see docs/DSE.md) locally, or --submit it to a service",
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="trace-length scale factor in (0, 1]")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload generator seed")
+    p.add_argument("--margin", type=float, default=None,
+                   help="Pareto-pruning accuracy margin in [0, 1) "
+                   "(also: REPRO_DSE_MARGIN; default 0.005; local only)")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names "
+                   "(also: REPRO_DSE_WORKLOADS; default: the AI suite; "
+                   "local only)")
+    p.add_argument("--submit", action="store_true",
+                   help="submit to a running service at the plan priority "
+                   "tier instead of planning locally")
+    p.add_argument("--wait", action="store_true",
+                   help="with --submit: poll until done and print the "
+                   "rendered result")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait with --wait (default 600)")
+    add_url(p)
+
+    p = sub.add_parser(
         "status", help="poll the service (one job, or every job + health)"
     )
     p.add_argument("job_id", nargs="?", default=None,
@@ -403,6 +466,7 @@ _HANDLERS = {
     "doctor": _cmd_doctor,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "plan": _cmd_plan,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
 }

@@ -115,6 +115,17 @@ class CheckpointError(ReproError):
     code = "CHECKPOINT"
 
 
+class PlanError(ReproError):
+    """The DSE planner was misconfigured or its grid is unusable.
+
+    Raised by :mod:`repro.analytic.planner` for an out-of-range
+    accuracy margin (``--dse-margin`` / ``REPRO_DSE_MARGIN``), an
+    unknown workload in ``REPRO_DSE_WORKLOADS``, or an empty grid.
+    """
+
+    code = "PLAN"
+
+
 class PlausibilityError(ReproError):
     """A value passed structural checks but is physically impossible.
 

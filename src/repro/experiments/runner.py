@@ -58,6 +58,14 @@ EXPERIMENTS = (
     "sensitivity",
 )
 
+#: The DSE planner surface (``--dse`` / ``--only dse``): not part of the
+#: default full run — it explores beyond the paper's grid — but
+#: dispatchable everywhere an experiment id is accepted.
+DSE_EXPERIMENT = "dse"
+
+#: Every dispatchable experiment id (the paper set plus the planner).
+ALL_EXPERIMENTS = EXPERIMENTS + (DSE_EXPERIMENT,)
+
 #: Default directory for manifest/metrics when ``--write`` gives no home.
 DEFAULT_RESULTS_DIR = "results"
 
@@ -124,11 +132,23 @@ def run_experiment(name: str, context: ExperimentContext, features=None):
             sensitivity.render(sensitivity.run(context=context)),
             features,
         )
+    if name == DSE_EXPERIMENT:
+        from repro.analytic import planner as dse_planner
+
+        outcome = dse_planner.run_dse(context)
+        # Stash per-cell surrogate-vs-simulated provenance on the
+        # context so run_all can record it in the run manifest.
+        context.dse_provenance = dse_planner.provenance_record(outcome)
+        return (
+            "DSE planner (extension)",
+            dse_planner.render(outcome),
+            features,
+        )
     from repro.errors import ExperimentError
     from repro.validate.schema import unknown_key_message
 
     raise ExperimentError(
-        unknown_key_message("experiment", name, list(EXPERIMENTS))
+        unknown_key_message("experiment", name, list(ALL_EXPERIMENTS))
     )
 
 
@@ -177,6 +197,8 @@ def run_all(
     cell_retries: Optional[int] = None,
     validate: Optional[str] = None,
     engine: Optional[str] = None,
+    dse: bool = False,
+    dse_margin: Optional[float] = None,
 ) -> None:
     """Run the requested experiments; print renders and optionally write
     a markdown report (``write_path``).
@@ -200,6 +222,13 @@ def run_all(
     engine is bit-identical; see :mod:`repro.sim.engine`).  It is
     exported to ``$REPRO_SIM_ENGINE`` so parallel workers replay with
     the same engine; ``None`` defers to the environment.
+
+    ``dse`` runs the analytical DSE planner (:mod:`repro.analytic`)
+    instead of the paper set — shorthand for ``only="dse"``;
+    ``dse_margin`` overrides the planner's Pareto-pruning accuracy
+    margin (also ``$REPRO_DSE_MARGIN``).  The planner's per-cell
+    surrogate-vs-simulated provenance is recorded in the run manifest
+    when metrics are on.
     """
     from repro.report.builder import ReportBuilder
     from repro.sim.checkpoint import CheckpointJournal
@@ -210,6 +239,21 @@ def run_all(
     if engine is not None:
         # Validate eagerly, then export: workers inherit the choice.
         os.environ[ENGINE_ENV] = resolve_engine(engine)
+
+    if dse:
+        if only is not None and only != DSE_EXPERIMENT:
+            from repro.errors import ExperimentError
+
+            raise ExperimentError(
+                f"--dse and --only {only} conflict; pass one of them"
+            )
+        only = DSE_EXPERIMENT
+    if dse_margin is not None:
+        from repro.analytic.planner import DSE_MARGIN_ENV, resolve_margin
+
+        # Validate eagerly, then export: the planner (and any worker)
+        # reads the environment at score time.
+        os.environ[DSE_MARGIN_ENV] = repr(resolve_margin(dse_margin))
 
     if stream is None:
         # Resolve at call time so test harnesses that swap sys.stdout
@@ -267,7 +311,12 @@ def run_all(
         title, text, features = run_experiment(name, context, features)
         return title, text
 
-    selected = [name for name in EXPERIMENTS if only is None or name == only]
+    # The planner is opt-in: a full run covers the paper set only.
+    selected = [
+        name
+        for name in ALL_EXPERIMENTS
+        if (only is None and name != DSE_EXPERIMENT) or name == only
+    ]
 
     registry: Optional[MetricsRegistry] = None
     previous = _metrics.get_registry()
@@ -311,6 +360,12 @@ def run_all(
                     "cells_skipped": context.cells_skipped,
                     "cells_recorded": checkpoint.recorded,
                 }
+            dse_provenance = getattr(context, "dse_provenance", None)
+            if dse_provenance is not None:
+                # Per-cell surrogate-vs-simulated record: which cells
+                # the planner pruned, dispatched, and how close the
+                # surrogate came on the ones it simulated.
+                settings["dse"] = dse_provenance
             manifest_path, metrics_path = write_run_files(
                 out_dir, settings, registry, resume=resume_info
             )
@@ -376,9 +431,23 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=EXPERIMENTS,
+        choices=ALL_EXPERIMENTS,
         default=None,
         help="run a single experiment",
+    )
+    parser.add_argument(
+        "--dse",
+        action="store_true",
+        help="run the analytical DSE planner instead of the paper set "
+        "(shorthand for --only dse; see docs/DSE.md)",
+    )
+    parser.add_argument(
+        "--dse-margin",
+        type=float,
+        metavar="M",
+        default=None,
+        help="Pareto-pruning accuracy margin for --dse, in [0, 1) "
+        "(also: REPRO_DSE_MARGIN; default: 0.005)",
     )
     parser.add_argument(
         "--write",
@@ -478,6 +547,8 @@ def main(argv: Optional[list] = None) -> int:
             cell_retries=args.cell_retries,
             validate=args.validate,
             engine=args.engine,
+            dse=args.dse,
+            dse_margin=args.dse_margin,
         )
     except PartialResultError as error:
         print(render_error(error), file=sys.stderr)

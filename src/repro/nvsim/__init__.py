@@ -27,6 +27,7 @@ from repro.nvsim.mlc import (
 )
 from repro.nvsim.model import LLCModel, generate_llc_model
 from repro.nvsim.organization import Organization, solve_organization
+from repro.nvsim.pricing import price_counts
 from repro.nvsim.published import (
     CONFIGURATIONS,
     FIXED_AREA,
@@ -62,6 +63,7 @@ __all__ = [
     "generate_llc_model",
     "Organization",
     "solve_organization",
+    "price_counts",
     "CONFIGURATIONS",
     "FIXED_AREA",
     "FIXED_CAPACITY",

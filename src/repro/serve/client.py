@@ -131,6 +131,20 @@ class ServeClient:
             body["priority"] = priority
         return self._json("POST", "/jobs", body)
 
+    def plan(
+        self, scale: float = 1.0, seed: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """``POST /plan`` — a DSE-planner job at the plan priority tier.
+
+        Returns ``{"job": {...}, "deduped": bool}`` like :meth:`submit`;
+        the server forces ``experiment="dse"`` and queues the job above
+        the user priority band.
+        """
+        body: Dict[str, Any] = {"scale": scale}
+        if seed is not None:
+            body["seed"] = seed
+        return self._json("POST", "/plan", body)
+
     def status(self, job_id: str) -> Dict[str, Any]:
         """``GET /jobs/<id>`` — the job's status record."""
         return self._json("GET", f"/jobs/{job_id}")["job"]

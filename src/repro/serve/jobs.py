@@ -39,6 +39,11 @@ SPEC_KEYS = ("experiment", "scale", "seed", "priority")
 #: Result payload schema (bump on incompatible layout changes).
 RESULT_SCHEMA = 1
 
+#: Priority tier for planner jobs submitted via ``POST /plan``.  User
+#: submissions clamp to [-1000, 1000]; plan jobs ride above that band
+#: so a cheap surrogate-guided sweep never queues behind a full run.
+PLAN_PRIORITY = 2000
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -66,7 +71,7 @@ def normalize_spec(mapping: Mapping[str, Any]) -> JobSpec:
     suggestions (:mod:`repro.validate.schema`), before anything touches
     the queue.
     """
-    from repro.experiments.runner import EXPERIMENTS
+    from repro.experiments.runner import ALL_EXPERIMENTS
     from repro.validate.schema import (
         coerce_number,
         unknown_key_message,
@@ -80,9 +85,11 @@ def normalize_spec(mapping: Mapping[str, Any]) -> JobSpec:
     experiment = mapping.get("experiment")
     if not isinstance(experiment, str) or not experiment:
         raise ServeError("job spec needs an 'experiment' name")
-    if experiment not in EXPERIMENTS:
+    if experiment not in ALL_EXPERIMENTS:
         raise ServeError(
-            unknown_key_message("experiment", experiment, list(EXPERIMENTS))
+            unknown_key_message(
+                "experiment", experiment, list(ALL_EXPERIMENTS)
+            )
         )
     scale = coerce_number(
         "scale", mapping.get("scale", 1.0), lo=1e-6, hi=1.0, error=ServeError

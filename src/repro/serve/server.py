@@ -16,6 +16,8 @@ Endpoints (all JSON; errors use the ``error[<code>]`` contract)::
     POST /jobs                 submit a job spec -> 202 {job, deduped}
                                (429 + Retry-After on backpressure,
                                 503 while draining)
+    POST /plan                 submit a DSE-planner job ({scale, seed})
+                               at the plan priority tier -> 202
     GET  /jobs                 every job's status record
     GET  /jobs/<id>            one job's status record
     GET  /jobs/<id>/result     the result payload (DONE jobs; 409 while
@@ -52,7 +54,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.executor import WorkerPool
 from repro.serve.journal import JobJournal
-from repro.serve.jobs import JobState, normalize_spec
+from repro.serve.jobs import PLAN_PRIORITY, JobState, normalize_spec
 from repro.serve.queue import (
     DEFAULT_MAX_QUEUED,
     DEFAULT_RETRY_AFTER_S,
@@ -381,6 +383,9 @@ class ExperimentServer:
         if method == "POST" and path == "/jobs":
             self._submit(http)
             return True
+        if method == "POST" and path == "/plan":
+            self._plan(http)
+            return True
         if method == "GET" and path == "/jobs":
             http._send_json(200, {"jobs": self.queue.describe()})
             return True
@@ -433,6 +438,25 @@ class ExperimentServer:
             )
         spec = normalize_spec(body)
         job, deduped = self.queue.submit(spec, priority=priority)
+        http._send_json(202, {"job": job.describe(), "deduped": deduped})
+
+    def _plan(self, http: _Handler) -> None:
+        """``POST /plan``: a DSE-planner job at the plan priority tier.
+
+        The body carries only ``scale``/``seed`` — the experiment is
+        forced to ``dse``, and the job rides above the user priority
+        band (:data:`~repro.serve.jobs.PLAN_PRIORITY`): the planner
+        dispatches a pruned fraction of its grid, so letting it jump
+        the queue costs little and unblocks design decisions early.
+        """
+        from repro.validate.schema import validate_keys
+
+        body = http._read_body()
+        validate_keys(body.keys(), ("scale", "seed"),
+                      kind="plan request key", error=ServeError)
+        spec = normalize_spec(dict(body, experiment="dse"))
+        job, deduped = self.queue.submit(spec, priority=PLAN_PRIORITY)
+        _metrics.counter_add("serve.plans.submitted")
         http._send_json(202, {"job": job.describe(), "deduped": deduped})
 
     def _result(self, http: _Handler, job_id: str) -> None:

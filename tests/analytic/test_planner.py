@@ -1,0 +1,208 @@
+"""Property and unit tests for the DSE planner (docs/DSE.md).
+
+The load-bearing claim: with pruning margin ``m`` and surrogate
+relative error at most ``eps`` per axis, ``m > 2*eps/(1-eps)``
+guarantees no true-frontier cell is margin-pruned.  The hypothesis
+test below perturbs exact objective values by up to ``eps`` and
+asserts exactly that; the integration test proves planner-vs-exhaustive
+frontier equality on a real published-model grid.
+"""
+
+import math
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analytic.planner import (
+    DEFAULT_DSE_MARGIN,
+    DSE_MARGIN_ENV,
+    DSE_WORKLOADS_ENV,
+    PlanCell,
+    PlanGrid,
+    dominates,
+    exhaustive_frontier,
+    margin_pruned,
+    pareto_frontier,
+    plan_and_execute,
+    resolve_margin,
+    resolve_workloads,
+)
+from repro.errors import PlanError
+from repro.sim.results import NormalizedResult
+
+
+def _point(name, speedup, energy):
+    return NormalizedResult("w", name, "c", speedup, energy, energy / speedup**2)
+
+
+def _cell(name):
+    return PlanCell("w", "c", name)
+
+
+class TestDominance:
+    def test_strict_dominance_requires_one_strict_inequality(self):
+        a = _point("a", 1.0, 0.5)
+        assert dominates(a, _point("b", 0.9, 0.6))
+        assert dominates(a, _point("b", 1.0, 0.6))   # tie on one axis
+        assert not dominates(a, _point("b", 1.0, 0.5))  # exact tie
+        assert not dominates(a, _point("b", 1.1, 0.4))  # dominated
+
+    def test_margin_demands_relative_slack_on_both_axes(self):
+        a = _point("a", 1.00, 0.50)
+        b = _point("b", 0.99, 0.52)
+        assert dominates(a, b, margin=0.005)
+        assert not dominates(a, b, margin=0.02)  # speedups too close
+        # Equal points never dominate each other at any margin.
+        assert not dominates(a, _point("b", 1.00, 0.50), margin=0.0)
+        assert not dominates(a, _point("b", 1.00, 0.50), margin=0.01)
+
+    def test_pareto_frontier_keeps_undominated_and_tied_points(self):
+        values = {
+            _cell("best"): _point("best", 1.2, 0.4),
+            _cell("trade"): _point("trade", 1.4, 0.6),
+            _cell("loser"): _point("loser", 1.1, 0.5),
+            _cell("tie"): _point("tie", 1.2, 0.4),
+        }
+        frontier = set(pareto_frontier(values))
+        assert frontier == {_cell("best"), _cell("trade"), _cell("tie")}
+
+    def test_margin_pruned_is_conservative_subset_of_dominated(self):
+        values = {
+            _cell("best"): _point("best", 1.2, 0.4),
+            _cell("close"): _point("close", 1.199, 0.401),
+            _cell("far"): _point("far", 0.8, 0.9),
+        }
+        assert set(margin_pruned(values, 0.01)) == {_cell("far")}
+        dominated = set(values) - set(pareto_frontier(values))
+        assert set(margin_pruned(values, 0.01)) <= dominated
+
+
+POINTS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=2.0),
+        st.floats(min_value=0.2, max_value=2.0),
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+@given(points=POINTS, eps=st.floats(min_value=0.0, max_value=0.01),
+       seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=150, deadline=None)
+def test_margin_pruning_never_drops_a_true_frontier_cell(points, eps, seed):
+    """Perturb exact objectives by <= eps per axis; prune with
+    m > 2*eps/(1-eps); no exact-frontier cell may be pruned."""
+    import random
+
+    rng = random.Random(seed)
+    exact = {
+        _cell(f"m{i}"): _point(f"m{i}", s, e)
+        for i, (s, e) in enumerate(points)
+    }
+    predicted = {
+        cell: _point(
+            cell.model_name,
+            value.speedup * (1.0 + rng.uniform(-eps, eps)),
+            value.energy_ratio * (1.0 + rng.uniform(-eps, eps)),
+        )
+        for cell, value in exact.items()
+    }
+    margin = 2.0 * eps / (1.0 - eps) * 1.01 + 1e-9
+    true_frontier = set(pareto_frontier(exact))
+    pruned = set(margin_pruned(predicted, margin))
+    assert not (pruned & true_frontier)
+
+
+class TestKnobs:
+    def test_resolve_margin_precedence(self, monkeypatch):
+        monkeypatch.delenv(DSE_MARGIN_ENV, raising=False)
+        assert resolve_margin() == DEFAULT_DSE_MARGIN
+        monkeypatch.setenv(DSE_MARGIN_ENV, "0.02")
+        assert resolve_margin() == 0.02
+        assert resolve_margin(0.001) == 0.001  # explicit beats env
+
+    @pytest.mark.parametrize("bad", [1.0, 1.5, -0.1, math.nan])
+    def test_resolve_margin_rejects_out_of_range(self, bad):
+        with pytest.raises(PlanError):
+            resolve_margin(bad)
+
+    def test_resolve_margin_rejects_unparseable_env(self, monkeypatch):
+        monkeypatch.setenv(DSE_MARGIN_ENV, "lots")
+        with pytest.raises(PlanError):
+            resolve_margin()
+
+    def test_resolve_workloads_default_env_and_validation(self, monkeypatch):
+        from repro.workloads.registry import ai_benchmarks
+
+        monkeypatch.delenv(DSE_WORKLOADS_ENV, raising=False)
+        assert resolve_workloads() == ai_benchmarks()
+        monkeypatch.setenv(DSE_WORKLOADS_ENV, "leela, x264")
+        assert resolve_workloads() == ["leela", "x264"]
+        with pytest.raises(PlanError, match="fluidanimate"):
+            resolve_workloads(["leela", "fluidanimate"])
+
+
+class TestPlanGridValidation:
+    def _models(self):
+        from repro.nvsim.published import published_models
+
+        return tuple(published_models("fixed-capacity"))
+
+    def test_published_grid_is_valid(self):
+        grid = PlanGrid.published(["leela"], ["fixed-capacity"])
+        assert grid.n_cells == len(self._models())
+        assert grid.baseline("fixed-capacity").is_sram
+
+    def test_rejects_empty_axes(self):
+        models = {"fixed-capacity": self._models()}
+        with pytest.raises(PlanError, match="workload"):
+            PlanGrid((), ("fixed-capacity",), models)
+        with pytest.raises(PlanError, match="configuration"):
+            PlanGrid(("leela",), (), models)
+        with pytest.raises(PlanError, match="no models"):
+            PlanGrid(("leela",), ("fixed-capacity",), {})
+
+    def test_rejects_duplicate_model_names(self):
+        models = self._models()
+        with pytest.raises(PlanError, match="duplicate"):
+            PlanGrid(
+                ("leela",), ("fixed-capacity",),
+                {"fixed-capacity": models + (models[-1],)},
+            )
+
+    def test_rejects_missing_or_doubled_sram_baseline(self):
+        models = self._models()
+        sram = [m for m in models if m.is_sram]
+        nvm = tuple(m for m in models if not m.is_sram)
+        with pytest.raises(PlanError, match="SRAM"):
+            PlanGrid(("leela",), ("fixed-capacity",), {"fixed-capacity": nvm})
+        with pytest.raises(PlanError, match="SRAM"):
+            PlanGrid(
+                ("leela",), ("fixed-capacity",),
+                {"fixed-capacity": models + (sram[0].__class__(
+                    **{**sram[0].__dict__, "name": "SRAM-again"}),)},
+            )
+
+
+class TestPlannerAgainstExhaustive:
+    def test_planner_reproduces_exhaustive_frontier_on_real_grid(self):
+        """End to end on the paper's published models at test scale:
+        the planner's frontier equals the oracle's while dispatching a
+        strict subset of the grid."""
+        from repro.experiments.common import ExperimentContext
+
+        context = ExperimentContext(scale=0.05)
+        grid = PlanGrid.published(["leela"])
+        outcome = plan_and_execute(grid, context, margin=DEFAULT_DSE_MARGIN)
+        _, oracle = exhaustive_frontier(grid, context)
+        assert (
+            sorted(c.label() for c in outcome.frontier)
+            == sorted(c.label() for c in oracle)
+        )
+        assert len(outcome.plan.dispatch) < grid.n_cells
+        assert outcome.plan.savings_ratio > 1.0
+        # Every dispatched survivor was simulated; pruned cells were not.
+        for cell in outcome.plan.pruned:
+            assert cell not in outcome.simulated or cell in outcome.plan.dispatch

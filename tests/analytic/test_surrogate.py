@@ -1,0 +1,152 @@
+"""Property tests for the analytical surrogate (docs/DSE.md).
+
+The surrogate's claim is exactness for a fully-associative LRU cache:
+stack distances decide hits, the dirty curve decides writebacks.  These
+tests pin that claim two independent ways — against a from-scratch
+OrderedDict LRU oracle written here, and against the real simulator
+configured fully-associatively (associativity == capacity, one set) —
+for random streams at *every* capacity, plus the monotonicity and
+guard invariants the planner's pruning argument rests on.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analytic import predict_counts
+from repro.prism.reuse import COLD_DISTANCE, stream_reuse_profile
+from repro.sim.config import gainestown
+from repro.sim.hierarchy import LLCStream
+from repro.sim.llc import simulate_llc
+
+
+def _stream(blocks, writes):
+    n = len(blocks)
+    return LLCStream(
+        blocks=np.asarray(blocks, dtype=np.uint64),
+        writes=np.asarray(writes, dtype=bool),
+        cores=np.zeros(n, dtype=np.uint16),
+        instr_positions=np.arange(n, dtype=np.uint64),
+    )
+
+
+def _lru_oracle(blocks, writes, capacity_blocks):
+    """Brute-force fully-associative LRU with write-allocate.
+
+    Returns (read_hits, write_hits, dirty_evictions); dirty lines left
+    at end-of-stream are *not* flushed, mirroring the simulator.
+    """
+    cache = OrderedDict()  # block -> dirty bit, LRU order
+    read_hits = write_hits = dirty = 0
+    for block, is_write in zip(blocks, writes):
+        if block in cache:
+            was_dirty = cache.pop(block)
+            cache[block] = was_dirty or is_write
+            if is_write:
+                write_hits += 1
+                cache[block] = True
+            else:
+                read_hits += 1
+        else:
+            if len(cache) >= capacity_blocks:
+                _, victim_dirty = cache.popitem(last=False)
+                if victim_dirty:
+                    dirty += 1
+            cache[block] = is_write
+    return read_hits, write_hits, dirty
+
+
+ACCESSES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=24), st.booleans()),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_profile_matches_brute_force_lru_at_every_capacity(accesses):
+    blocks = [a for a, _ in accesses]
+    writes = [w for _, w in accesses]
+    profile = stream_reuse_profile(_stream(blocks, writes), n_cores=1)
+    for capacity in range(1, profile.unique_blocks + 3):
+        read_hits, write_hits, dirty = _lru_oracle(blocks, writes, capacity)
+        assert profile.read_hits_at(capacity) == read_hits
+        assert profile.write_hits_at(capacity) == write_hits
+        assert profile.dirty_evictions_at(capacity) == dirty
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=40, deadline=None)
+def test_profile_matches_simulator_configured_fully_associative(accesses):
+    """Distances and dirty curve agree with the real replay engine when
+    the LLC is one set (associativity == capacity)."""
+    blocks = [a for a, _ in accesses]
+    writes = [w for _, w in accesses]
+    profile = stream_reuse_profile(_stream(blocks, writes), n_cores=1)
+    for capacity in (1, 2, 4, 8, 16, 32):
+        counts = simulate_llc(
+            _stream(blocks, writes), capacity * 64,
+            associativity=capacity, block_bytes=64,
+        )
+        assert profile.read_hits_at(capacity) == counts.read_hits
+        assert profile.write_hits_at(capacity) == counts.write_hits
+        assert profile.dirty_evictions_at(capacity) == counts.dirty_evictions
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=40, deadline=None)
+def test_hits_monotone_and_miss_ratio_non_increasing_in_capacity(accesses):
+    blocks = [a for a, _ in accesses]
+    writes = [w for _, w in accesses]
+    profile = stream_reuse_profile(_stream(blocks, writes), n_cores=1)
+    capacities = range(1, profile.unique_blocks + 3)
+    read_hits = [profile.read_hits_at(b) for b in capacities]
+    write_hits = [profile.write_hits_at(b) for b in capacities]
+    ratios = [profile.miss_ratio(b) for b in capacities]
+    assert read_hits == sorted(read_hits)
+    assert write_hits == sorted(write_hits)
+    assert ratios == sorted(ratios, reverse=True)
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=40, deadline=None)
+def test_profile_accounting_identities(accesses):
+    blocks = [a for a, _ in accesses]
+    writes = [w for _, w in accesses]
+    profile = stream_reuse_profile(_stream(blocks, writes), n_cores=1)
+    assert profile.n_reads + profile.n_writes == len(accesses)
+    assert profile.cold_reads + profile.cold_writes == profile.unique_blocks
+    # Beyond the unique-block count every reuse hits: only colds miss.
+    big = profile.unique_blocks + 1
+    assert profile.read_hits_at(big) == profile.n_reads - profile.cold_reads
+    assert profile.write_hits_at(big) == profile.n_writes - profile.cold_writes
+    assert profile.dirty_evictions_at(big) == 0
+    # Cold sentinel is larger than any real capacity.
+    assert (profile.read_dists[profile.read_dists != COLD_DISTANCE]
+            < COLD_DISTANCE).all()
+
+
+@given(
+    accesses=ACCESSES,
+    capacity_blocks=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_predict_counts_satisfies_guard_invariants(accesses, capacity_blocks):
+    """Predicted counts obey the simulator's exact invariants at any
+    capacity — the property guard_counts enforces at the chokepoint."""
+    blocks = [a for a, _ in accesses]
+    writes = [w for _, w in accesses]
+    arch = gainestown(n_cores=1)
+    profile = stream_reuse_profile(_stream(blocks, writes), n_cores=1)
+    counts = predict_counts(
+        profile, capacity_blocks * arch.llc_block_bytes, arch
+    )
+    assert counts.read_hits + counts.read_misses == counts.read_lookups
+    assert counts.write_hits + counts.write_misses == counts.write_accesses
+    assert counts.read_lookups + counts.write_accesses == len(accesses)
+    assert counts.dirty_evictions <= counts.fills
+    assert sum(counts.per_core_read_hits) == counts.read_hits
+    assert sum(counts.per_core_read_misses) == counts.read_misses

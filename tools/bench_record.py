@@ -196,8 +196,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--pretty", action="store_true", help="indent the JSON output"
     )
+    parser.add_argument(
+        "--dse", action="store_true",
+        help="also run tools/dse_smoke.py's planner-vs-exhaustive "
+        "measurement and embed its summary (savings ratio, surrogate "
+        "error) in the snapshot",
+    )
     args = parser.parse_args(argv)
     snapshot = record(args.reps)
+    if args.dse:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import dse_smoke
+
+        summary = dse_smoke.measure()
+        print(
+            f"dse: {summary['cells']} cells, "
+            f"{summary['savings_ratio']}x fewer simulations, "
+            f"frontier match: {summary['frontier_matches_exhaustive']}",
+            file=sys.stderr,
+        )
+        snapshot["dse"] = summary
     text = json.dumps(snapshot, indent=2 if args.pretty else None, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -38,6 +38,7 @@ DEFAULT_DOC_SET = (
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/CONFIGURATION.md",
+    "docs/DSE.md",
     "docs/SERVING.md",
     "docs/TUTORIAL.md",
 )

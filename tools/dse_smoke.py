@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI acceptance check for the DSE planner (``docs/DSE.md``).
+
+Builds a capacity-ladder design grid of >= 200 cells (every Table II
+NVM cell at 1/2/4/8/16 MiB plus the SRAM baseline, over four
+workloads), runs the planner at a small margin, runs the exhaustive
+oracle over the same grid, and asserts the acceptance criteria:
+
+- the planner's Pareto frontier is *exactly* the exhaustive sweep's
+  frontier (no true-frontier cell was pruned, none was invented);
+- the planner dispatched at most 10% of the grid to full simulation
+  (>= 10x fewer replays than the exhaustive sweep);
+- the measured surrogate error on every dispatched cell is below
+  ``margin / 2`` — the safety condition that makes margin pruning
+  frontier-preserving (derivation in ``docs/DSE.md``).
+
+Usage::
+
+    PYTHONPATH=src python tools/dse_smoke.py [--scale 0.05] [--margin 5e-4]
+
+Exit 0 when all criteria hold; exit 1 listing each violated criterion.
+``tools/bench_record.py --dse`` embeds :func:`measure`'s summary into
+the committed bench trajectory (``BENCH_0007.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+#: Grid axes: enough cells to make pruning meaningful, small enough for CI.
+SMOKE_WORKLOADS = ("leela", "deepsjeng", "exchange2", "x264")
+SMOKE_CAPACITIES_MB = (1, 2, 4, 8, 16)
+SMOKE_CONFIGURATION = "ladder"
+
+#: Acceptance thresholds (mirrored in docs/DSE.md).
+MIN_CELLS = 200
+MIN_SAVINGS = 10.0
+DEFAULT_MARGIN = 5e-4
+DEFAULT_SCALE = 0.05
+
+
+def build_ladder_grid():
+    """The smoke grid: every NVM cell's capacity ladder + SRAM baseline."""
+    from repro import units
+    from repro.analytic.planner import PlanGrid, ladder_models
+    from repro.cells import NVM_CELLS
+    from repro.nvsim.published import sram_baseline
+
+    capacities = [mb * units.MB for mb in SMOKE_CAPACITIES_MB]
+    models = [sram_baseline()]
+    for cell in NVM_CELLS:
+        models.extend(ladder_models(cell, capacities))
+    return PlanGrid(
+        workloads=SMOKE_WORKLOADS,
+        configurations=(SMOKE_CONFIGURATION,),
+        models={SMOKE_CONFIGURATION: tuple(models)},
+    )
+
+
+def surrogate_error(outcome) -> float:
+    """Worst relative error of the surrogate over the simulated cells."""
+    worst = 0.0
+    for cell, sim in outcome.simulated.items():
+        pred = outcome.plan.predicted[cell]
+        worst = max(
+            worst,
+            abs(pred.speedup / sim.speedup - 1.0),
+            abs(pred.energy_ratio / sim.energy_ratio - 1.0),
+        )
+    return worst
+
+
+def measure(scale: float = DEFAULT_SCALE, margin: float = DEFAULT_MARGIN) -> dict:
+    """Run planner + exhaustive oracle on the smoke grid; return a summary."""
+    from repro.analytic.planner import exhaustive_frontier, plan_and_execute
+    from repro.experiments.common import ExperimentContext
+
+    grid = build_ladder_grid()
+    context = ExperimentContext(scale=scale)
+
+    start = time.perf_counter()
+    outcome = plan_and_execute(grid, context, margin=margin)
+    planned_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, oracle_frontier = exhaustive_frontier(grid, context)
+    exhaustive_s = time.perf_counter() - start
+
+    plan = outcome.plan
+    return {
+        "scale": scale,
+        "margin": margin,
+        "workloads": list(grid.workloads),
+        "capacities_mb": list(SMOKE_CAPACITIES_MB),
+        "cells": plan.n_cells,
+        "pruned": len(plan.pruned),
+        "dispatched": len(plan.dispatch),
+        "savings_ratio": round(plan.savings_ratio, 2),
+        "frontier_size": len(outcome.frontier),
+        "frontier_matches_exhaustive": (
+            set(outcome.frontier) == set(oracle_frontier)
+        ),
+        "surrogate_error": surrogate_error(outcome),
+        "planned_s": round(planned_s, 3),
+        "exhaustive_s": round(exhaustive_s, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--margin", type=float, default=DEFAULT_MARGIN)
+    args = parser.parse_args(argv)
+
+    summary = measure(scale=args.scale, margin=args.margin)
+    print(
+        f"grid: {summary['cells']} cells "
+        f"({len(summary['workloads'])} workloads x "
+        f"{len(SMOKE_CAPACITIES_MB)} capacities x NVM cells + SRAM)"
+    )
+    print(
+        f"planner: dispatched {summary['dispatched']} "
+        f"({summary['savings_ratio']}x fewer full simulations), "
+        f"frontier {summary['frontier_size']} cells "
+        f"[{summary['planned_s']}s vs exhaustive {summary['exhaustive_s']}s]"
+    )
+    print(
+        f"surrogate error: {summary['surrogate_error']:.2e} "
+        f"(margin/2 = {summary['margin'] / 2:.2e})"
+    )
+
+    problems = []
+    if summary["cells"] < MIN_CELLS:
+        problems.append(
+            f"grid too small: {summary['cells']} < {MIN_CELLS} cells"
+        )
+    if not summary["frontier_matches_exhaustive"]:
+        problems.append("planner frontier != exhaustive frontier")
+    if summary["savings_ratio"] < MIN_SAVINGS:
+        problems.append(
+            f"savings {summary['savings_ratio']}x < {MIN_SAVINGS}x"
+        )
+    if summary["surrogate_error"] >= summary["margin"] / 2:
+        problems.append(
+            f"surrogate error {summary['surrogate_error']:.2e} >= margin/2 "
+            f"— the frontier-preservation argument no longer holds"
+        )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("dse smoke OK: planner frontier == exhaustive frontier "
+          f"at {summary['savings_ratio']}x fewer simulations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
