@@ -12,7 +12,12 @@ Subcommands (each prints a small report to stdout):
 - ``doctor``       — self-check the installation (environment, cell
   library, model generation, a golden-trace sweep)
 - ``serve``        — run the experiment service daemon (:mod:`repro.serve`)
-- ``submit``       — submit a job to a running service
+- ``router``       — run the fleet front end over existing shards
+- ``fleet``        — launch N shards + shared store + router in one go
+- ``loadgen``      — offer a declarative load scenario to a target
+  (:mod:`repro.loadgen`), optionally sweeping shard counts
+- ``submit``       — submit a job to a running service (``--shards``
+  routes client-side over the consistent-hash ring)
 - ``status``       — poll the service (one job, or every job + health)
 - ``fetch``        — fetch a finished job's result payload
 
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional
 
 from repro import units
@@ -203,15 +209,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_queued=args.queue_max,
         state_dir=args.dir,
+        store_dir=args.store_dir,
     )
     server.serve_until_drained()
     return 0
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.serve import ServeClient
+def _cmd_router(args: argparse.Namespace) -> int:
+    from repro.serve import ShardRouter, resolve_shards
 
-    client = ServeClient(args.url)
+    shards = resolve_shards(
+        args.shards.split(",") if args.shards else None
+    )
+    router = ShardRouter(
+        shards, host=args.host or "127.0.0.1", port=args.port or 0
+    )
+    router.serve_until_drained()
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import signal as _signal
+
+    from repro.serve import Fleet, resolve_fleet_shards
+
+    fleet = Fleet(
+        shards=resolve_fleet_shards(args.shards),
+        root=args.dir,
+        workers=args.workers if args.workers is not None else 2,
+        router_host=args.host or "127.0.0.1",
+        router_port=args.port or 0,
+    )
+    drain = threading.Event()
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        _signal.signal(signum, lambda *_: drain.set())
+    with fleet:
+        print(f"repro-serve-fleet router on {fleet.url} "
+              f"({len(fleet.shard_urls)} shards)")
+        for index, url in enumerate(fleet.shard_urls):
+            print(f"  shard {index}: {url}")
+        print(f"  store:   {fleet.store_dir}")
+        sys.stdout.flush()
+        while not drain.wait(timeout=60.0):
+            pass
+    print("fleet drained")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import loadgen
+
+    scenario = loadgen.resolve_scenario(args.scenario)
+    if args.shard_counts:
+        counts = [int(part) for part in args.shard_counts.split(",")]
+        runs = loadgen.sweep_shards(
+            scenario, counts, workers=args.workers or 2,
+            progress=lambda message: print(f"running {message}",
+                                           file=sys.stderr),
+        )
+        report = loadgen.summarize_fleet(runs, scenario.as_dict())
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(loadgen.render_fleet(report))
+        return 0
+    shards = args.shards.split(",") if args.shards else None
+    summaries = []
+    for qps in scenario.qps:
+        import time as _time
+
+        start = _time.monotonic()
+        records = loadgen.offer(scenario, qps, url=args.url, shards=shards)
+        run = loadgen.RateRun(qps, records, _time.monotonic() - start)
+        summaries.append(loadgen.summarize_rate(run))
+    if args.json:
+        print(_json.dumps(
+            {"scenario": scenario.as_dict(), "rates": summaries},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"scenario {scenario.name}")
+        for summary in summaries:
+            print(loadgen.render_rate(summary))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ShardedClient
+
+    if args.shards:
+        client = ShardedClient(args.shards.split(","))
+    else:
+        client = ServeClient(args.url)
     response = client.submit(
         args.experiment, scale=args.scale, seed=args.seed,
         priority=args.priority,
@@ -392,6 +483,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="state directory for the drain journal and per-job "
                    "checkpoints (also: REPRO_SERVE_DIR)")
+    p.add_argument("--store-dir", default=None,
+                   help="shared result-store directory for cross-instance "
+                   "dedup (also: REPRO_SERVE_STORE_DIR)")
+
+    p = sub.add_parser(
+        "router",
+        help="run the fleet front end: route jobs across shards by spec "
+        "digest over a consistent-hash ring",
+    )
+    p.add_argument("--shards", default=None,
+                   help="comma-separated shard base URLs "
+                   "(also: REPRO_SERVE_SHARDS)")
+    p.add_argument("--host", default=None,
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port, 0 = ephemeral (default 0)")
+
+    p = sub.add_parser(
+        "fleet",
+        help="launch N serve shards + a shared result store + a router "
+        "(SIGTERM drains the whole fleet)",
+    )
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count (also: REPRO_SERVE_FLEET_SHARDS; "
+                   "default 2)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads per shard (default 2)")
+    p.add_argument("--dir", default=None,
+                   help="fleet root directory holding the store and each "
+                   "shard's state (default: a temp dir)")
+    p.add_argument("--host", default=None,
+                   help="router bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="router bind port, 0 = ephemeral (default 0)")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="offer a declarative load scenario (bundled profile name or "
+        "profile file) to a service, router, or fresh fleets",
+    )
+    p.add_argument("scenario",
+                   help="bundled profile name (smoke, scaling, "
+                   "duplicate_storm, compute) or a JSON/YAML profile path")
+    p.add_argument("--url", default=None,
+                   help="target base URL — a daemon or a router "
+                   "(also: REPRO_SERVE_URL)")
+    p.add_argument("--shards", default=None,
+                   help="comma-separated shard URLs for client-side "
+                   "routing instead of --url")
+    p.add_argument("--shard-counts", default=None,
+                   help="comma-separated shard counts (e.g. 1,2,4): boot a "
+                   "fresh fleet per count and sweep the scenario's rates")
+    p.add_argument("--workers", type=int, default=None,
+                   help="with --shard-counts: worker threads per shard "
+                   "(default 2)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of text")
 
     def add_url(p: argparse.ArgumentParser) -> None:
         p.add_argument("--url", default=None,
@@ -399,6 +547,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "default http://127.0.0.1:8765)")
 
     p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("--shards", default=None,
+                   help="comma-separated shard URLs: route client-side over "
+                   "the consistent-hash ring instead of --url "
+                   "(also: REPRO_SERVE_SHARDS)")
     p.add_argument("--experiment", required=True,
                    help="experiment id (e.g. table2, figure1, coresweep)")
     p.add_argument("--scale", type=float, default=1.0,
@@ -465,6 +617,9 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "doctor": _cmd_doctor,
     "serve": _cmd_serve,
+    "router": _cmd_router,
+    "fleet": _cmd_fleet,
+    "loadgen": _cmd_loadgen,
     "submit": _cmd_submit,
     "plan": _cmd_plan,
     "status": _cmd_status,

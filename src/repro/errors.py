@@ -195,6 +195,18 @@ class QueueFullError(ServeError):
         self.retry_after_s = retry_after_s
 
 
+class LoadGenError(ReproError):
+    """A load-generation scenario (:mod:`repro.loadgen`) is invalid.
+
+    Raised for malformed scenario profiles, unknown arrival processes
+    and out-of-range mix/rate parameters — configuration problems, so
+    the CLI exits 2 like other bad-input errors.
+    """
+
+    code = "LOADGEN"
+    exit_code = 2
+
+
 class PartialResultError(ExperimentError):
     """A sweep finished with some cells failed — but none lost.
 

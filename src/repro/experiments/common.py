@@ -186,7 +186,15 @@ class ExperimentContext:
         )
 
     def run_cell(self, cell: SweepCell) -> Dict[str, SimResult]:
-        """Run one cell in-process through the context's session cache."""
+        """Run one cell in-process through the context's session cache.
+
+        Fires the ``REPRO_FAULT_HOOK`` seam like the parallel path does
+        (:func:`~repro.sim.parallel.run_cell`), so fault/pacing hooks
+        reach serial sweeps too — serve jobs run cells through here.
+        """
+        from repro.sim.parallel import fire_fault_hook
+
+        fire_fault_hook(cell)
         with _metrics.span("experiments.cell"):
             session = self.session(
                 cell.workload,

@@ -1,0 +1,45 @@
+"""Deterministic arrival processes for offered load.
+
+Given a rate, a duration and the scenario seed, produce the *offsets*
+(seconds from the run start) at which requests are issued.  Everything
+derives from ``random.Random(f"{seed}:{qps}:arrivals")`` — a stable
+string seed, so the same scenario offers the same request timeline on
+every host and every run (``PYTHONHASHSEED`` never enters).
+
+Two processes:
+
+- ``uniform`` — evenly spaced, ``i / qps``.  Measures steady-state
+  behaviour with no burstiness; the right default for scaling curves
+  because throughput differences cannot hide behind arrival noise.
+- ``poisson`` — exponential inter-arrival gaps at the same mean rate.
+  Open-loop bursty traffic; what a fleet sees from many independent
+  clients, and the process llm-d-benchmark style harnesses default to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import LoadGenError
+
+
+def arrival_offsets(
+    arrival: str, qps: float, duration_s: float, seed: int
+) -> List[float]:
+    """Request offsets (sorted, within ``[0, duration_s)``)."""
+    if qps <= 0 or duration_s <= 0:
+        raise LoadGenError("arrival rate and duration must be positive")
+    if arrival == "uniform":
+        count = int(qps * duration_s)
+        return [index / qps for index in range(count)]
+    if arrival == "poisson":
+        rng = random.Random(f"{seed}:{qps:g}:arrivals")
+        offsets: List[float] = []
+        clock = 0.0
+        while True:
+            clock += rng.expovariate(qps)
+            if clock >= duration_s:
+                return offsets
+            offsets.append(clock)
+    raise LoadGenError(f"unknown arrival process {arrival!r}")

@@ -8,10 +8,38 @@ with the sweep layer's fault/retry discipline
 queued-job journal (:mod:`repro.serve.journal`), and stdlib HTTP
 endpoints plus a urllib client (:mod:`repro.serve.server`,
 :mod:`repro.serve.client`).  See ``docs/SERVING.md``.
+
+Fleet mode shards the service across N instances: jobs route by spec
+digest over a consistent-hash ring (:mod:`repro.serve.ring`) — via the
+multiplexed :class:`~repro.serve.router.ShardRouter` front end or
+client-side :class:`~repro.serve.client.ShardedClient` — and shards
+share finished payloads through a content-addressed result store
+(:mod:`repro.serve.store`), so dedup and byte-identity hold fleet-wide.
+:mod:`repro.serve.fleet` launches the whole topology.
 """
 
-from repro.serve.client import DEFAULT_URL, URL_ENV, ServeClient, resolve_url
-from repro.serve.executor import DEFAULT_WORKERS, WORKERS_ENV, WorkerPool
+from repro.serve.client import (
+    DEFAULT_URL,
+    SHARDS_ENV,
+    URL_ENV,
+    ServeClient,
+    ShardedClient,
+    resolve_shards,
+    resolve_url,
+)
+from repro.serve.executor import (
+    DEFAULT_WORKERS,
+    JOB_HOOK_ENV,
+    WORKERS_ENV,
+    WorkerPool,
+)
+from repro.serve.fleet import (
+    FLEET_SHARDS_ENV,
+    Fleet,
+    InProcessFleet,
+    ShardProcess,
+    resolve_fleet_shards,
+)
 from repro.serve.jobs import (
     Job,
     JobSpec,
@@ -26,6 +54,13 @@ from repro.serve.queue import (
     DEFAULT_RETRY_AFTER_S,
     JobQueue,
 )
+from repro.serve.ring import (
+    DEFAULT_RING_REPLICAS,
+    RING_REPLICAS_ENV,
+    HashRing,
+    resolve_ring_replicas,
+)
+from repro.serve.router import ShardRouter
 from repro.serve.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -35,17 +70,33 @@ from repro.serve.server import (
     QUEUE_MAX_ENV,
     ExperimentServer,
 )
+from repro.serve.store import (
+    STORE_DIR_ENV,
+    STORE_URL_ENV,
+    FileResultStore,
+    HTTPResultStore,
+    ResultStore,
+    resolve_store,
+)
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_MAX_QUEUED",
     "DEFAULT_PORT",
     "DEFAULT_RETRY_AFTER_S",
+    "DEFAULT_RING_REPLICAS",
     "DEFAULT_URL",
     "DEFAULT_WORKERS",
     "DIR_ENV",
     "ExperimentServer",
+    "FLEET_SHARDS_ENV",
+    "FileResultStore",
+    "Fleet",
     "HOST_ENV",
+    "HTTPResultStore",
+    "HashRing",
+    "InProcessFleet",
+    "JOB_HOOK_ENV",
     "JOB_JOURNAL_NAME",
     "Job",
     "JobJournal",
@@ -54,12 +105,24 @@ __all__ = [
     "JobState",
     "PORT_ENV",
     "QUEUE_MAX_ENV",
+    "RING_REPLICAS_ENV",
+    "ResultStore",
+    "SHARDS_ENV",
+    "STORE_DIR_ENV",
+    "STORE_URL_ENV",
     "ServeClient",
+    "ShardProcess",
+    "ShardRouter",
+    "ShardedClient",
     "URL_ENV",
     "WORKERS_ENV",
     "WorkerPool",
     "execute_spec",
     "normalize_spec",
+    "resolve_fleet_shards",
+    "resolve_ring_replicas",
+    "resolve_shards",
+    "resolve_store",
     "resolve_url",
     "spec_digest",
 ]

@@ -8,6 +8,18 @@ back into the structured error hierarchy: a 429 becomes a
 :class:`~repro.errors.ServeError` whose ``code`` is the server-side
 error code — so a caller sees the same ``error[<code>]`` rendering
 whether the failure happened locally or across the wire.
+
+Waiting is long-poll, not sleep-poll: :meth:`ServeClient.wait` issues
+``GET /jobs/<id>?wait=terminal&timeout_s=N`` rounds, each parked on the
+server's state-transition condition, so a finished job is observed
+within one wire round-trip instead of a poll interval.
+
+:class:`ShardedClient` is client-side fleet routing: it holds one
+:class:`~repro.serve.ring.HashRing` over the shard base URLs and sends
+each submission to the shard owning its
+:func:`~repro.serve.jobs.spec_digest` — the same placement the router
+process computes, so a fleet can be driven with or without a router in
+front.
 """
 
 from __future__ import annotations
@@ -24,8 +36,18 @@ from repro.errors import QueueFullError, ServeError
 #: Environment variable naming the service base URL.
 URL_ENV = "REPRO_SERVE_URL"
 
+#: Environment variable listing shard base URLs (comma-separated) for
+#: client-side routing when no router process fronts the fleet.
+SHARDS_ENV = "REPRO_SERVE_SHARDS"
+
 #: Default base URL (the daemon's default bind address).
 DEFAULT_URL = "http://127.0.0.1:8765"
+
+#: Transport allowance on top of a long-poll round: the socket read
+#: timeout must strictly exceed the server-side park duration or the
+#: two expire in a dead heat and the client sees a raw socket timeout
+#: instead of the server's in-whatever-state-it-is response.
+LONG_POLL_GRACE_S = 10.0
 
 
 def resolve_url(url: Optional[str] = None) -> str:
@@ -33,6 +55,14 @@ def resolve_url(url: Optional[str] = None) -> str:
     if url is None:
         url = os.environ.get(URL_ENV, "").strip() or DEFAULT_URL
     return url.rstrip("/")
+
+
+def resolve_shards(shards=None) -> List[str]:
+    """Shard URL list: explicit argument > ``REPRO_SERVE_SHARDS`` > []."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        shards = [part for part in raw.split(",") if part.strip()]
+    return [url.strip().rstrip("/") for url in shards]
 
 
 class ServeClient:
@@ -51,6 +81,7 @@ class ServeClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> bytes:
         data = None
         headers = {"Accept": "application/json"}
@@ -60,18 +91,31 @@ class ServeClient:
         request = urllib.request.Request(
             self.url + path, data=data, headers=headers, method=method
         )
+        timeout = self.timeout_s if timeout_s is None else timeout_s
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout_s
+                request, timeout=timeout
             ) as response:
                 return response.read()
         except urllib.error.HTTPError as error:
             raise self._to_error(error)
         except urllib.error.URLError as error:
+            if isinstance(error.reason, TimeoutError):
+                raise ServeError(
+                    f"no response from {self.url} within {timeout:g}s",
+                    http_status=504,
+                )
             raise ServeError(
                 f"cannot reach experiment service at {self.url}: "
                 f"{error.reason}",
                 http_status=503,
+            )
+        except TimeoutError:
+            # urllib wraps connect timeouts in URLError but lets read
+            # timeouts escape raw; both are the same transport failure.
+            raise ServeError(
+                f"no response from {self.url} within {timeout:g}s",
+                http_status=504,
             )
 
     @staticmethod
@@ -103,8 +147,11 @@ class ServeClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return json.loads(self._request(method, path, body))
+        return json.loads(
+            self._request(method, path, body, timeout_s=timeout_s)
+        )
 
     # -- API --------------------------------------------------------------
 
@@ -165,19 +212,51 @@ class ServeClient:
         """``POST /jobs/<id>/cancel``."""
         return self._json("POST", f"/jobs/{job_id}/cancel")["job"]
 
+    def wait_state(
+        self, job_id: str, target: str, timeout_s: float = 30.0
+    ) -> Dict[str, Any]:
+        """One long-poll round: ``GET /jobs/<id>?wait=<target>``.
+
+        Returns the job record when it reaches ``target`` ("running" or
+        "terminal") or at the round's timeout in whatever state it is
+        then — the caller inspects ``record["state"]``.  The transport
+        timeout is the round plus :data:`LONG_POLL_GRACE_S` so the
+        server-side park always resolves first.
+        """
+        return self._json(
+            "GET",
+            f"/jobs/{job_id}?wait={target}&timeout_s={timeout_s:g}",
+            timeout_s=max(self.timeout_s, timeout_s + LONG_POLL_GRACE_S),
+        )["job"]
+
     def wait(
         self,
         job_id: str,
         timeout_s: float = 300.0,
-        poll_s: float = 0.2,
+        poll_s: float = 15.0,
     ) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state; returns its record.
+        """Long-poll until the job is terminal; returns its record.
 
-        Raises :class:`~repro.errors.ServeError` on timeout.
+        ``poll_s`` bounds one long-poll round (the server parks the
+        request on its state-change condition — a finished job returns
+        within one round-trip, not a poll interval).  Raises
+        :class:`~repro.errors.ServeError` on overall timeout.
         """
         deadline = time.monotonic() + timeout_s
         while True:
-            record = self.status(job_id)
+            remaining = deadline - time.monotonic()
+            round_s = max(0.0, min(poll_s, remaining))
+            try:
+                record = self.wait_state(
+                    job_id, "terminal", timeout_s=round_s
+                )
+            except ServeError as error:
+                # A transport 504 (slow host, not a slow job) is
+                # retryable while the overall deadline allows.
+                if (getattr(error, "http_status", None) != 504
+                        or time.monotonic() >= deadline):
+                    raise
+                continue
             if record["state"] in ("done", "failed", "cancelled"):
                 return record
             if time.monotonic() >= deadline:
@@ -186,4 +265,166 @@ class ServeClient:
                     f"{job_id} (last state: {record['state']})",
                     http_status=504,
                 )
-            time.sleep(poll_s)
+
+    def store_get(self, digest: str) -> bytes:
+        """``GET /store/<digest>`` — raw stored payload bytes."""
+        return self._request("GET", f"/store/{digest}")
+
+    def store_put(self, digest: str, payload: bytes) -> Dict[str, Any]:
+        """``PUT /store/<digest>`` — publish payload bytes."""
+        request = urllib.request.Request(
+            f"{self.url}/store/{digest}", data=payload, method="PUT"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error)
+        except urllib.error.URLError as error:
+            if isinstance(error.reason, TimeoutError):
+                raise ServeError(
+                    f"no response from {self.url} within "
+                    f"{self.timeout_s:g}s",
+                    http_status=504,
+                )
+            raise ServeError(
+                f"cannot reach experiment service at {self.url}: "
+                f"{error.reason}",
+                http_status=503,
+            )
+        except TimeoutError:
+            raise ServeError(
+                f"no response from {self.url} within {self.timeout_s:g}s",
+                http_status=504,
+            )
+
+
+class ShardedClient:
+    """Client-side fleet routing over a consistent-hash ring.
+
+    Submissions are routed to the shard owning the spec's digest —
+    identical placement to the router process, so dedup and the result
+    store behave the same whichever front end is in use.  Job lookups
+    remember which shard accepted which id and fall back to asking
+    every shard (a restarted fleet member answers 404 for ids it never
+    saw; only the owner answers).
+    """
+
+    def __init__(self, shards=None, timeout_s: float = 30.0) -> None:
+        from repro.serve.ring import HashRing
+
+        urls = resolve_shards(shards)
+        if not urls:
+            raise ServeError(
+                f"no shards configured; pass a list or set {SHARDS_ENV}"
+            )
+        self.clients = {
+            url: ServeClient(url, timeout_s=timeout_s) for url in urls
+        }
+        self.ring = HashRing(urls)
+        self._job_homes: Dict[str, str] = {}
+
+    # -- placement --------------------------------------------------------
+
+    def shard_for_spec(self, body: Dict[str, Any]) -> str:
+        """The shard URL owning a submission body's spec digest."""
+        from repro.serve.jobs import normalize_spec, spec_digest
+
+        spec = normalize_spec(
+            {k: v for k, v in body.items() if k != "priority"}
+        )
+        return self.ring.node_for(spec_digest(spec))
+
+    def _home(self, job_id: str) -> ServeClient:
+        url = self._job_homes.get(job_id)
+        if url is not None:
+            return self.clients[url]
+        last_error: Optional[ServeError] = None
+        for url, client in self.clients.items():
+            try:
+                client.status(job_id)
+            except ServeError as error:
+                last_error = error
+                continue
+            self._job_homes[job_id] = url
+            return client
+        raise last_error if last_error is not None else ServeError(
+            f"unknown job id {job_id!r}", http_status=404
+        )
+
+    # -- API (mirrors ServeClient) ----------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"experiment": experiment, "scale": scale}
+        if seed is not None:
+            body["seed"] = seed
+        url = self.shard_for_spec(body)
+        if priority:
+            body["priority"] = priority
+        out = self._post_to(url, "/jobs", body)
+        return out
+
+    def plan(
+        self, scale: float = 1.0, seed: Optional[int] = None
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"scale": scale, "experiment": "dse"}
+        if seed is not None:
+            body["seed"] = seed
+        url = self.shard_for_spec(body)
+        del body["experiment"]  # the /plan endpoint forbids the key
+        return self._post_to(url, "/plan", body)
+
+    def _post_to(
+        self, url: str, path: str, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        out = self.clients[url]._json("POST", path, body)
+        out["shard"] = url
+        self._job_homes[out["job"]["id"]] = url
+        return out
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._home(job_id).status(job_id)
+
+    def wait(self, job_id: str, timeout_s: float = 300.0) -> Dict[str, Any]:
+        return self._home(job_id).wait(job_id, timeout_s=timeout_s)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        return self._home(job_id).result_bytes(job_id)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(job_id))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._home(job_id).cancel(job_id)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Every shard's jobs, tagged with their shard URL."""
+        out: List[Dict[str, Any]] = []
+        for url, client in self.clients.items():
+            for record in client.list_jobs():
+                record = dict(record, shard=url)
+                out.append(record)
+        return out
+
+    def health(self) -> Dict[str, Any]:
+        """Fleet health: per-shard records plus an aggregate status."""
+        shards: Dict[str, Any] = {}
+        status = "ok"
+        for url, client in self.clients.items():
+            try:
+                shards[url] = client.health()
+                if shards[url].get("status") != "ok":
+                    status = "degraded"
+            except ServeError as error:
+                shards[url] = {"status": "unreachable", "error": str(error)}
+                status = "degraded"
+        return {"status": status, "shards": shards,
+                "ring": self.ring.describe()}

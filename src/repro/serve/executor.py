@@ -14,6 +14,20 @@ cache and per-job cell checkpoints, and results must land in the shared
 queue under one lock.  ``REPRO_SERVE_WORKERS`` (or the ``workers``
 argument) bounds concurrency; the default of 2 keeps a small host
 responsive while still overlapping a long job with short ones.
+
+With a shared :class:`~repro.serve.store.ResultStore` attached, a
+worker probes the store before executing — a hit (another shard, or a
+previous life of this one, already computed the digest) finishes the
+job with the stored canonical bytes, which is the fleet's
+cross-instance dedup — and publishes every computed payload back for
+the rest of the fleet.
+
+``REPRO_SERVE_JOB_HOOK`` (``module:function``, called with the job
+spec just before execution) is the service-level twin of the sweep
+layer's ``REPRO_FAULT_HOOK`` seam: the load harness uses it to emulate
+calibrated service times (:mod:`repro.loadgen.pacing`) and the fault
+tests to stall or fail jobs at a deterministic point.  No-op when
+unset.
 """
 
 from __future__ import annotations
@@ -25,18 +39,33 @@ from typing import List, Optional
 
 from repro.errors import ExperimentError
 from repro.obs import metrics as _metrics
-from repro.serve.jobs import execute_spec
+from repro.serve.jobs import JobSpec, execute_spec
 from repro.serve.queue import JobQueue
+from repro.serve.store import ResultStore
 from repro.sim.parallel import FaultPolicy, call_with_retries
 
 #: Environment variable bounding the worker thread count.
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
+
+#: ``module:function`` hook fired with the spec before each execution.
+JOB_HOOK_ENV = "REPRO_SERVE_JOB_HOOK"
 
 #: Default worker threads when neither argument nor environment decide.
 DEFAULT_WORKERS = 2
 
 #: How long an idle worker waits on the queue before re-checking stop.
 _POLL_S = 0.1
+
+
+def fire_job_hook(spec: JobSpec) -> None:
+    """Invoke the ``REPRO_SERVE_JOB_HOOK`` injection point, if set."""
+    hook = os.environ.get(JOB_HOOK_ENV)
+    if not hook:
+        return
+    import importlib
+
+    module_name, _, func_name = hook.partition(":")
+    getattr(importlib.import_module(module_name), func_name)(spec)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -66,11 +95,13 @@ class WorkerPool:
         workers: Optional[int] = None,
         policy: Optional[FaultPolicy] = None,
         state_dir: Optional[str] = None,
+        store: Optional[ResultStore] = None,
     ) -> None:
         self.queue = queue
         self.workers = resolve_workers(workers)
         self.policy = policy if policy is not None else FaultPolicy.from_env()
         self.state_dir = state_dir
+        self.store = store
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -101,10 +132,15 @@ class WorkerPool:
             job = self.queue.get(timeout=_POLL_S)
             if job is None:
                 continue
+            if self.store is not None:
+                stored = self.store.get(job.digest)
+                if stored is not None:
+                    self.queue.finish(job, stored, computed=False)
+                    continue
             start = time.perf_counter()
             try:
                 result = call_with_retries(
-                    lambda: execute_spec(job.spec, self.state_dir),
+                    lambda: self._execute(job.spec),
                     self.policy,
                     retry_counter="serve.retries",
                 )
@@ -112,6 +148,12 @@ class WorkerPool:
                 self.queue.fail(job, error)
             else:
                 self.queue.finish(job, result)
+                if self.store is not None:
+                    self.store.put(job.digest, result)
                 _metrics.timer_record(
                     "serve.job", time.perf_counter() - start
                 )
+
+    def _execute(self, spec: JobSpec) -> bytes:
+        fire_job_hook(spec)
+        return execute_spec(spec, self.state_dir)

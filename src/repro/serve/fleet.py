@@ -1,0 +1,334 @@
+"""Fleet launcher: N serve shards + a shared store + one router.
+
+Two launchers with the same shape:
+
+- :class:`Fleet` — each shard is a real ``repro-cli serve`` *process*
+  (spawned with ``--port 0``, base URL parsed from the startup banner),
+  all pointed at one shared :class:`~repro.serve.store.FileResultStore`
+  directory, fronted by an in-process
+  :class:`~repro.serve.router.ShardRouter`.  This is what
+  ``repro-cli fleet``, the identity tests and the CI load-smoke job
+  run: true process isolation, real SIGTERM drains, per-shard metrics.
+- :class:`InProcessFleet` — each shard is an
+  :class:`~repro.serve.server.ExperimentServer` *in this process*.
+  Cheap enough for unit tests.  Caveat: the obs registry is
+  process-global, so module-level counters from all shards land in the
+  most recently started shard's registry — assert fleet-wide counters
+  through the router's ``/metrics`` (which aggregates per shard) or
+  use the subprocess :class:`Fleet`.
+
+Shards restart in place: :meth:`Fleet.restart_shard` SIGTERMs one
+shard (it drains — in-flight jobs finish, queued jobs journal) and
+relaunches it on the *same* port and state directory, so the ring
+placement is unchanged and the journal restores.  This is the seam the
+mid-run fault tests pull.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServeError
+from repro.serve.router import ShardRouter
+from repro.serve.server import ExperimentServer
+from repro.serve.store import STORE_DIR_ENV, FileResultStore
+
+#: Environment variable for the default fleet shard count.
+FLEET_SHARDS_ENV = "REPRO_SERVE_FLEET_SHARDS"
+
+#: Seconds to wait for a shard banner / drain before giving up.
+_STARTUP_TIMEOUT_S = 30.0
+_DRAIN_TIMEOUT_S = 60.0
+
+
+def _repo_pythonpath() -> str:
+    """A PYTHONPATH that resolves :mod:`repro` for child processes."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    return src + (os.pathsep + existing if existing else "")
+
+
+class ShardProcess:
+    """One ``repro-cli serve`` child process."""
+
+    def __init__(
+        self,
+        index: int,
+        state_dir: Path,
+        store_dir: Path,
+        workers: int = 2,
+        port: int = 0,
+        extra_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.index = index
+        self.state_dir = Path(state_dir)
+        self.store_dir = Path(store_dir)
+        self.workers = workers
+        self.port = port
+        self.extra_env = dict(extra_env or {})
+        self.process: Optional[subprocess.Popen] = None
+        self.url: Optional[str] = None
+
+    def start(self) -> "ShardProcess":
+        """Spawn the daemon and parse its base URL from the banner."""
+        if self.process is not None:
+            raise ServeError(f"shard {self.index} already running")
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        env = dict(os.environ)
+        env.update(self.extra_env)
+        env["PYTHONPATH"] = _repo_pythonpath()
+        env[STORE_DIR_ENV] = str(self.store_dir)
+        env.pop("REPRO_SERVE_PORT", None)
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(self.port),
+                "--workers", str(self.workers),
+                "--dir", str(self.state_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.url = self._await_banner()
+        # Remember the bound port so a restart lands on the same URL
+        # (ring placement must survive the bounce).
+        self.port = int(self.url.rsplit(":", 1)[1])
+        return self
+
+    def _await_banner(self) -> str:
+        assert self.process is not None and self.process.stdout is not None
+        banner: List[str] = []
+        deadline = time.monotonic() + _STARTUP_TIMEOUT_S
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise ServeError(
+                    f"shard {self.index} exited during startup "
+                    f"(rc={self.process.returncode}): "
+                    + "".join(banner)[-500:]
+                )
+            line = self.process.stdout.readline()
+            if not line:
+                continue
+            banner.append(line)
+            if line.startswith("repro-serve listening on "):
+                return line.split("repro-serve listening on ", 1)[1].strip()
+        raise ServeError(
+            f"shard {self.index} printed no banner within "
+            f"{_STARTUP_TIMEOUT_S:g}s: " + "".join(banner)[-500:]
+        )
+
+    def terminate(self, timeout_s: float = _DRAIN_TIMEOUT_S) -> int:
+        """SIGTERM the shard and wait for its graceful drain."""
+        if self.process is None:
+            return 0
+        process, self.process = self.process, None
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10.0)
+        if process.stdout is not None:
+            process.stdout.close()
+        return process.returncode or 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+class Fleet:
+    """N shard processes + shared file store + in-process router."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        root: Optional[str] = None,
+        workers: int = 2,
+        router_host: str = "127.0.0.1",
+        router_port: int = 0,
+        extra_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ServeError("fleet needs at least one shard")
+        if root is None:
+            import tempfile
+
+            root = tempfile.mkdtemp(prefix="repro-fleet-")
+        self.root = Path(root)
+        self.store_dir = self.root / "store"
+        self.shard_count = shards
+        self.workers = workers
+        self.extra_env = dict(extra_env or {})
+        self.router_host = router_host
+        self.router_port = router_port
+        self.shards: List[ShardProcess] = []
+        self.router: Optional[ShardRouter] = None
+
+    def start(self) -> "Fleet":
+        """Launch every shard, then the router over their URLs."""
+        try:
+            for index in range(self.shard_count):
+                shard = ShardProcess(
+                    index,
+                    state_dir=self.root / f"shard{index}",
+                    store_dir=self.store_dir,
+                    workers=self.workers,
+                    extra_env=self.extra_env,
+                )
+                self.shards.append(shard.start())
+            self.router = ShardRouter(
+                [s.url for s in self.shards if s.url],
+                host=self.router_host,
+                port=self.router_port,
+            ).start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    @property
+    def url(self) -> str:
+        """The router base URL clients should use."""
+        if self.router is None:
+            raise ServeError("fleet is not running")
+        return self.router.url
+
+    @property
+    def shard_urls(self) -> List[str]:
+        return [s.url for s in self.shards if s.url is not None]
+
+    def restart_shard(self, index: int) -> ShardProcess:
+        """Drain one shard (SIGTERM) and relaunch it on the same port.
+
+        The journal in the shard's state directory restores its queued
+        jobs; the URL is unchanged so ring placement is stable and the
+        router keeps routing to it without a rebuild.
+        """
+        shard = self.shards[index]
+        shard.terminate()
+        return shard.start()
+
+    def kill_shard(self, index: int) -> None:
+        """SIGTERM one shard and leave it down (degraded-fleet tests)."""
+        self.shards[index].terminate()
+
+    def stop(self) -> Dict[str, Any]:
+        """Stop the router, then drain shards in reverse start order."""
+        if self.router is not None:
+            self.router.stop()
+            self.router = None
+        codes = [shard.terminate() for shard in reversed(self.shards)]
+        self.shards = []
+        return {"shard_exit_codes": list(reversed(codes))}
+
+    def __enter__(self) -> "Fleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+class InProcessFleet:
+    """N :class:`ExperimentServer` shards in this process + a router.
+
+    For unit tests that need a fleet topology without process spawns.
+    All shards share one :class:`FileResultStore`.  See the module
+    docstring for the obs-registry caveat.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        root: Optional[str] = None,
+        workers: int = 1,
+    ) -> None:
+        if shards < 1:
+            raise ServeError("fleet needs at least one shard")
+        if root is None:
+            import tempfile
+
+            root = tempfile.mkdtemp(prefix="repro-fleet-")
+        self.root = Path(root)
+        self.store = FileResultStore(self.root / "store")
+        self.shard_count = shards
+        self.workers = workers
+        self.servers: List[ExperimentServer] = []
+        self.router: Optional[ShardRouter] = None
+        self._lock = threading.Lock()
+
+    def start(self) -> "InProcessFleet":
+        try:
+            for index in range(self.shard_count):
+                server = ExperimentServer(
+                    port=0,
+                    workers=self.workers,
+                    state_dir=str(self.root / f"shard{index}"),
+                    store=self.store,
+                )
+                server.start()
+                self.servers.append(server)
+            self.router = ShardRouter(
+                [server.url for server in self.servers]
+            ).start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.router is None:
+            raise ServeError("fleet is not running")
+        return self.router.url
+
+    @property
+    def shard_urls(self) -> List[str]:
+        return [server.url for server in self.servers]
+
+    def stop(self) -> None:
+        if self.router is not None:
+            self.router.stop()
+            self.router = None
+        # Reverse order unwinds the nested registry installs correctly.
+        for server in reversed(self.servers):
+            server.drain()
+        self.servers = []
+
+    def __enter__(self) -> "InProcessFleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def resolve_fleet_shards(shards: Optional[int] = None) -> int:
+    """Shard count: explicit argument > environment > default (2)."""
+    if shards is None:
+        raw = os.environ.get(FLEET_SHARDS_ENV, "").strip()
+        if raw:
+            try:
+                shards = int(raw)
+            except ValueError:
+                raise ServeError(
+                    f"{FLEET_SHARDS_ENV} must be an integer, got {raw!r}"
+                )
+        else:
+            shards = 2
+    if shards < 1:
+        raise ServeError("fleet needs at least one shard")
+    return int(shards)

@@ -66,6 +66,10 @@ class JobQueue:
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
+        #: Notified on *every* job state transition — the event/condition
+        #: seam long-poll waiters (and tests) coordinate on instead of
+        #: sleep loops.
+        self._changed = threading.Condition(self._lock)
         self._rejecting: Optional[str] = None
         self._dispatching = True
 
@@ -111,6 +115,7 @@ class JobQueue:
             _metrics.counter_add("serve.jobs.submitted")
             self._gauge_depth()
             self._available.notify()
+            self._changed.notify_all()
             return job, False
 
     # -- dispatch (worker side) -------------------------------------------
@@ -132,6 +137,7 @@ class JobQueue:
                         if job.state is JobState.QUEUED:
                             job.mark_running()
                             self._gauge_depth()
+                            self._changed.notify_all()
                             return job
                 remaining = None
                 if deadline is not None:
@@ -140,12 +146,24 @@ class JobQueue:
                         return None
                 self._available.wait(remaining)
 
-    def finish(self, job: Job, result_bytes: bytes) -> None:
-        """Record a successful computation (exactly once per job)."""
+    def finish(
+        self, job: Job, result_bytes: bytes, computed: bool = True
+    ) -> None:
+        """Record a completed job (exactly once per job).
+
+        ``computed=False`` marks a job satisfied from the shared result
+        store rather than executed here: it counts in
+        ``serve.jobs.store_satisfied`` instead of ``serve.jobs.executed``
+        so "one computation per digest" stays measurable fleet-wide.
+        """
         with self._lock:
             job.mark_done(result_bytes)
-            _metrics.counter_add("serve.jobs.executed")
+            _metrics.counter_add(
+                "serve.jobs.executed" if computed
+                else "serve.jobs.store_satisfied"
+            )
             self._gauge_depth()
+            self._changed.notify_all()
 
     def fail(self, job: Job, error: Exception) -> None:
         """Record a failed computation; releases the digest for retry."""
@@ -155,6 +173,7 @@ class JobQueue:
                 del self._by_digest[job.digest]
             _metrics.counter_add("serve.jobs.failed")
             self._gauge_depth()
+            self._changed.notify_all()
 
     # -- control ----------------------------------------------------------
 
@@ -173,6 +192,7 @@ class JobQueue:
                 del self._by_digest[job.digest]
             _metrics.counter_add("serve.jobs.cancelled")
             self._gauge_depth()
+            self._changed.notify_all()
             return job
 
     def reject_submissions(self, message: str) -> None:
@@ -186,12 +206,56 @@ class JobQueue:
             self._dispatching = False
             self._available.notify_all()
 
+    def resume_dispatch(self) -> None:
+        """Resume handing queued jobs to workers after pause_dispatch."""
+        with self._available:
+            self._dispatching = True
+            self._available.notify_all()
+
     # -- inspection -------------------------------------------------------
 
     def job(self, job_id: str) -> Job:
         """Look a job up by id; raises 404 on an unknown id."""
         with self._lock:
             return self._job(job_id)
+
+    def wait_for_state(
+        self,
+        job_id: str,
+        target: str,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Block until a job reaches ``target`` (or any terminal state).
+
+        ``target`` is ``"running"`` (satisfied by RUNNING *or* anything
+        terminal — a store-satisfied job can go straight to DONE) or
+        ``"terminal"``.  Returns the job once satisfied, or at timeout in
+        whatever state it is then — the caller reads ``job.state``.  This
+        is the long-poll seam behind ``GET /jobs/<id>?wait=...``: waiters
+        park on a condition notified by every transition, no sleep
+        polling anywhere.
+        """
+        import time
+
+        if target not in ("running", "terminal"):
+            raise ServeError(
+                f"unknown wait target {target!r}; use 'running' or "
+                "'terminal'"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            while True:
+                job = self._job(job_id)
+                if job.state.terminal or (
+                    target == "running" and job.state is JobState.RUNNING
+                ):
+                    return job
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return job
+                self._changed.wait(remaining)
 
     def _job(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)

@@ -1,0 +1,553 @@
+"""Multiplexed fleet front end: one event loop routing to N shards.
+
+The :class:`ShardRouter` is the process clients talk to when the serve
+fleet has more than one shard.  It terminates client HTTP on a single
+:mod:`asyncio` event loop — a parked long-poll client costs one socket
+and a coroutine frame, not a thread, so thousands of concurrent
+waiters multiplex onto the loop — and forwards each request to the
+shard chosen by the consistent-hash :class:`~repro.serve.ring.HashRing`
+over :func:`~repro.serve.jobs.spec_digest`.
+
+Because the ring keys on the *same* digest the per-shard queue dedups
+on and the shared :class:`~repro.serve.store.ResultStore` is keyed by,
+placement composes with in-shard dedup into fleet-wide dedup, and a
+routed ``/jobs/<id>/result`` response is proxied byte-for-byte — the
+byte-identity contract survives the extra hop (pinned by
+``tests/serve/test_identity.py``).
+
+Routing rules::
+
+    POST /jobs, /plan      by spec digest -> owning shard
+    GET/PUT /store/<d>     by digest -> owning shard
+    GET  /jobs/<id>[...]   by remembered id->shard home, else asking
+                           every shard (only the owner knows the id)
+    GET  /jobs             fan-out, concatenated, shard-tagged
+    GET  /healthz          fan-out, aggregated fleet view
+    GET  /metrics          every shard's snapshot folded together via
+                           MetricsRegistry.merge_snapshot, plus the
+                           router's own serve.router.* / serve.shard.*
+                           counters
+
+Long-poll rounds (``GET /jobs/<id>?wait=...``) are *coalesced*: any
+number of clients waiting on the same job/target share one upstream
+long-poll connection, so a popular job costs the shard one parked
+handler regardless of fan-in (``serve.router.wait_coalesced`` counts
+the sharing).
+
+An unreachable shard renders as 502 in the ``error[<code>]`` contract;
+the router itself holds no job state worth preserving, so it has no
+journal — restart it freely, the shards are the truth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, ServeError, render_error
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import normalize_spec, spec_digest
+from repro.serve.ring import HashRing
+from repro.serve.server import LONG_POLL_MAX_S
+
+#: Upstream connect/read timeout for ordinary (non-long-poll) proxying.
+UPSTREAM_TIMEOUT_S = 30.0
+
+#: Cap on a client request body the router will buffer.
+_MAX_BODY = 8 * 1024 * 1024
+
+
+def _error_body(error: ReproError) -> Tuple[int, bytes]:
+    payload = {"error": render_error(error), "code": error.code}
+    return (
+        getattr(error, "http_status", 400),
+        json.dumps(payload, sort_keys=True).encode(),
+    )
+
+
+class _Response:
+    """One upstream or router-originated HTTP response to relay."""
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+
+
+class ShardRouter:
+    """Asyncio front end multiplexing a fleet of serve shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        urls = [url.strip().rstrip("/") for url in shards if url.strip()]
+        if not urls:
+            raise ServeError("router needs at least one shard URL")
+        self.shards: Tuple[str, ...] = tuple(urls)
+        self.ring = HashRing(self.shards, replicas=replicas)
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._shard_index = {url: i for i, url in enumerate(self.shards)}
+        self._job_homes: Dict[str, str] = {}
+        self._waits: Dict[Tuple[str, str], asyncio.Task] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._drain_requested = threading.Event()
+        self._bound: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self._bound if self._bound else (self.host, self.port)
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ShardRouter":
+        """Run the event loop (and listener) in a daemon thread."""
+        if self._thread is not None:
+            raise ServeError("router already started", http_status=500)
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-router", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise ServeError("router failed to start within 10s",
+                             http_status=500)
+        return self
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._bound = (sockname[0], sockname[1])
+        self._stop_event = asyncio.Event()
+        self._started.set()
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    def stop(self) -> None:
+        """Shut the listener and loop down (idempotent)."""
+        self._drain_requested.set()
+        if self._loop is None:
+            return
+        loop, thread = self._loop, self._thread
+
+        def _signal() -> None:
+            self._stop_event.set()
+
+        try:
+            loop.call_soon_threadsafe(_signal)
+        except RuntimeError:
+            pass  # loop already closed
+        if thread is not None:
+            thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a stop request (main thread only)."""
+        import signal
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: self._drain_requested.set())
+
+    def serve_until_drained(self, stream=None) -> Dict[str, Any]:
+        """CLI main loop: start, announce, wait for SIGTERM, stop."""
+        import sys
+
+        if stream is None:
+            stream = sys.stdout
+        self.install_signal_handlers()
+        self.start()
+        stream.write(
+            f"repro-serve-router listening on {self.url} "
+            f"({len(self.shards)} shards)\n"
+        )
+        stream.flush()
+        while not self._drain_requested.wait(timeout=60.0):
+            pass
+        self.stop()
+        snapshot = self.registry.snapshot()
+        routed = snapshot.get("counters", {}).get("serve.router.requests", 0)
+        stream.write(f"router stopped after {int(routed)} requests\n")
+        stream.flush()
+        return {"requests": int(routed)}
+
+    # -- client side of the wire ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            self.registry.counter_add("serve.router.requests")
+            try:
+                response = await self._dispatch(method, path, body)
+            except ReproError as error:
+                status, payload = _error_body(error)
+                response = _Response(status, payload)
+            except Exception as error:  # never leak a traceback
+                status, payload = _error_body(
+                    ServeError(f"router internal error: {error}",
+                               http_status=500)
+                )
+                response = _Response(status, payload)
+            await self._write_response(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > _MAX_BODY:
+            return method, target, b""
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: _Response
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {response.status} X\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            "Connection: close\r\n"
+        )
+        for name, value in response.headers.items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + response.body)
+        await writer.drain()
+
+    # -- upstream side of the wire ----------------------------------------
+
+    async def _upstream(
+        self,
+        shard: str,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        timeout_s: float = UPSTREAM_TIMEOUT_S,
+        content_type: str = "application/json",
+    ) -> _Response:
+        """One request to one shard over a fresh asyncio connection."""
+        host, _, port = shard.rpartition("://")[2].partition(":")
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, int(port or 80)),
+                timeout=timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            self._count_shard(shard, "unreachable")
+            raise ServeError(
+                f"shard {shard} unreachable: {error}", http_status=502
+            )
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            return await asyncio.wait_for(
+                self._read_upstream_response(reader), timeout=timeout_s
+            )
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as error:
+            self._count_shard(shard, "errors")
+            raise ServeError(
+                f"shard {shard} failed mid-request: {error}", http_status=502
+            )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_upstream_response(
+        self, reader: asyncio.StreamReader
+    ) -> _Response:
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1]) if len(parts) >= 2 else 502
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None:
+            body = await reader.readexactly(int(length))
+        else:
+            body = await reader.read()
+        extra = {}
+        if "retry-after" in headers:
+            extra["Retry-After"] = headers["retry-after"]
+        return _Response(
+            status, body,
+            content_type=headers.get("content-type", "application/json"),
+            headers=extra,
+        )
+
+    def _count_shard(self, shard: str, what: str) -> None:
+        index = self._shard_index.get(shard)
+        if index is not None:
+            self.registry.counter_add(f"serve.shard.{index}.{what}")
+        self.registry.counter_add(f"serve.router.shard_{what}")
+
+    # -- routing ----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> _Response:
+        path, _, query_string = target.partition("?")
+        path = path.rstrip("/") or "/"
+        parts = path.strip("/").split("/")
+        if method == "GET" and path == "/healthz":
+            return await self._health()
+        if method == "GET" and path == "/metrics":
+            return await self._metrics()
+        if method == "POST" and path in ("/jobs", "/plan"):
+            return await self._route_submission(path, body)
+        if method == "GET" and path == "/jobs":
+            return await self._list_jobs()
+        if len(parts) == 2 and parts[0] == "store":
+            shard = self.ring.node_for(parts[1])
+            self._count_shard(shard, "routed")
+            return await self._upstream(
+                shard, method, f"/store/{parts[1]}", body,
+                content_type="application/octet-stream",
+            )
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return await self._route_job(
+                method, parts, query_string, body
+            )
+        raise ServeError(
+            f"unknown endpoint {method} {path}", http_status=404
+        )
+
+    async def _route_submission(self, path: str, body: bytes) -> _Response:
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as error:
+            raise ServeError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        spec_mapping = dict(payload)
+        if path == "/plan":
+            spec_mapping["experiment"] = "dse"
+        spec_mapping.pop("priority", None)
+        digest = spec_digest(normalize_spec(spec_mapping))
+        shard = self.ring.node_for(digest)
+        self._count_shard(shard, "routed")
+        response = await self._upstream(shard, "POST", path, body)
+        if response.status == 202:
+            try:
+                job_id = json.loads(response.body)["job"]["id"]
+                self._job_homes[job_id] = shard
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+        return response
+
+    async def _route_job(
+        self,
+        method: str,
+        parts: List[str],
+        query_string: str,
+        body: bytes,
+    ) -> _Response:
+        job_id = parts[1]
+        sub = "/".join(parts[2:])
+        path = f"/jobs/{job_id}" + (f"/{sub}" if sub else "")
+        if query_string:
+            path += f"?{query_string}"
+        shard = self._job_homes.get(job_id)
+        if shard is None:
+            shard = await self._find_home(job_id)
+        is_wait = method == "GET" and not sub and "wait=" in query_string
+        if is_wait:
+            return await self._coalesced_wait(shard, path)
+        timeout = UPSTREAM_TIMEOUT_S
+        return await self._upstream(shard, method, path, body,
+                                    timeout_s=timeout)
+
+    async def _find_home(self, job_id: str) -> str:
+        """Ask every shard who owns an id the router has not seen.
+
+        Needed after a router restart (the id->home map is in-memory
+        only) and for ids submitted directly to a shard.
+        """
+        results = await asyncio.gather(
+            *(
+                self._upstream(url, "GET", f"/jobs/{job_id}")
+                for url in self.shards
+            ),
+            return_exceptions=True,
+        )
+        for url, result in zip(self.shards, results):
+            if isinstance(result, _Response) and result.status == 200:
+                self._job_homes[job_id] = url
+                return url
+        raise ServeError(
+            f"unknown job id {job_id!r} on any shard", http_status=404
+        )
+
+    async def _coalesced_wait(self, shard: str, path: str) -> _Response:
+        """Share one upstream long-poll among identical waiters."""
+        key = (shard, path)
+        task = self._waits.get(key)
+        if task is None:
+            task = asyncio.ensure_future(
+                self._upstream(
+                    shard, "GET", path,
+                    timeout_s=LONG_POLL_MAX_S + UPSTREAM_TIMEOUT_S,
+                )
+            )
+            self._waits[key] = task
+            task.add_done_callback(lambda _t: self._waits.pop(key, None))
+        else:
+            self.registry.counter_add("serve.router.wait_coalesced")
+        try:
+            return await asyncio.shield(task)
+        except asyncio.CancelledError:
+            raise
+        except ServeError:
+            raise
+        except Exception as error:
+            raise ServeError(f"long-poll failed: {error}", http_status=502)
+
+    # -- fan-out endpoints -------------------------------------------------
+
+    async def _each_shard(self, path: str) -> List[Tuple[str, Any]]:
+        """(shard, parsed JSON | ServeError) for a GET on every shard."""
+        responses = await asyncio.gather(
+            *(self._upstream(url, "GET", path) for url in self.shards),
+            return_exceptions=True,
+        )
+        out: List[Tuple[str, Any]] = []
+        for url, response in zip(self.shards, responses):
+            if isinstance(response, _Response):
+                try:
+                    out.append((url, json.loads(response.body)))
+                except json.JSONDecodeError:
+                    out.append(
+                        (url, ServeError(f"shard {url} sent bad JSON"))
+                    )
+            elif isinstance(response, ServeError):
+                out.append((url, response))
+            else:
+                out.append((url, ServeError(str(response))))
+        return out
+
+    async def _health(self) -> _Response:
+        shards: Dict[str, Any] = {}
+        status = "ok"
+        for url, payload in await self._each_shard("/healthz"):
+            if isinstance(payload, ServeError):
+                shards[url] = {"status": "unreachable",
+                               "error": str(payload)}
+                status = "degraded"
+            else:
+                shards[url] = payload
+                if payload.get("status") != "ok":
+                    status = "degraded"
+        body = json.dumps(
+            {
+                "status": status,
+                "role": "router",
+                "shards": shards,
+                "ring": self.ring.describe(),
+            },
+            sort_keys=True,
+        ).encode()
+        return _Response(200, body)
+
+    async def _metrics(self) -> _Response:
+        scratch = MetricsRegistry()
+        scratch.merge_snapshot(self.registry.snapshot())
+        for url, payload in await self._each_shard("/metrics"):
+            index = self._shard_index[url]
+            if isinstance(payload, ServeError):
+                scratch.gauge_set(f"serve.shard.{index}.up", 0)
+                continue
+            scratch.gauge_set(f"serve.shard.{index}.up", 1)
+            for name, value in payload.get("counters", {}).items():
+                if name.startswith("serve.jobs."):
+                    scratch.counter_add(
+                        f"serve.shard.{index}.{name[len('serve.'):]}",
+                        value,
+                    )
+            scratch.merge_snapshot(payload)
+        body = json.dumps(scratch.snapshot(), sort_keys=True).encode()
+        return _Response(200, body)
+
+    async def _list_jobs(self) -> _Response:
+        jobs: List[Dict[str, Any]] = []
+        for url, payload in await self._each_shard("/jobs"):
+            if isinstance(payload, ServeError):
+                continue
+            for record in payload.get("jobs", []):
+                jobs.append(dict(record, shard=url))
+        jobs.sort(key=lambda r: r.get("submitted_unix", 0), reverse=True)
+        body = json.dumps({"jobs": jobs}, sort_keys=True).encode()
+        return _Response(200, body)

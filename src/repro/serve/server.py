@@ -19,10 +19,17 @@ Endpoints (all JSON; errors use the ``error[<code>]`` contract)::
     POST /plan                 submit a DSE-planner job ({scale, seed})
                                at the plan priority tier -> 202
     GET  /jobs                 every job's status record
-    GET  /jobs/<id>            one job's status record
+    GET  /jobs/<id>            one job's status record; with
+                               ``?wait=running|terminal&timeout_s=N``
+                               long-polls on the queue's condition until
+                               the job reaches that state (no sleep
+                               polling, bounded by the timeout)
     GET  /jobs/<id>/result     the result payload (DONE jobs; 409 while
                                pending, 500 for failed, 410 cancelled)
     POST /jobs/<id>/cancel     cancel a still-queued job (409 later)
+    GET  /store/<digest>       raw stored result bytes from the shared
+                               result store (404 miss, 503 if no store)
+    PUT  /store/<digest>       publish result bytes into the store
 
 Lifecycle: :meth:`ExperimentServer.start` binds, restores any journaled
 queued jobs from a previous drain, and spawns workers;
@@ -60,6 +67,7 @@ from repro.serve.queue import (
     DEFAULT_RETRY_AFTER_S,
     JobQueue,
 )
+from repro.serve.store import ResultStore, resolve_store
 from repro.sim.parallel import FaultPolicy
 
 #: Environment variables configuring the daemon (flags win over these).
@@ -72,6 +80,10 @@ RETRY_AFTER_ENV = "REPRO_SERVE_RETRY_AFTER"
 #: Defaults when neither argument nor environment decide.
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8765
+
+#: Hard ceiling on one long-poll round; clients re-issue rounds, so the
+#: cap bounds how long a dead client can pin a handler thread.
+LONG_POLL_MAX_S = 60.0
 
 
 def _env_str(name: str, default: str) -> str:
@@ -181,6 +193,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._route("POST")
 
+    def do_PUT(self) -> None:  # noqa: N802
+        self._route("PUT")
+
 
 class ExperimentServer:
     """The long-running experiment service (see module docstring)."""
@@ -195,6 +210,9 @@ class ExperimentServer:
         retry_after_s: Optional[float] = None,
         policy: Optional[FaultPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
+        store_dir: Optional[str] = None,
+        store_url: Optional[str] = None,
+        store: Optional[ResultStore] = None,
     ) -> None:
         self.host = host if host is not None else _env_str(HOST_ENV, DEFAULT_HOST)
         self.port = (
@@ -215,10 +233,13 @@ class ExperimentServer:
             if state_dir is not None
             else (os.environ.get(DIR_ENV, "").strip() or None)
         )
+        self.store = (
+            store if store is not None else resolve_store(store_dir, store_url)
+        )
         self.queue = JobQueue(max_queued=max_queued, retry_after_s=retry_after_s)
         self.pool = WorkerPool(
             self.queue, workers=workers, policy=policy,
-            state_dir=self.state_dir,
+            state_dir=self.state_dir, store=self.store,
         )
         self.journal = (
             JobJournal(self.state_dir) if self.state_dir is not None else None
@@ -373,7 +394,11 @@ class ExperimentServer:
 
     def handle(self, method: str, path: str, http: _Handler) -> bool:
         """Route one request; returns False for an unknown endpoint."""
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        from urllib.parse import parse_qs
+
+        path, _, query_string = path.partition("?")
+        query = parse_qs(query_string)
+        path = path.rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
             http._send_json(200, self._health())
             return True
@@ -390,10 +415,17 @@ class ExperimentServer:
             http._send_json(200, {"jobs": self.queue.describe()})
             return True
         parts = path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "store":
+            if method == "GET":
+                self._store_get(http, parts[1])
+                return True
+            if method == "PUT":
+                self._store_put(http, parts[1])
+                return True
         if len(parts) >= 2 and parts[0] == "jobs":
             job_id = parts[1]
             if method == "GET" and len(parts) == 2:
-                http._send_json(200, {"job": self.queue.job(job_id).describe()})
+                self._job_status(http, job_id, query)
                 return True
             if method == "GET" and len(parts) == 3 and parts[2] == "result":
                 self._result(http, job_id)
@@ -422,7 +454,43 @@ class ExperimentServer:
             "workers": self.pool.workers,
             "state_dir": self.state_dir,
             "cache": ReplayCache().stats(),
+            "store": self.store.stats() if self.store is not None else None,
         }
+
+    def _job_status(self, http: _Handler, job_id: str, query) -> None:
+        """``GET /jobs/<id>`` — immediate, or a long-poll round."""
+        wait = (query.get("wait") or [None])[0]
+        if wait is None:
+            job = self.queue.job(job_id)
+        else:
+            raw = (query.get("timeout_s") or ["30"])[0]
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise ServeError(f"timeout_s must be a number, got {raw!r}")
+            timeout = min(max(timeout, 0.0), LONG_POLL_MAX_S)
+            job = self.queue.wait_for_state(job_id, wait, timeout=timeout)
+        http._send_json(200, {"job": job.describe()})
+
+    def _store_get(self, http: _Handler, digest: str) -> None:
+        if self.store is None:
+            raise ServeError("no result store configured", http_status=503)
+        payload = self.store.get(digest)
+        if payload is None:
+            raise ServeError(
+                f"no stored result for digest {digest!r}", http_status=404
+            )
+        http._send(200, payload, content_type="application/octet-stream")
+
+    def _store_put(self, http: _Handler, digest: str) -> None:
+        if self.store is None:
+            raise ServeError("no result store configured", http_status=503)
+        length = int(http.headers.get("Content-Length") or 0)
+        payload = http.rfile.read(length) if length else b""
+        if not payload:
+            raise ServeError("store payload must be non-empty")
+        self.store.put(digest, payload)
+        http._send_json(200, {"stored": digest, "bytes": len(payload)})
 
     def _submit(self, http: _Handler) -> None:
         body = http._read_body()

@@ -1,0 +1,249 @@
+"""Content-addressed result store shared across serve instances.
+
+The fleet-wide generalisation of the replay cache's persistence idea:
+where :class:`~repro.sim.replay_cache.ReplayCache` shares *replay*
+work between processes, the result store shares finished *job payloads*
+between shards, keyed by :func:`~repro.serve.jobs.spec_digest`.  A
+worker about to execute a job first probes the store; a hit finishes
+the job instantly with the stored canonical bytes — cross-instance
+dedup — and every computed payload is stored for the rest of the fleet.
+
+Because payloads are canonical JSON serialised exactly once
+(:func:`~repro.serve.jobs.execute_spec`), a store hit is byte-identical
+to recomputation, so cross-shard dedup preserves the byte-identity
+contract the single daemon already guarantees (pinned by
+``tests/serve/test_identity.py``).
+
+Backends
+--------
+
+- :class:`FileResultStore` — a directory of checksummed payload files,
+  written atomically (temp file + ``os.replace``), safe for any number
+  of shard processes sharing one filesystem.  This is the normal fleet
+  deployment: every shard points ``REPRO_SERVE_STORE_DIR`` at the same
+  directory.
+- :class:`HTTPResultStore` — speaks ``GET/PUT /store/<digest>`` to
+  another serve instance (every shard exposes its store over those
+  endpoints), for fleets that span hosts without a shared filesystem.
+
+Store failures are never fatal: a broken backend degrades to
+recomputation (counted in ``serve.store.errors``), exactly like a
+replay-cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ServeError
+from repro.obs import metrics as _metrics
+
+#: Environment variable naming a shared store directory.
+STORE_DIR_ENV = "REPRO_SERVE_STORE_DIR"
+
+#: Environment variable naming a remote store base URL (a serve
+#: instance exposing ``/store``); the directory variable wins if both
+#: are set.
+STORE_URL_ENV = "REPRO_SERVE_STORE_URL"
+
+#: Stored-entry container magic; the format is ``MAGIC +
+#: blake2b(payload, 16) + payload`` (the replay cache's container
+#: discipline, with the payload being the raw result bytes).
+STORE_MAGIC = b"RSV1"
+
+#: Bytes of blake2b digest embedded after the magic.
+_DIGEST_SIZE = 16
+
+#: Digests are run-manifest config digests: lowercase hex.  Anything
+#: else is rejected before it can touch the filesystem or a URL.
+_DIGEST_RE = re.compile(r"^[0-9a-f]{8,128}$")
+
+
+def check_digest(digest: str) -> str:
+    """Validate a store key (defends the file/URL namespace)."""
+    if not isinstance(digest, str) or not _DIGEST_RE.match(digest):
+        raise ServeError(f"invalid result digest {digest!r}")
+    return digest
+
+
+def _pack(payload: bytes) -> bytes:
+    check = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+    return STORE_MAGIC + check + payload
+
+
+def _unpack(blob: bytes) -> bytes:
+    header = len(STORE_MAGIC) + _DIGEST_SIZE
+    if len(blob) < header or not blob.startswith(STORE_MAGIC):
+        raise ValueError("not a result-store container")
+    check, payload = blob[len(STORE_MAGIC):header], blob[header:]
+    if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != check:
+        raise ValueError("result-store checksum mismatch")
+    return payload
+
+
+class ResultStore:
+    """Interface: content-addressed ``bytes`` by spec digest."""
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """The stored payload, or None on miss (or any backend trouble)."""
+        raise NotImplementedError
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Store a payload (best-effort: failures degrade, never raise)."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready backend summary for health endpoints."""
+        raise NotImplementedError
+
+
+class FileResultStore(ResultStore):
+    """Shared-directory backend (multi-process safe, checksummed).
+
+    Entries are one file per digest; a corrupt entry (torn write from a
+    crashed shard, bit rot) is quarantined — deleted, counted in
+    ``serve.store.corrupt``, recomputed — never returned.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{check_digest(digest)}.res"
+
+    def get(self, digest: str) -> Optional[bytes]:
+        path = self._path(digest)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            _metrics.counter_add("serve.store.misses")
+            return None
+        except OSError:
+            _metrics.counter_add("serve.store.errors")
+            return None
+        try:
+            payload = _unpack(blob)
+        except ValueError:
+            _metrics.counter_add("serve.store.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        _metrics.counter_add("serve.store.hits")
+        return payload
+
+    def put(self, digest: str, payload: bytes) -> None:
+        path = self._path(digest)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        except OSError:
+            _metrics.counter_add("serve.store.errors")
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_pack(payload))
+            os.replace(tmp_name, path)
+        except OSError:
+            _metrics.counter_add("serve.store.errors")
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return
+        _metrics.counter_add("serve.store.stores")
+
+    def stats(self) -> Dict[str, object]:
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.res"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "backend": "file",
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total,
+        }
+
+
+class HTTPResultStore(ResultStore):
+    """Remote backend over a serve instance's ``/store`` endpoints."""
+
+    def __init__(self, url: str, timeout_s: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, digest: str, data=None) -> bytes:
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{self.url}/store/{check_digest(digest)}",
+            data=data,
+            method=method,
+        )
+        with urllib.request.urlopen(
+            request, timeout=self.timeout_s
+        ) as response:
+            return response.read()
+
+    def get(self, digest: str) -> Optional[bytes]:
+        import urllib.error
+
+        try:
+            payload = self._request("GET", digest)
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                _metrics.counter_add("serve.store.misses")
+            else:
+                _metrics.counter_add("serve.store.errors")
+            return None
+        except (urllib.error.URLError, OSError, ValueError):
+            _metrics.counter_add("serve.store.errors")
+            return None
+        _metrics.counter_add("serve.store.hits")
+        return payload
+
+    def put(self, digest: str, payload: bytes) -> None:
+        import urllib.error
+
+        try:
+            self._request("PUT", digest, data=payload)
+        except (urllib.error.URLError, OSError, ValueError):
+            _metrics.counter_add("serve.store.errors")
+            return
+        _metrics.counter_add("serve.store.stores")
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": "http", "url": self.url}
+
+
+def resolve_store(
+    store_dir: Optional[str] = None, store_url: Optional[str] = None
+) -> Optional[ResultStore]:
+    """Build the configured store backend, or None when unconfigured.
+
+    Explicit arguments win over ``REPRO_SERVE_STORE_DIR`` /
+    ``REPRO_SERVE_STORE_URL``; a directory wins over a URL.  No
+    configuration means no cross-instance sharing — exactly the
+    single-daemon behaviour before the fleet existed.
+    """
+    if store_dir is None:
+        store_dir = os.environ.get(STORE_DIR_ENV, "").strip() or None
+    if store_url is None:
+        store_url = os.environ.get(STORE_URL_ENV, "").strip() or None
+    if store_dir is not None:
+        return FileResultStore(store_dir)
+    if store_url is not None:
+        return HTTPResultStore(store_url)
+    return None

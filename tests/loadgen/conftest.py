@@ -1,0 +1,27 @@
+"""Fixtures for the load-generation tests.
+
+Same replay-cache isolation as ``tests/serve``: launcher tests run real
+daemons, and their replay work must neither leak into nor depend on the
+developer's cache directory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.replay_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_replay_cache(tmp_path_factory):
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(
+        tmp_path_factory.mktemp("loadgen-replay-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous

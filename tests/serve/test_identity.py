@@ -1,0 +1,192 @@
+"""Cross-shard byte-identity proofs (subprocess fleets).
+
+The fleet's core contract: sharding is a *placement* decision, never a
+*results* decision.  The same job mix must yield byte-identical
+canonical-JSON payloads per ``spec_digest`` at every shard count —
+including under a duplicate storm and across a mid-run shard
+SIGTERM/restart.
+
+Ground truth is :func:`repro.serve.jobs.execute_spec` run in this
+process: the exact engine path the daemons use, so any divergence is
+introduced by the fleet topology, which is what these tests pin.
+
+The restart test paces jobs through the ``REPRO_SERVE_JOB_HOOK`` seam
+(the serve-side sibling of the PR-3 fault hook) so the bounce provably
+lands mid-run, with jobs queued and in flight.
+
+Marked ``serial``: every test spawns real daemon subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import Fleet, ServeClient
+from repro.serve.executor import JOB_HOOK_ENV
+from repro.serve.jobs import JobSpec, execute_spec, normalize_spec, spec_digest
+from repro.loadgen.pacing import SERVICE_MS_ENV
+
+pytestmark = pytest.mark.serial
+
+SPECS = [
+    {"experiment": "table2", "scale": 0.02, "seed": seed}
+    for seed in range(6)
+]
+
+
+def _digest(spec: dict) -> str:
+    return spec_digest(normalize_spec(dict(spec)))
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    """digest -> payload bytes from the in-process engine path."""
+    return {
+        _digest(spec): execute_spec(
+            JobSpec(spec["experiment"], spec["scale"], spec["seed"])
+        )
+        for spec in SPECS
+    }
+
+
+def _payloads_via_fleet(shards: int, root, specs) -> dict:
+    """Run every spec through a fresh fleet; digest -> payload bytes."""
+    with Fleet(shards=shards, root=str(root), workers=2) as fleet:
+        client = ServeClient(fleet.url)
+        ids = {
+            _digest(spec): client.submit(**spec)["job"]["id"]
+            for spec in specs
+        }
+        out = {}
+        for digest, job_id in ids.items():
+            record = client.wait(job_id, timeout_s=120)
+            assert record["state"] == "done", record
+            out[digest] = client.result_bytes(job_id)
+        return out
+
+
+class TestShardCountIdentity:
+    def test_1_2_4_shards_are_byte_identical(self, tmp_path, ground_truth):
+        for shards in (1, 2, 4):
+            got = _payloads_via_fleet(
+                shards, tmp_path / f"fleet{shards}", SPECS
+            )
+            assert got == ground_truth, (
+                f"{shards}-shard fleet diverged from the engine"
+            )
+
+    def test_payloads_are_canonical_json(self, ground_truth):
+        for payload in ground_truth.values():
+            decoded = json.loads(payload)
+            canonical = json.dumps(
+                decoded, sort_keys=True, separators=(",", ":")
+            ).encode()
+            assert payload == canonical
+
+
+class TestDuplicateStorm:
+    FAN_IN = 4  # concurrent submitters per distinct spec
+
+    def test_storm_coalesces_and_stays_identical(
+        self, tmp_path, ground_truth
+    ):
+        with Fleet(shards=2, root=str(tmp_path), workers=2) as fleet:
+            client = ServeClient(fleet.url)
+            plan = [dict(spec) for spec in SPECS for _ in range(self.FAN_IN)]
+            responses = [None] * len(plan)
+            barrier = threading.Barrier(len(plan))
+
+            def submit(index: int) -> None:
+                barrier.wait()
+                responses[index] = client.submit(**plan[index])
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(len(plan))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert all(r is not None for r in responses)
+
+            # the router + per-shard queue coalesced every duplicate
+            ids_by_digest = {}
+            for response, spec in zip(responses, plan):
+                ids_by_digest.setdefault(_digest(spec), set()).add(
+                    response["job"]["id"]
+                )
+            for digest, ids in ids_by_digest.items():
+                assert len(ids) == 1, f"digest {digest} split into {ids}"
+
+            for digest, ids in ids_by_digest.items():
+                job_id = ids.pop()
+                assert client.wait(job_id, timeout_s=120)["state"] == "done"
+                assert client.result_bytes(job_id) == ground_truth[digest]
+
+            # fleet-wide: one computation per digest, however it was
+            # satisfied (executed on a shard, or served from the store)
+            counters = client.metrics()["counters"]
+            computed = counters.get("serve.jobs.executed", 0)
+            from_store = counters.get("serve.jobs.store_satisfied", 0)
+            assert computed + from_store == len(SPECS)
+            assert counters["serve.jobs.deduped"] == (
+                len(plan) - len(SPECS)
+            )
+
+
+class TestShardRestartMidRun:
+    def test_sigterm_restart_loses_no_accepted_result(
+        self, tmp_path, ground_truth
+    ):
+        """Bounce shard 0 while the fleet is busy; every accepted job's
+        result is still reachable and byte-identical afterwards.
+
+        Jobs paced to 150ms through the job-hook seam guarantee the
+        restart lands with work queued and in flight.  After the bounce
+        a job id either survives (journaled and restored under its
+        original id) or — if it finished before the drain — its result
+        is served from the shared store on resubmission without
+        recomputation changing a byte.
+        """
+        pacing = {JOB_HOOK_ENV: "repro.loadgen.pacing:emulate_service_time",
+                  SERVICE_MS_ENV: "150"}
+        with Fleet(
+            shards=2, root=str(tmp_path), workers=1, extra_env=pacing
+        ) as fleet:
+            client = ServeClient(fleet.url)
+            ids = {
+                _digest(spec): client.submit(**spec)["job"]["id"]
+                for spec in SPECS
+            }
+
+            fleet.restart_shard(0)  # SIGTERM -> drain -> journal -> restore
+
+            recovered = {}
+            resubmitted = 0
+            for spec in SPECS:
+                digest = _digest(spec)
+                try:
+                    record = client.wait(ids[digest], timeout_s=120)
+                    job_id = ids[digest]
+                except ServeError as error:
+                    # finished-then-drained: the id died with the old
+                    # process, but the result lives in the shared store
+                    assert error.http_status == 404, error
+                    job_id = client.submit(**spec)["job"]["id"]
+                    resubmitted += 1
+                    record = client.wait(job_id, timeout_s=120)
+                assert record["state"] == "done", record
+                recovered[digest] = client.result_bytes(job_id)
+
+            assert recovered == ground_truth
+            counters = client.metrics()["counters"]
+            if resubmitted:
+                # resubmissions must be store hits, not recomputations
+                assert counters.get(
+                    "serve.jobs.store_satisfied", 0
+                ) >= resubmitted

@@ -22,7 +22,6 @@ import signal
 import subprocess
 import sys
 import threading
-import time
 from pathlib import Path
 
 import pytest
@@ -185,12 +184,11 @@ class TestSigtermDrain:
         proc, url = self._start_daemon(state)
         client = ServeClient(url)
         job_id = client.submit("table2", scale=0.02, seed=99)["job"]["id"]
-        # give the worker a moment to pick the job up, then drain
-        deadline = time.monotonic() + 30
-        while time.monotonic() < deadline:
-            if client.status(job_id)["state"] != "queued":
-                break
-            time.sleep(0.05)
+        # long-poll until the worker has the job (or it already finished):
+        # the server parks this request on its state-transition condition,
+        # so there is no sleep/poll race between pickup and the drain
+        record = client.wait_state(job_id, "running", timeout_s=30)
+        assert record["state"] != "queued"
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=120)
         assert proc.returncode == 0, err

@@ -1,0 +1,225 @@
+"""Tests for the multiplexed fleet front end (in-process fleets).
+
+Marked ``serial`` like the other fleet tests: each case runs real
+daemons and a router event loop in this process.
+
+Metrics note: in-process shards share the process-global obs registry
+(the last-started shard's registry collects module-level counters), so
+fleet-wide job accounting here is asserted through the *router's*
+aggregated ``/metrics`` — which is also the interface operators get.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import InProcessFleet, ServeClient
+from repro.serve.ring import HashRing
+from repro.serve.router import ShardRouter
+
+pytestmark = pytest.mark.serial
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with InProcessFleet(shards=3, workers=1) as running:
+        yield running
+
+
+@pytest.fixture
+def router_client(fleet):
+    return ServeClient(fleet.url)
+
+
+class TestRouting:
+    def test_submission_lands_on_ring_owner(self, fleet, router_client):
+        from repro.serve.jobs import normalize_spec, spec_digest
+
+        response = router_client.submit("table2", scale=0.02, seed=21)
+        job = response["job"]
+        digest = spec_digest(normalize_spec(
+            {"experiment": "table2", "scale": 0.02, "seed": 21}
+        ))
+        assert job["digest"] == digest
+        owner = HashRing(fleet.shard_urls).node_for(digest)
+        # the owning shard knows the job locally; the others do not
+        assert ServeClient(owner).status(job["id"])["id"] == job["id"]
+        record = router_client.wait(job["id"], timeout_s=120)
+        assert record["state"] == "done"
+
+    def test_duplicates_dedup_through_the_router(self, router_client):
+        first = router_client.submit("table2", scale=0.02, seed=22)
+        second = router_client.submit("table2", scale=0.02, seed=22)
+        assert second["deduped"] is True
+        assert second["job"]["id"] == first["job"]["id"]
+
+    def test_result_bytes_proxied_verbatim(self, fleet, router_client):
+        job = router_client.submit("table2", scale=0.02, seed=23)["job"]
+        assert router_client.wait(job["id"], timeout_s=120)["state"] == "done"
+        via_router = router_client.result_bytes(job["id"])
+        home = next(
+            url for url in fleet.shard_urls
+            if _knows(url, job["id"])
+        )
+        assert via_router == ServeClient(home).result_bytes(job["id"])
+        # canonical JSON survives the hop
+        payload = json.loads(via_router)
+        assert payload["experiment"] == "table2"
+
+    def test_unknown_job_404_after_fanout(self, router_client):
+        with pytest.raises(ServeError) as excinfo:
+            router_client.status("job-nope")
+        assert excinfo.value.http_status == 404
+
+    def test_unknown_endpoint_404(self, router_client):
+        with pytest.raises(ServeError) as excinfo:
+            router_client._json("GET", "/nope")
+        assert excinfo.value.http_status == 404
+
+    def test_cancel_routes_by_home(self, fleet, router_client):
+        for server in fleet.servers:
+            server.queue.pause_dispatch()
+        try:
+            job = router_client.submit("table6", scale=0.02, seed=24)["job"]
+            record = router_client.cancel(job["id"])
+            assert record["state"] == "cancelled"
+        finally:
+            for server in fleet.servers:
+                server.queue.resume_dispatch()
+
+    def test_store_endpoint_routed_by_digest(self, fleet, router_client):
+        digest = "fe" * 16
+        router_client.store_put(digest, b'{"routed":1}')
+        assert router_client.store_get(digest) == b'{"routed":1}'
+        # it exists exactly once, in the shared store
+        assert fleet.store.get(digest) == b'{"routed":1}'
+
+
+class TestAggregation:
+    def test_health_aggregates_every_shard(self, fleet, router_client):
+        health = router_client.health()
+        assert health["status"] == "ok"
+        assert health["role"] == "router"
+        assert set(health["shards"]) == set(fleet.shard_urls)
+        assert health["ring"]["nodes"] == list(fleet.shard_urls)
+
+    def test_metrics_merge_and_per_shard_counters(self, router_client):
+        router_client.submit("table2", scale=0.02, seed=25)
+        snapshot = router_client.metrics()
+        counters = snapshot["counters"]
+        assert counters["serve.router.requests"] >= 1
+        assert counters.get("serve.jobs.submitted", 0) >= 1
+        assert any(
+            name.startswith("serve.shard.") and name.endswith(".routed")
+            for name in counters
+        )
+        gauges = snapshot["gauges"]
+        ups = [gauges.get(f"serve.shard.{i}.up") for i in range(3)]
+        assert ups == [1, 1, 1]
+
+    def test_list_jobs_fans_out_with_shard_tags(
+        self, fleet, router_client
+    ):
+        router_client.submit("table2", scale=0.02, seed=26)
+        jobs = router_client.list_jobs()
+        assert jobs, "fan-out listing lost the fleet's jobs"
+        assert all(job["shard"] in fleet.shard_urls for job in jobs)
+
+
+class TestWaitCoalescing:
+    def test_concurrent_waiters_share_one_upstream_poll(
+        self, fleet, router_client
+    ):
+        for server in fleet.servers:
+            server.queue.pause_dispatch()
+        try:
+            job = router_client.submit("table5", scale=0.02, seed=27)["job"]
+            results = [None] * 6
+
+            def router_requests() -> int:
+                snapshot = fleet.router.registry.snapshot()
+                return snapshot["counters"].get("serve.router.requests", 0)
+
+            baseline = router_requests()
+
+            def wait(index: int) -> None:
+                results[index] = router_client.wait_state(
+                    job["id"], "terminal", timeout_s=15
+                )
+
+            threads = [
+                threading.Thread(target=wait, args=(i,))
+                for i in range(len(results))
+            ]
+            for thread in threads:
+                thread.start()
+            # Every wait request is parked at the router (the job cannot
+            # transition while dispatch is paused) before we cancel, so
+            # the followers provably coalesce onto the first upstream
+            # long-poll rather than racing the terminal transition.
+            deadline = time.monotonic() + 10.0
+            while router_requests() < baseline + len(results):
+                assert time.monotonic() < deadline, "waiters never arrived"
+                time.sleep(0.01)
+            router_client.cancel(job["id"])
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(r is not None for r in results)
+            assert {r["state"] for r in results} == {"cancelled"}
+            counters = router_client.metrics()["counters"]
+            assert counters.get("serve.router.wait_coalesced", 0) >= 1
+        finally:
+            for server in fleet.servers:
+                server.queue.resume_dispatch()
+
+
+class TestDegradedFleet:
+    def test_unreachable_shard_is_502_and_degraded_health(self):
+        with InProcessFleet(shards=2, workers=1) as fleet:
+            client = ServeClient(fleet.url)
+            victim_url = fleet.shard_urls[0]
+            # find a spec the ring places on the victim, then kill it
+            seed = next(
+                s for s in range(1000)
+                if _owner(fleet, "table2", 0.02, s) == victim_url
+            )
+            fleet.servers[0].drain()
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert health["shards"][victim_url]["status"] == "unreachable"
+            with pytest.raises(ServeError) as excinfo:
+                client.submit("table2", scale=0.02, seed=seed)
+            assert excinfo.value.http_status == 502
+            counters = client.metrics()["counters"]
+            assert counters.get("serve.router.shard_unreachable", 0) >= 1
+
+    def test_router_lifecycle_guards(self):
+        with pytest.raises(ServeError):
+            ShardRouter([])
+        router = ShardRouter(["http://127.0.0.1:1"]).start()
+        with pytest.raises(ServeError):
+            router.start()
+        router.stop()
+        router.stop()  # idempotent
+
+
+def _knows(url: str, job_id: str) -> bool:
+    try:
+        ServeClient(url).status(job_id)
+        return True
+    except ServeError:
+        return False
+
+
+def _owner(fleet, experiment: str, scale: float, seed: int) -> str:
+    from repro.serve.jobs import normalize_spec, spec_digest
+
+    digest = spec_digest(normalize_spec(
+        {"experiment": experiment, "scale": scale, "seed": seed}
+    ))
+    return HashRing(fleet.shard_urls).node_for(digest)

@@ -115,6 +115,70 @@ class TestEndpoints:
             client.health()
 
 
+class TestLongPoll:
+    """``GET /jobs/<id>?wait=...`` parks on the queue's condition."""
+
+    def test_wait_terminal_returns_done_job(self, client):
+        job = client.submit("table2", scale=0.02, seed=7)["job"]
+        record = client.wait_state(job["id"], "terminal", timeout_s=60)
+        assert record["state"] == "done"
+
+    def test_wait_running_satisfied_by_terminal(self, client):
+        job = client.submit("table2", scale=0.02, seed=7)["job"]
+        record = client.wait_state(job["id"], "running", timeout_s=60)
+        assert record["state"] in ("running", "done")
+
+    def test_wait_round_times_out_with_current_state(
+        self, running_server, client
+    ):
+        running_server.queue.pause_dispatch()
+        job = client.submit("table3", scale=0.02, seed=1)["job"]
+        record = client.wait_state(job["id"], "terminal", timeout_s=0.1)
+        assert record["state"] == "queued"
+
+    def test_wait_unblocks_on_transition_not_polling(
+        self, running_server, client
+    ):
+        """A waiter parked before the transition returns promptly after
+        it — the coordination is the condition, not a sleep loop."""
+        import threading
+
+        running_server.queue.pause_dispatch()
+        job = client.submit("table3", scale=0.02, seed=2)["job"]
+        out = {}
+
+        def wait() -> None:
+            out["record"] = client.wait_state(
+                job["id"], "terminal", timeout_s=30
+            )
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        assert out["record"]["state"] == "cancelled"
+
+    def test_bad_wait_target_is_400(self, client):
+        job = client.submit("table2", scale=0.02, seed=7)["job"]
+        with pytest.raises(ServeError) as excinfo:
+            client.wait_state(job["id"], "sideways")
+        assert excinfo.value.http_status == 400
+
+    def test_bad_timeout_is_400(self, client):
+        job = client.submit("table2", scale=0.02, seed=7)["job"]
+        with pytest.raises(ServeError):
+            client._json(
+                "GET", f"/jobs/{job['id']}?wait=terminal&timeout_s=soup"
+            )
+
+    def test_wait_for_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.wait_state("job-nope", "terminal", timeout_s=1)
+        assert excinfo.value.http_status == 404
+
+
 class TestDrainRestore:
     def test_drain_journals_queued_and_restart_completes_them(self, tmp_path):
         state = str(tmp_path / "state")

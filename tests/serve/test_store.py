@@ -1,0 +1,208 @@
+"""Tests for the content-addressed result store (fleet dedup substrate)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.store import (
+    STORE_DIR_ENV,
+    STORE_MAGIC,
+    STORE_URL_ENV,
+    FileResultStore,
+    HTTPResultStore,
+    check_digest,
+    resolve_store,
+)
+
+DIGEST = "ab" * 16
+
+
+class TestDigestValidation:
+    def test_hex_digests_pass(self):
+        assert check_digest(DIGEST) == DIGEST
+
+    @pytest.mark.parametrize("bad", [
+        "", "short", "../../etc/passwd", "ABCDEF00" * 4, "xy" * 16,
+        "a" * 7, 123,
+    ])
+    def test_bad_digests_rejected(self, bad):
+        with pytest.raises(ServeError):
+            check_digest(bad)
+
+
+class TestFileStore:
+    def test_roundtrip(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        assert store.get(DIGEST) is None
+        store.put(DIGEST, b'{"x":1}')
+        assert store.get(DIGEST) == b'{"x":1}'
+
+    def test_entries_are_checksummed_containers(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        store.put(DIGEST, b"payload")
+        blob = (tmp_path / f"{DIGEST}.res").read_bytes()
+        assert blob.startswith(STORE_MAGIC)
+        assert blob.endswith(b"payload")
+
+    def test_corrupt_entry_quarantined_not_returned(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        store.put(DIGEST, b"payload")
+        path = tmp_path / f"{DIGEST}.res"
+        path.write_bytes(path.read_bytes()[:-2] + b"xx")
+        with _metrics.scoped_registry() as registry:
+            assert store.get(DIGEST) is None
+        assert not path.exists(), "corrupt entry must be quarantined"
+        assert registry.snapshot()["counters"]["serve.store.corrupt"] == 1
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        (tmp_path / f"{DIGEST}.res").write_bytes(b"RS")
+        assert store.get(DIGEST) is None
+        assert not (tmp_path / f"{DIGEST}.res").exists()
+
+    def test_put_failure_degrades_without_raising(self, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("x")
+        store = FileResultStore(blocked / "store")
+        with _metrics.scoped_registry() as registry:
+            store.put(DIGEST, b"payload")  # must not raise
+        assert registry.snapshot()["counters"]["serve.store.errors"] == 1
+
+    def test_counters(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        with _metrics.scoped_registry() as registry:
+            store.get(DIGEST)
+            store.put(DIGEST, b"p")
+            store.get(DIGEST)
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.store.misses"] == 1
+        assert counters["serve.store.stores"] == 1
+        assert counters["serve.store.hits"] == 1
+
+    def test_stats(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        store.put(DIGEST, b"payload")
+        stats = store.stats()
+        assert stats["backend"] == "file"
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > len(b"payload")
+
+
+class TestResolveStore:
+    def test_unconfigured_is_none(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        monkeypatch.delenv(STORE_URL_ENV, raising=False)
+        assert resolve_store() is None
+
+    def test_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path))
+        store = resolve_store()
+        assert isinstance(store, FileResultStore)
+        assert store.root == tmp_path
+
+    def test_url_env(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        monkeypatch.setenv(STORE_URL_ENV, "http://127.0.0.1:1/")
+        store = resolve_store()
+        assert isinstance(store, HTTPResultStore)
+        assert store.url == "http://127.0.0.1:1"
+
+    def test_dir_wins_over_url(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(STORE_URL_ENV, "http://127.0.0.1:1")
+        assert isinstance(resolve_store(), FileResultStore)
+
+    def test_arguments_win_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_URL_ENV, "http://127.0.0.1:1")
+        store = resolve_store(store_dir=str(tmp_path))
+        assert isinstance(store, FileResultStore)
+
+
+class TestHTTPStore:
+    """The remote backend against a live daemon's /store endpoints."""
+
+    @pytest.fixture
+    def stored_server(self, tmp_path):
+        from repro.serve import ExperimentServer
+
+        server = ExperimentServer(
+            port=0, workers=1, state_dir=str(tmp_path / "state"),
+            store_dir=str(tmp_path / "store"),
+        )
+        server.start()
+        yield server
+        server.drain()
+
+    def test_roundtrip_over_http(self, stored_server):
+        remote = HTTPResultStore(stored_server.url)
+        assert remote.get(DIGEST) is None
+        remote.put(DIGEST, b'{"y":2}')
+        assert remote.get(DIGEST) == b'{"y":2}'
+        # and it landed in the server's file store
+        assert stored_server.store.get(DIGEST) == b'{"y":2}'
+
+    def test_unreachable_backend_degrades_to_none(self):
+        remote = HTTPResultStore("http://127.0.0.1:1", timeout_s=0.2)
+        with _metrics.scoped_registry() as registry:
+            assert remote.get(DIGEST) is None
+            remote.put(DIGEST, b"p")  # must not raise
+        assert registry.snapshot()["counters"]["serve.store.errors"] == 2
+
+    def test_store_endpoints_without_store_are_503(self, running_server):
+        from repro.serve import ServeClient
+
+        client = ServeClient(running_server.url)
+        with pytest.raises(ServeError) as info:
+            client.store_get(DIGEST)
+        assert info.value.http_status == 503
+
+    def test_health_reports_store_stats(self, stored_server):
+        from repro.serve import ServeClient
+
+        health = ServeClient(stored_server.url).health()
+        assert health["store"]["backend"] == "file"
+
+    def test_worker_publishes_and_consumes(self, tmp_path):
+        """Two daemons sharing a store directory: the second satisfies a
+        duplicate spec from the store without executing it."""
+        from repro.serve import ExperimentServer, ServeClient
+        from repro.serve.jobs import normalize_spec, spec_digest
+
+        store_dir = str(tmp_path / "store")
+        spec = {"experiment": "table2", "scale": 0.02, "seed": 5}
+        digest = spec_digest(normalize_spec(spec))
+
+        first = ExperimentServer(
+            port=0, workers=1, state_dir=str(tmp_path / "a"),
+            store_dir=store_dir,
+        ).start()
+        try:
+            client = ServeClient(first.url)
+            job = client.submit(**spec)["job"]
+            assert client.wait(job["id"], timeout_s=120)["state"] == "done"
+            payload = client.result_bytes(job["id"])
+            assert first.store.get(digest) == payload
+        finally:
+            first.drain()
+
+        second = ExperimentServer(
+            port=0, workers=1, state_dir=str(tmp_path / "b"),
+            store_dir=store_dir,
+        ).start()
+        try:
+            client = ServeClient(second.url)
+            job = client.submit(**spec)["job"]
+            assert client.wait(job["id"], timeout_s=120)["state"] == "done"
+            assert client.result_bytes(job["id"]) == payload
+            counters = client.metrics()["counters"]
+            assert counters.get("serve.jobs.executed", 0) == 0
+            assert counters["serve.jobs.store_satisfied"] == 1
+            assert counters["serve.store.hits"] == 1
+        finally:
+            second.drain()

@@ -20,6 +20,7 @@ ALL_ERRORS = (
     errors.PartialResultError,
     errors.ServeError,
     errors.QueueFullError,
+    errors.LoadGenError,
 )
 
 #: The released code of every error class.  Codes are public interface
@@ -41,6 +42,7 @@ EXPECTED_CODES = {
     errors.PartialResultError: "PARTIAL",
     errors.ServeError: "SERVE",
     errors.QueueFullError: "BUSY",
+    errors.LoadGenError: "LOADGEN",
 }
 
 
@@ -97,6 +99,7 @@ class TestStructuredErrorContract:
         assert errors.PlausibilityError.exit_code == 4
         assert errors.ServeError.exit_code == 5
         assert errors.QueueFullError.exit_code == 5
+        assert errors.LoadGenError.exit_code == 2
 
     def test_serve_errors_carry_http_context(self):
         assert errors.ServeError("x").http_status == 400

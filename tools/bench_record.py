@@ -13,6 +13,16 @@ Usage::
     PYTHONPATH=src python tools/bench_record.py --out BENCH_0006.json
     PYTHONPATH=src python tools/bench_record.py --reps 7 --pretty
 
+``--serve`` switches the recorder to the serve-fleet mode behind
+``BENCH_0008.json``: instead of engine microbenchmarks it drives
+declarative load scenarios (:mod:`repro.loadgen`) against real
+subprocess fleets at each ``--shard-counts`` point and records the
+percentile/throughput/dedup report per scenario::
+
+    PYTHONPATH=src python tools/bench_record.py --serve \
+        --scenario scaling --scenario compute \
+        --shard-counts 1,2,4 --out BENCH_0008.json
+
 The snapshot is meant to be committed: one file per PR that changes
 performance-relevant code, forming a tracked perf trajectory (see
 ROADMAP.md).  Timings are best-of-``--reps`` to shed scheduler noise;
@@ -183,6 +193,46 @@ def record(reps: int) -> dict:
     }
 
 
+def record_serve(scenario_names, shard_counts, workers: int) -> dict:
+    """Sweep each load scenario across real fleets; return the snapshot.
+
+    Scenarios with ``service_time_ms > 0`` run the emulated backend
+    (jobs sleep a calibrated service time with the GIL released), which
+    is the only honest way to measure shard *scaling* on a small host;
+    unpaced scenarios record the real-compute control.  The host
+    fingerprint travels with the numbers either way.
+    """
+    from repro.loadgen import (
+        render_fleet,
+        resolve_scenario,
+        summarize_fleet,
+        sweep_shards,
+    )
+
+    scenarios: Dict[str, dict] = {}
+    for name in scenario_names:
+        scenario = resolve_scenario(name)
+        print(f"scenario {scenario.name}: shard counts {shard_counts}",
+              file=sys.stderr)
+        runs = sweep_shards(
+            scenario, shard_counts, workers=workers,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+        report = summarize_fleet(runs, scenario.as_dict())
+        scenarios[scenario.name] = report
+        print(render_fleet(report), file=sys.stderr, end="")
+    return {
+        "schema": BENCH_SCHEMA,
+        "recorded_unix": int(time.time()),
+        "host": host_fingerprint(),
+        "serve": {
+            "shard_counts": list(shard_counts),
+            "workers_per_shard": workers,
+            "scenarios": scenarios,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -202,7 +252,48 @@ def main(argv=None) -> int:
         "measurement and embed its summary (savings ratio, surrogate "
         "error) in the snapshot",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="record serve-fleet load scenarios instead of engine "
+        "microbenchmarks (the BENCH_0008.json mode)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", metavar="NAME_OR_PATH",
+        help="load scenario(s) for --serve; repeatable "
+        "(default: scaling, compute)",
+    )
+    parser.add_argument(
+        "--shard-counts", default="1,2,4", metavar="N,N,...",
+        help="fleet sizes swept by --serve (default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads per shard in --serve mode (default: 2)",
+    )
     args = parser.parse_args(argv)
+    if args.serve:
+        try:
+            shard_counts = [
+                int(part) for part in args.shard_counts.split(",") if part
+            ]
+        except ValueError:
+            raise SystemExit(
+                f"--shard-counts must be comma-separated integers, "
+                f"got {args.shard_counts!r}"
+            )
+        snapshot = record_serve(
+            args.scenario or ["scaling", "compute"],
+            shard_counts, args.workers,
+        )
+        text = json.dumps(snapshot, indent=2 if args.pretty else None,
+                          sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"snapshot written to {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
     snapshot = record(args.reps)
     if args.dse:
         sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""CI load smoke: a 2-shard fleet must dedup, stay byte-identical, and
+lose nothing across a mid-run shard drain.
+
+Boots a real subprocess fleet (shared result store, router front end),
+offers the pinned ``smoke`` scenario through the router, and asserts
+the three fleet invariants the PR guarantees:
+
+1. **dedup** — fleet-wide, one computation per distinct spec digest
+   (``serve.jobs.executed + serve.jobs.store_satisfied`` equals the
+   number of distinct digests offered; every duplicate coalesces);
+2. **identity** — every payload is byte-identical to the in-process
+   engine (:func:`repro.serve.jobs.execute_spec`) for its digest:
+   sharding is placement, never results;
+3. **zero accepted-job loss on drain** — after SIGTERM-bouncing shard 0
+   mid-stream, every distinct spec still resolves to a byte-identical
+   result (journaled jobs restore under their original ids; finished
+   ones are served from the shared store without recomputation).
+
+Writes a JSON report (uploaded as a CI artifact) and exits non-zero on
+any violated invariant.
+
+Usage::
+
+    PYTHONPATH=src python tools/load_smoke.py --out load-smoke-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.errors import ServeError
+from repro.loadgen import offer, resolve_scenario, summarize_rate
+from repro.loadgen.launcher import RateRun
+from repro.serve import Fleet, ServeClient
+from repro.serve.jobs import JobSpec, execute_spec, normalize_spec, spec_digest
+
+
+def _digest(body: dict) -> str:
+    return spec_digest(normalize_spec(dict(body)))
+
+
+def _distinct_specs(scenario) -> list:
+    """Every spec body the scenario's mix can emit (the identity set)."""
+    out = []
+    for entry in scenario.mix:
+        for variant in range(entry.seeds):
+            out.append(entry.spec(variant, scenario.seed))
+    return out
+
+
+def run(scenario_name: str, shards: int, out_path: str) -> int:
+    scenario = resolve_scenario(scenario_name)
+    specs = _distinct_specs(scenario)
+    print(
+        f"load smoke: scenario {scenario.name!r}, {shards} shards, "
+        f"{len(specs)} distinct specs",
+        file=sys.stderr,
+    )
+
+    truth = {
+        _digest(spec): execute_spec(
+            JobSpec(spec["experiment"], spec["scale"], spec["seed"])
+        )
+        for spec in specs
+    }
+
+    checks = {}
+    with tempfile.TemporaryDirectory(prefix="repro-load-smoke-") as root:
+        with Fleet(shards=shards, root=root, workers=2) as fleet:
+            client = ServeClient(fleet.url)
+
+            # -- offered load through the router --------------------------
+            start = time.monotonic()
+            records = offer(scenario, scenario.qps[0], url=fleet.url)
+            wall_s = time.monotonic() - start
+            summary = summarize_rate(RateRun(scenario.qps[0], records, wall_s))
+            not_done = [r for r in records if r.state != "done"]
+            checks["all_requests_done"] = not not_done
+
+            # -- invariant 1: fleet-wide dedup ----------------------------
+            offered_digests = {_digest(r.body) for r in records}
+            counters = client.metrics()["counters"]
+            computed = counters.get("serve.jobs.executed", 0)
+            from_store = counters.get("serve.jobs.store_satisfied", 0)
+            checks["one_computation_per_digest"] = (
+                computed + from_store == len(offered_digests)
+            )
+            checks["duplicates_coalesced"] = (
+                counters.get("serve.jobs.deduped", 0)
+                == len(records) - len(offered_digests)
+            )
+
+            # -- invariant 2: byte identity vs the engine -----------------
+            mismatches = 0
+            for record in records:
+                if record.job_id is None:
+                    continue
+                payload = client.result_bytes(record.job_id)
+                if payload != truth[_digest(record.body)]:
+                    mismatches += 1
+            checks["payloads_byte_identical"] = mismatches == 0
+
+            # -- invariant 3: zero loss across a mid-run shard drain ------
+            ids = {
+                _digest(spec): client.submit(**spec)["job"]["id"]
+                for spec in specs
+            }
+            fleet.restart_shard(0)
+            lost = 0
+            resubmitted = 0
+            for spec in specs:
+                digest = _digest(spec)
+                try:
+                    record = client.wait(ids[digest], timeout_s=120)
+                    job_id = ids[digest]
+                except ServeError as error:
+                    if getattr(error, "http_status", None) != 404:
+                        raise
+                    # the id died with the drained process; the result
+                    # must still be one store-satisfied resubmission away
+                    job_id = client.submit(**spec)["job"]["id"]
+                    resubmitted += 1
+                    record = client.wait(job_id, timeout_s=120)
+                if record["state"] != "done":
+                    lost += 1
+                    continue
+                if client.result_bytes(job_id) != truth[digest]:
+                    lost += 1
+            checks["zero_loss_on_drain"] = lost == 0
+            post_counters = client.metrics()["counters"]
+
+    report = {
+        "scenario": scenario.as_dict(),
+        "shards": shards,
+        "checks": checks,
+        "rate_summary": summary,
+        "fleet_counters_after_drain": {
+            name: value
+            for name, value in post_counters.items()
+            if name.startswith(("serve.jobs.", "serve.store.",
+                                "serve.router.", "serve.shard."))
+        },
+        "resubmitted_after_drain": resubmitted,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {out_path}", file=sys.stderr)
+
+    failed = [name for name, ok in checks.items() if not ok]
+    for name, ok in sorted(checks.items()):
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}", file=sys.stderr)
+    if failed:
+        print(f"load smoke FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("load smoke passed", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario", default="smoke",
+        help="bundled profile name or profile path (default: smoke)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="fleet size (default: 2)",
+    )
+    parser.add_argument(
+        "--out", default="load-smoke-report.json", metavar="PATH",
+        help="JSON report path (default: load-smoke-report.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.scenario, args.shards, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
