@@ -229,6 +229,8 @@ def _cmd_router(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    if getattr(args, "action", "run") == "status":
+        return _fleet_status(args)
     import signal as _signal
 
     from repro.serve import Fleet, resolve_fleet_shards
@@ -239,6 +241,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers is not None else 2,
         router_host=args.host or "127.0.0.1",
         router_port=args.port or 0,
+        supervise=bool(getattr(args, "supervise", False)),
     )
     drain = threading.Event()
     for signum in (_signal.SIGTERM, _signal.SIGINT):
@@ -253,6 +256,34 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         while not drain.wait(timeout=60.0):
             pass
     print("fleet drained")
+    return 0
+
+
+def _fleet_status(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    payload = ServeClient(args.url).ring()
+    ring = payload["ring"]
+    print(f"ring v{ring['version']}: {len(ring['nodes'])} shards in ring, "
+          f"{ring['replicas']} vnodes/shard")
+    members = payload["members"]
+    for url in sorted(members, key=lambda u: members[u]["index"]):
+        member = members[url]
+        place = "in-ring" if member["in_ring"] else "ejected"
+        line = (f"  shard {member['index']}: {url}  "
+                f"{member['state']}/{place}")
+        if member.get("consecutive_failures"):
+            line += f"  failures={member['consecutive_failures']}"
+        if member.get("last_error"):
+            line += f"  last_error: {member['last_error']}"
+        print(line)
+    store = payload["store"]
+    print(f"store: {store['entries']} entries, "
+          f"{store['total_bytes'] / (1024 * 1024):.2f} MB")
+    heartbeat = payload["heartbeat"]
+    print(f"heartbeat: every {heartbeat['period_s']:g}s, "
+          f"timeout {heartbeat['timeout_s']:g}s, "
+          f"eject after {heartbeat['eject_after']} failures")
     return 0
 
 
@@ -297,15 +328,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.serve import ServeClient, ShardedClient
+    from repro.serve import ServeClient, ShardedClient, submit_with_backoff
 
     if args.shards:
         client = ShardedClient(args.shards.split(","))
     else:
         client = ServeClient(args.url)
-    response = client.submit(
-        args.experiment, scale=args.scale, seed=args.seed,
-        priority=args.priority,
+    response = submit_with_backoff(
+        client, args.experiment, scale=args.scale, seed=args.seed,
+        priority=args.priority, attempts=max(1, args.retries + 1),
     )
     job = response["job"]
     dedup = " (deduplicated onto an existing job)" if response["deduped"] else ""
@@ -503,8 +534,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fleet",
         help="launch N serve shards + a shared result store + a router "
-        "(SIGTERM drains the whole fleet)",
+        "(SIGTERM drains the whole fleet), or inspect a running one",
     )
+    p.add_argument("action", nargs="?", choices=("run", "status"),
+                   default="run",
+                   help="'run' (default) launches a fleet; 'status' "
+                   "renders a running router's GET /ring — membership, "
+                   "ring version, per-shard health, store occupancy")
+    p.add_argument("--url", default=None,
+                   help="with 'status': router base URL "
+                   "(also: REPRO_SERVE_URL)")
+    p.add_argument("--supervise", action="store_true",
+                   help="restart crashed shards in place with exponential "
+                   "backoff (self-healing fleet)")
     p.add_argument("--shards", type=int, default=None,
                    help="shard count (also: REPRO_SERVE_FLEET_SHARDS; "
                    "default 2)")
@@ -563,6 +605,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="poll until done and print the rendered result")
     p.add_argument("--timeout", type=float, default=600.0,
                    help="seconds to wait with --wait (default 600)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="resubmissions on retryable fleet conditions — "
+                   "429 BUSY backpressure or 503 DEGRADED (a dead shard "
+                   "not yet healed) — honouring Retry-After (default 3)")
     add_url(p)
 
     p = sub.add_parser(

@@ -195,6 +195,27 @@ class QueueFullError(ServeError):
         self.retry_after_s = retry_after_s
 
 
+class DegradedError(ServeError):
+    """A fleet segment is temporarily uncovered (dead or ejected shard).
+
+    The router raises this instead of a bare 502 when the shard owning
+    a digest is unreachable and the result cannot be served from the
+    shared store.  Rendered as HTTP 503 with a ``Retry-After`` header
+    carrying ``retry_after_s`` — the condition is *retryable*: the
+    heartbeat monitor ejects the dead shard and remaps its ring
+    segment, or the fleet supervisor restarts it, so a backed-off
+    resubmission lands on a live owner (and submissions are idempotent
+    by spec digest, so the retry can never double-compute).
+    """
+
+    code = "DEGRADED"
+    http_status = 503
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class LoadGenError(ReproError):
     """A load-generation scenario (:mod:`repro.loadgen`) is invalid.
 

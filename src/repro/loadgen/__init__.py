@@ -15,6 +15,7 @@ point; ``tools/bench_record.py --serve`` writes the committed
 from repro.loadgen.arrivals import arrival_offsets
 from repro.loadgen.launcher import (
     REQUEST_STATES,
+    ChurnDriver,
     FleetRun,
     PlannedRequest,
     RateRun,
@@ -34,6 +35,8 @@ from repro.loadgen.report import (
 )
 from repro.loadgen.scenario import (
     ARRIVALS,
+    CHURN_ACTIONS,
+    ChurnEvent,
     MixEntry,
     Scenario,
     bundled_profile,
@@ -45,6 +48,9 @@ from repro.loadgen.scenario import (
 
 __all__ = [
     "ARRIVALS",
+    "CHURN_ACTIONS",
+    "ChurnDriver",
+    "ChurnEvent",
     "FleetRun",
     "MixEntry",
     "PERCENTILES",

@@ -24,12 +24,18 @@ measured.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import LoadGenError, QueueFullError, ServeError
+from repro.errors import (
+    DegradedError,
+    LoadGenError,
+    QueueFullError,
+    ServeError,
+)
 from repro.loadgen.arrivals import arrival_offsets
 from repro.loadgen.pacing import SERVICE_MS_ENV
 from repro.loadgen.scenario import Scenario
@@ -126,7 +132,11 @@ def _drive_one(
         record.state = "done" if terminal["state"] == "done" else "failed"
         if record.state == "failed":
             record.error = terminal.get("error")
-    except QueueFullError as error:
+    except (QueueFullError, DegradedError) as error:
+        # Both carry Retry-After and are loss-free to resubmit (dedup
+        # by spec digest); the harness books them as rejections rather
+        # than errors so churn runs distinguish backpressure/degraded
+        # windows from real failures.
         record.state = "rejected"
         record.error = str(error)
     except ServeError as error:
@@ -139,11 +149,68 @@ def _drive_one(
     return record
 
 
+class ChurnDriver:
+    """Applies a scenario's membership events to a fleet on schedule.
+
+    One daemon thread sleeps to each :class:`ChurnEvent`'s offset from
+    the load window's start and applies it to the fleet handle —
+    ``kill`` (SIGKILL, crash stays visible to the supervisor),
+    ``restart`` (graceful bounce in place), ``add`` (grow by one
+    shard, joined to the live ring) and ``remove`` (leave the ring,
+    then drain).  ``applied`` records what happened to each event, so
+    churn reports show the membership timeline next to the request
+    outcomes.
+    """
+
+    def __init__(self, fleet, events, start_monotonic: float) -> None:
+        self.fleet = fleet
+        self.events = list(events)
+        self.start = start_monotonic
+        self.applied: List[Dict[str, Any]] = []
+        self._thread: Optional[threading.Thread] = None
+
+    def start_thread(self) -> "ChurnDriver":
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-churn", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout_s: float = 60.0) -> List[Dict[str, Any]]:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+        return self.applied
+
+    def _run(self) -> None:
+        for event in self.events:
+            delay = self.start + event.at_s - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            entry = dict(event.as_dict(), applied_at_s=round(
+                time.monotonic() - self.start, 3))
+            try:
+                self._apply(event)
+            except Exception as error:
+                entry["error"] = str(error)
+            self.applied.append(entry)
+
+    def _apply(self, event) -> None:
+        if event.action == "add":
+            self.fleet.add_shard()
+        elif event.action == "kill":
+            self.fleet.kill_shard(event.shard, force=True)
+        elif event.action == "restart":
+            self.fleet.restart_shard(event.shard)
+        else:
+            self.fleet.remove_shard(event.shard)
+
+
 def offer(
     scenario: Scenario,
     qps: float,
     url: Optional[str] = None,
     shards: Optional[Sequence[str]] = None,
+    fleet=None,
 ) -> List[RequestRecord]:
     """Offer one rate of the scenario; returns every request's record.
 
@@ -153,6 +220,11 @@ def offer(
     scheduled offset whenever a client thread is free — saturation
     shows up as ``late_s``/rejections rather than silently closing the
     loop.
+
+    A scenario with ``churn`` events needs ``fleet`` — a handle with
+    ``kill_shard``/``restart_shard``/``add_shard``/``remove_shard``
+    (the subprocess :class:`~repro.serve.fleet.Fleet`); the events are
+    applied on schedule while the load is offered.
     """
     planned = plan_requests(scenario, qps)
     if not planned:
@@ -160,11 +232,20 @@ def offer(
             f"scenario {scenario.name!r} offers no requests at "
             f"{qps:g} qps over {scenario.duration_s:g}s"
         )
+    if scenario.churn and fleet is None:
+        raise LoadGenError(
+            f"scenario {scenario.name!r} declares churn events; offer "
+            "it through a fleet-booting driver (--shard-counts or the "
+            "chaos harness), not a bare --url"
+        )
     if shards:
         client = ShardedClient(list(shards), timeout_s=scenario.timeout_s)
     else:
         client = ServeClient(url, timeout_s=scenario.timeout_s)
     start = time.monotonic()
+    churn: Optional[ChurnDriver] = None
+    if scenario.churn and fleet is not None:
+        churn = ChurnDriver(fleet, scenario.churn, start).start_thread()
     with ThreadPoolExecutor(
         max_workers=min(scenario.concurrency, len(planned)),
         thread_name_prefix="loadgen",
@@ -173,7 +254,10 @@ def offer(
             pool.submit(_drive_one, client, p, start, scenario.timeout_s)
             for p in planned
         ]
-        return [future.result() for future in futures]
+        records = [future.result() for future in futures]
+    if churn is not None:
+        churn.join()
+    return records
 
 
 @dataclass
@@ -240,6 +324,9 @@ def sweep_shards(
         fleet = Fleet(
             shards=shard_count, root=fleet_root, workers=workers,
             extra_env=extra_env,
+            # Churn scenarios get the self-healing pieces: a
+            # supervisor to restart killed shards.
+            supervise=bool(scenario.churn),
         )
         run = FleetRun(shard_count=shard_count)
         with fleet:
@@ -247,7 +334,10 @@ def sweep_shards(
                 if progress is not None:
                     progress(f"{shard_count} shard(s) @ {qps:g} qps")
                 start = time.monotonic()
-                records = offer(scenario, qps, url=fleet.url)
+                records = offer(
+                    scenario, qps, url=fleet.url,
+                    fleet=fleet if scenario.churn else None,
+                )
                 run.rates.append(
                     RateRun(qps, records, time.monotonic() - start)
                 )

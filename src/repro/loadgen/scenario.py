@@ -24,9 +24,22 @@ did-you-mean suggestions)::
       ],
       "concurrency": 32,                // client worker threads
       "timeout_s": 60.0,                // per-request completion bound
-      "service_time_ms": 0.0            // >0: emulated service time via
+      "service_time_ms": 0.0,           // >0: emulated service time via
                                         // the REPRO_SERVE_JOB_HOOK seam
+      "churn": [                        // seeded membership events
+        {"at_s": 1.0, "action": "kill", "shard": 0},
+        {"at_s": 1.5, "action": "add"}
+      ]
     }
+
+``churn`` makes fleet-membership chaos *declarative*: each event fires
+at its offset into the offered-load window against the fleet under
+test — ``kill`` (SIGKILL, crash-visible), ``restart`` (graceful bounce
+in place), ``remove`` (leave the ring, then drain) take a ``shard``
+index; ``add`` grows the fleet by one shard.  Only fleet-booting
+drivers (``--shard-counts`` sweeps, the chaos harness) can honour
+churn; offering a churn scenario at a plain ``--url`` raises, because
+the driver holds no handle to the fleet's processes.
 
 ``service_time_ms`` selects the *emulated-backend* mode
 (:mod:`repro.loadgen.pacing`): each job sleeps a calibrated service
@@ -58,8 +71,13 @@ _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
 _SCENARIO_KEYS = (
     "name", "description", "seed", "duration_s", "qps", "arrival",
     "duplicate_rate", "mix", "concurrency", "timeout_s", "service_time_ms",
+    "churn",
 )
 _MIX_KEYS = ("experiment", "scale", "seeds", "weight")
+_CHURN_KEYS = ("at_s", "action", "shard")
+
+#: Membership events a churn entry may name.
+CHURN_ACTIONS = ("kill", "restart", "add", "remove")
 
 
 @dataclass(frozen=True)
@@ -81,6 +99,21 @@ class MixEntry:
 
 
 @dataclass(frozen=True)
+class ChurnEvent:
+    """One declarative membership event during the offered-load window."""
+
+    at_s: float
+    action: str
+    shard: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"at_s": self.at_s, "action": self.action}
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A validated load-generation profile."""
 
@@ -95,6 +128,7 @@ class Scenario:
     concurrency: int = 32
     timeout_s: float = 60.0
     service_time_ms: float = 0.0
+    churn: Tuple[ChurnEvent, ...] = field(default_factory=tuple)
 
     def distinct_specs(self) -> int:
         """How many distinct spec digests the mix can produce."""
@@ -120,6 +154,7 @@ class Scenario:
             "concurrency": self.concurrency,
             "timeout_s": self.timeout_s,
             "service_time_ms": self.service_time_ms,
+            "churn": [event.as_dict() for event in self.churn],
         }
 
 
@@ -189,6 +224,37 @@ def parse_scenario(mapping: Mapping[str, Any]) -> Scenario:
                                  entry.get("weight", 1.0), lo=1e-9,
                                  hi=1e9)),
         ))
+    raw_churn = mapping.get("churn", [])
+    if not isinstance(raw_churn, Sequence) or isinstance(raw_churn, str):
+        raise LoadGenError("'churn' must be a list of membership events")
+    churn: List[ChurnEvent] = []
+    for i, event in enumerate(raw_churn):
+        if not isinstance(event, Mapping):
+            raise LoadGenError(f"churn[{i}] must be a JSON object")
+        validate_keys(event.keys(), _CHURN_KEYS,
+                      kind=f"churn[{i}] key", error=LoadGenError)
+        action = event.get("action")
+        if action not in CHURN_ACTIONS:
+            raise LoadGenError(
+                unknown_key_message(
+                    f"churn[{i}].action", str(action), list(CHURN_ACTIONS)
+                )
+            )
+        shard = event.get("shard")
+        if shard is not None:
+            shard = int(_number(f"churn[{i}].shard", shard,
+                                lo=0, hi=4096, integer=True))
+        elif action != "add":
+            raise LoadGenError(
+                f"churn[{i}]: action {action!r} needs a 'shard' index"
+            )
+        churn.append(ChurnEvent(
+            at_s=float(_number(f"churn[{i}].at_s",
+                               event.get("at_s", 0.0), lo=0.0, hi=3600.0)),
+            action=str(action),
+            shard=shard,
+        ))
+    churn.sort(key=lambda event: event.at_s)
     return Scenario(
         name=name,
         description=str(mapping.get("description", "")),
@@ -212,6 +278,7 @@ def parse_scenario(mapping: Mapping[str, Any]) -> Scenario:
         service_time_ms=float(_number("service_time_ms",
                                       mapping.get("service_time_ms", 0.0),
                                       lo=0.0, hi=60_000.0)),
+        churn=tuple(churn),
     )
 
 

@@ -18,6 +18,7 @@ share finished payloads through a content-addressed result store
 :mod:`repro.serve.fleet` launches the whole topology.
 """
 
+from repro.serve.chaos import CHAOS_LOG_ENV, log_computation
 from repro.serve.client import (
     DEFAULT_URL,
     SHARDS_ENV,
@@ -26,6 +27,7 @@ from repro.serve.client import (
     ShardedClient,
     resolve_shards,
     resolve_url,
+    submit_with_backoff,
 )
 from repro.serve.executor import (
     DEFAULT_WORKERS,
@@ -36,6 +38,7 @@ from repro.serve.executor import (
 from repro.serve.fleet import (
     FLEET_SHARDS_ENV,
     Fleet,
+    FleetSupervisor,
     InProcessFleet,
     ShardProcess,
     resolve_fleet_shards,
@@ -58,9 +61,20 @@ from repro.serve.ring import (
     DEFAULT_RING_REPLICAS,
     RING_REPLICAS_ENV,
     HashRing,
+    VersionedRing,
+    moved_keys,
     resolve_ring_replicas,
 )
-from repro.serve.router import ShardRouter
+from repro.serve.router import (
+    DEFAULT_EJECT_AFTER,
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    EJECT_AFTER_ENV,
+    HEARTBEAT_S_ENV,
+    HEARTBEAT_TIMEOUT_ENV,
+    ShardRouter,
+    resolve_heartbeat,
+)
 from repro.serve.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -72,14 +86,20 @@ from repro.serve.server import (
 )
 from repro.serve.store import (
     STORE_DIR_ENV,
+    STORE_MAX_MB_ENV,
     STORE_URL_ENV,
     FileResultStore,
     HTTPResultStore,
     ResultStore,
     resolve_store,
+    store_max_bytes,
 )
 
 __all__ = [
+    "CHAOS_LOG_ENV",
+    "DEFAULT_EJECT_AFTER",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
     "DEFAULT_HOST",
     "DEFAULT_MAX_QUEUED",
     "DEFAULT_PORT",
@@ -88,10 +108,14 @@ __all__ = [
     "DEFAULT_URL",
     "DEFAULT_WORKERS",
     "DIR_ENV",
+    "EJECT_AFTER_ENV",
     "ExperimentServer",
     "FLEET_SHARDS_ENV",
     "FileResultStore",
     "Fleet",
+    "FleetSupervisor",
+    "HEARTBEAT_S_ENV",
+    "HEARTBEAT_TIMEOUT_ENV",
     "HOST_ENV",
     "HTTPResultStore",
     "HashRing",
@@ -109,20 +133,27 @@ __all__ = [
     "ResultStore",
     "SHARDS_ENV",
     "STORE_DIR_ENV",
+    "STORE_MAX_MB_ENV",
     "STORE_URL_ENV",
     "ServeClient",
     "ShardProcess",
     "ShardRouter",
     "ShardedClient",
     "URL_ENV",
+    "VersionedRing",
     "WORKERS_ENV",
     "WorkerPool",
     "execute_spec",
+    "log_computation",
+    "moved_keys",
     "normalize_spec",
     "resolve_fleet_shards",
+    "resolve_heartbeat",
     "resolve_ring_replicas",
     "resolve_shards",
     "resolve_store",
     "resolve_url",
     "spec_digest",
+    "store_max_bytes",
+    "submit_with_backoff",
 ]

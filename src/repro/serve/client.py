@@ -4,7 +4,9 @@
 tests, and the CI smoke job) speak through.  Error responses are mapped
 back into the structured error hierarchy: a 429 becomes a
 :class:`~repro.errors.QueueFullError` carrying the server's
-``Retry-After`` hint, anything else with a JSON error body becomes a
+``Retry-After`` hint, a router 503 with code ``DEGRADED`` becomes a
+:class:`~repro.errors.DegradedError` (retryable — see
+:func:`submit_with_backoff`), anything else with a JSON error body becomes a
 :class:`~repro.errors.ServeError` whose ``code`` is the server-side
 error code — so a caller sees the same ``error[<code>]`` rendering
 whether the failure happened locally or across the wire.
@@ -31,7 +33,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
-from repro.errors import QueueFullError, ServeError
+from repro.errors import DegradedError, QueueFullError, ServeError
 
 #: Environment variable naming the service base URL.
 URL_ENV = "REPRO_SERVE_URL"
@@ -131,12 +133,14 @@ class ServeClient:
         except (json.JSONDecodeError, AttributeError):
             if raw:
                 message = f"{message}: {raw[:200]!r}"
+        try:
+            retry_after = float(error.headers.get("Retry-After", "1"))
+        except (TypeError, ValueError):
+            retry_after = 1.0
         if error.code == 429:
-            try:
-                retry_after = float(error.headers.get("Retry-After", "1"))
-            except (TypeError, ValueError):
-                retry_after = 1.0
             return QueueFullError(message, retry_after_s=retry_after)
+        if code == "DEGRADED":
+            return DegradedError(message, retry_after_s=retry_after)
         out = ServeError(message, http_status=error.code)
         if isinstance(code, str) and code:
             out.code = code
@@ -162,6 +166,21 @@ class ServeClient:
     def metrics(self) -> Dict[str, Any]:
         """``GET /metrics`` — the service's obs registry snapshot."""
         return self._json("GET", "/metrics")
+
+    def ring(self) -> Dict[str, Any]:
+        """``GET /ring`` — fleet membership, ring version, per-shard
+        health and store occupancy (router endpoints only)."""
+        return self._json("GET", "/ring")
+
+    def ring_join(self, url: str) -> Dict[str, Any]:
+        """``POST /ring/join`` — add a shard to the router's live ring."""
+        return self._json("POST", "/ring/join", {"url": url})
+
+    def ring_leave(self, url: str, forget: bool = False) -> Dict[str, Any]:
+        """``POST /ring/leave`` — remove a shard from the live ring."""
+        return self._json(
+            "POST", "/ring/leave", {"url": url, "forget": forget}
+        )
 
     def submit(
         self,
@@ -299,6 +318,38 @@ class ServeClient:
                 f"no response from {self.url} within {self.timeout_s:g}s",
                 http_status=504,
             )
+
+
+def submit_with_backoff(
+    client: ServeClient,
+    experiment: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    priority: int = 0,
+    attempts: int = 4,
+    sleep=time.sleep,
+) -> Dict[str, Any]:
+    """Submit, backing off on retryable fleet conditions.
+
+    Both retryable errors carry a server-chosen ``Retry-After`` hint:
+    :class:`~repro.errors.QueueFullError` (the queue is at capacity)
+    and :class:`~repro.errors.DegradedError` (the owning shard is down
+    and not yet ejected/healed).  Submissions are idempotent by spec
+    digest, so resubmitting after either is loss-free by construction.
+    The last attempt re-raises.
+    """
+    if attempts < 1:
+        raise ServeError("submit needs at least one attempt")
+    for attempt in range(1, attempts + 1):
+        try:
+            return client.submit(
+                experiment, scale=scale, seed=seed, priority=priority
+            )
+        except (QueueFullError, DegradedError) as error:
+            if attempt == attempts:
+                raise
+            sleep(min(max(error.retry_after_s, 0.05), 30.0))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class ShardedClient:

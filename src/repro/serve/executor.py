@@ -132,27 +132,40 @@ class WorkerPool:
             job = self.queue.get(timeout=_POLL_S)
             if job is None:
                 continue
-            if self.store is not None:
+            if self.store is None:
+                self._run_one(job)
+                continue
+            # Pin the digest for the whole dequeue-to-finish window so
+            # the store's LRU cap can never evict this payload while
+            # it is in flight (probe hit included — the bytes must
+            # survive until the job record owns them).
+            self.store.pin(job.digest)
+            try:
                 stored = self.store.get(job.digest)
                 if stored is not None:
                     self.queue.finish(job, stored, computed=False)
                     continue
-            start = time.perf_counter()
-            try:
-                result = call_with_retries(
-                    lambda: self._execute(job.spec),
-                    self.policy,
-                    retry_counter="serve.retries",
-                )
-            except Exception as error:
-                self.queue.fail(job, error)
-            else:
-                self.queue.finish(job, result)
-                if self.store is not None:
-                    self.store.put(job.digest, result)
-                _metrics.timer_record(
-                    "serve.job", time.perf_counter() - start
-                )
+                self._run_one(job)
+            finally:
+                self.store.unpin(job.digest)
+
+    def _run_one(self, job) -> None:
+        start = time.perf_counter()
+        try:
+            result = call_with_retries(
+                lambda: self._execute(job.spec),
+                self.policy,
+                retry_counter="serve.retries",
+            )
+        except Exception as error:
+            self.queue.fail(job, error)
+        else:
+            self.queue.finish(job, result)
+            if self.store is not None:
+                self.store.put(job.digest, result)
+            _metrics.timer_record(
+                "serve.job", time.perf_counter() - start
+            )
 
     def _execute(self, spec: JobSpec) -> bytes:
         fire_job_hook(spec)

@@ -22,6 +22,17 @@ shard (it drains — in-flight jobs finish, queued jobs journal) and
 relaunches it on the *same* port and state directory, so the ring
 placement is unchanged and the journal restores.  This is the seam the
 mid-run fault tests pull.
+
+Self-healing: with ``supervise=True`` a :class:`FleetSupervisor`
+thread polls the shard processes, notices crashes (SIGKILL included —
+:meth:`ShardProcess.kill` leaves the corpse visible), and restarts
+each dead shard on its original port under the sweep layer's
+:class:`~repro.sim.parallel.FaultPolicy` exponential backoff.  Because
+the URL is unchanged, the router's heartbeat monitor rejoins the shard
+to the ring on its first healthy probe; the supervisor also nudges the
+ring directly so recovery does not wait a full heartbeat period.
+Membership is elastic at runtime via :meth:`Fleet.add_shard` /
+:meth:`Fleet.remove_shard` (mirrored on :class:`InProcessFleet`).
 """
 
 from __future__ import annotations
@@ -36,9 +47,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ServeError
+from repro.obs import metrics as _metrics
 from repro.serve.router import ShardRouter
 from repro.serve.server import ExperimentServer
 from repro.serve.store import STORE_DIR_ENV, FileResultStore
+from repro.sim.parallel import FaultPolicy
 
 #: Environment variable for the default fleet shard count.
 FLEET_SHARDS_ENV = "REPRO_SERVE_FLEET_SHARDS"
@@ -79,9 +92,17 @@ class ShardProcess:
         self.url: Optional[str] = None
 
     def start(self) -> "ShardProcess":
-        """Spawn the daemon and parse its base URL from the banner."""
+        """Spawn the daemon and parse its base URL from the banner.
+
+        Restarting over a dead process (a crash corpse left by
+        :meth:`kill`) is allowed; restarting a live shard is an error.
+        """
         if self.process is not None:
-            raise ServeError(f"shard {self.index} already running")
+            if self.process.poll() is None:
+                raise ServeError(f"shard {self.index} already running")
+            if self.process.stdout is not None:
+                self.process.stdout.close()
+            self.process = None
         self.state_dir.mkdir(parents=True, exist_ok=True)
         env = dict(os.environ)
         env.update(self.extra_env)
@@ -144,9 +165,29 @@ class ShardProcess:
             process.stdout.close()
         return process.returncode or 0
 
+    def kill(self) -> None:
+        """SIGKILL the shard — no drain, no journal flush beyond what
+        the queue already wrote.
+
+        Unlike :meth:`terminate` this *keeps* ``self.process`` (the
+        corpse), so :attr:`alive` turns false while the supervisor can
+        still see the crash and restart in place.
+        """
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.kill()
+        self.process.wait(timeout=10.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
     @property
     def alive(self) -> bool:
         return self.process is not None and self.process.poll() is None
+
+    @property
+    def crashed(self) -> bool:
+        """The process exited without :meth:`terminate` reaping it."""
+        return self.process is not None and self.process.poll() is not None
 
 
 class Fleet:
@@ -160,6 +201,11 @@ class Fleet:
         router_host: str = "127.0.0.1",
         router_port: int = 0,
         extra_env: Optional[Dict[str, str]] = None,
+        supervise: bool = False,
+        policy: Optional[FaultPolicy] = None,
+        heartbeat_s: Optional[float] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+        eject_after: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ServeError("fleet needs at least one shard")
@@ -174,8 +220,14 @@ class Fleet:
         self.extra_env = dict(extra_env or {})
         self.router_host = router_host
         self.router_port = router_port
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.eject_after = eject_after
         self.shards: List[ShardProcess] = []
         self.router: Optional[ShardRouter] = None
+        self.supervisor: Optional[FleetSupervisor] = None
+        self._supervise = supervise
+        self._policy = policy
 
     def start(self) -> "Fleet":
         """Launch every shard, then the router over their URLs."""
@@ -193,7 +245,14 @@ class Fleet:
                 [s.url for s in self.shards if s.url],
                 host=self.router_host,
                 port=self.router_port,
+                heartbeat_s=self.heartbeat_s,
+                heartbeat_timeout_s=self.heartbeat_timeout_s,
+                eject_after=self.eject_after,
             ).start()
+            if self._supervise:
+                self.supervisor = FleetSupervisor(
+                    self, policy=self._policy
+                ).start()
         except BaseException:
             self.stop()
             raise
@@ -221,12 +280,56 @@ class Fleet:
         shard.terminate()
         return shard.start()
 
-    def kill_shard(self, index: int) -> None:
-        """SIGTERM one shard and leave it down (degraded-fleet tests)."""
-        self.shards[index].terminate()
+    def kill_shard(self, index: int, force: bool = False) -> None:
+        """Take one shard down (degraded-fleet and chaos tests).
+
+        Default is a graceful SIGTERM drain that also forgets the
+        process, so the supervisor treats it as deliberate; ``force``
+        SIGKILLs instead, leaving the crash visible for the supervisor
+        to heal.
+        """
+        if force:
+            self.shards[index].kill()
+        else:
+            self.shards[index].terminate()
+
+    def add_shard(self) -> ShardProcess:
+        """Grow the fleet by one shard and join it to the live ring."""
+        index = len(self.shards)
+        shard = ShardProcess(
+            index,
+            state_dir=self.root / f"shard{index}",
+            store_dir=self.store_dir,
+            workers=self.workers,
+            extra_env=self.extra_env,
+        )
+        shard.start()
+        self.shards.append(shard)
+        if self.router is not None and shard.url:
+            self.router.add_shard(shard.url)
+        return shard
+
+    def remove_shard(self, index: int) -> None:
+        """Shrink the fleet: leave the ring first, then drain the shard.
+
+        Ordering matters — once the shard is out of the ring no new
+        digest routes to it, so the SIGTERM drain finishes its
+        in-flight work without racing new arrivals.
+        """
+        shard = self.shards[index]
+        if self.router is not None and shard.url:
+            try:
+                self.router.remove_shard(shard.url, forget=True)
+            except ServeError:
+                pass  # e.g. last ring node; still drain the process
+        shard.terminate()
 
     def stop(self) -> Dict[str, Any]:
-        """Stop the router, then drain shards in reverse start order."""
+        """Stop the supervisor and router, then drain shards in
+        reverse start order."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor = None
         if self.router is not None:
             self.router.stop()
             self.router = None
@@ -242,6 +345,84 @@ class Fleet:
         return False
 
 
+class FleetSupervisor:
+    """Daemon thread healing crashed shard processes.
+
+    Polls every :class:`ShardProcess`; a corpse (``poll() is not
+    None``) is restarted on its original port under the
+    :class:`~repro.sim.parallel.FaultPolicy` retry discipline — the
+    same ``backoff_s * 2**(attempt-1)`` schedule the sweep layer uses,
+    up to ``max_retries + 1`` consecutive attempts per shard before
+    giving up on it.  A deliberate :meth:`ShardProcess.terminate`
+    clears the process handle, so drained shards are never resurrected.
+
+    Successful restarts count ``serve.fleet.restarts`` and nudge the
+    router to rejoin the shard immediately instead of waiting for the
+    next heartbeat.
+    """
+
+    def __init__(
+        self,
+        fleet: "Fleet",
+        policy: Optional[FaultPolicy] = None,
+        poll_s: float = 0.25,
+    ) -> None:
+        self.fleet = fleet
+        self.policy = policy if policy is not None else FaultPolicy.from_env()
+        self.poll_s = poll_s
+        self.restarts = 0
+        self._attempts: Dict[int, int] = {}
+        self._given_up: set = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "FleetSupervisor":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            for shard in list(self.fleet.shards):
+                if shard.index in self._given_up or not shard.crashed:
+                    continue
+                self._revive(shard)
+
+    def _revive(self, shard: ShardProcess) -> None:
+        attempt = self._attempts.get(shard.index, 0) + 1
+        if attempt > self.policy.max_retries + 1:
+            self._given_up.add(shard.index)
+            _metrics.counter_add("serve.fleet.abandoned")
+            return
+        self._attempts[shard.index] = attempt
+        backoff = self.policy.backoff_s * (2 ** (attempt - 1))
+        if self._stop.wait(backoff):
+            return
+        try:
+            shard.start()
+        except ServeError:
+            return  # corpse persists; next poll retries, backed off
+        self._attempts.pop(shard.index, None)
+        self.restarts += 1
+        _metrics.counter_add("serve.fleet.restarts")
+        router = self.fleet.router
+        if router is not None and shard.url:
+            try:
+                router.add_shard(shard.url)
+            except ServeError:
+                pass  # heartbeat rejoin remains the fallback path
+
+
 class InProcessFleet:
     """N :class:`ExperimentServer` shards in this process + a router.
 
@@ -255,6 +436,9 @@ class InProcessFleet:
         shards: int = 2,
         root: Optional[str] = None,
         workers: int = 1,
+        heartbeat_s: Optional[float] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+        eject_after: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ServeError("fleet needs at least one shard")
@@ -266,6 +450,9 @@ class InProcessFleet:
         self.store = FileResultStore(self.root / "store")
         self.shard_count = shards
         self.workers = workers
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.eject_after = eject_after
         self.servers: List[ExperimentServer] = []
         self.router: Optional[ShardRouter] = None
         self._lock = threading.Lock()
@@ -282,12 +469,30 @@ class InProcessFleet:
                 server.start()
                 self.servers.append(server)
             self.router = ShardRouter(
-                [server.url for server in self.servers]
+                [server.url for server in self.servers],
+                heartbeat_s=self.heartbeat_s,
+                heartbeat_timeout_s=self.heartbeat_timeout_s,
+                eject_after=self.eject_after,
             ).start()
         except BaseException:
             self.stop()
             raise
         return self
+
+    def add_shard(self) -> ExperimentServer:
+        """Grow the fleet by one in-process shard, joined to the ring."""
+        index = len(self.servers)
+        server = ExperimentServer(
+            port=0,
+            workers=self.workers,
+            state_dir=str(self.root / f"shard{index}"),
+            store=self.store,
+        )
+        server.start()
+        self.servers.append(server)
+        if self.router is not None:
+            self.router.add_shard(server.url)
+        return server
 
     @property
     def url(self) -> str:

@@ -22,7 +22,11 @@ right router (both pinned by property tests in
 
 The ring is immutable; grow or shrink by building a derived ring with
 :meth:`HashRing.with_node` / :meth:`HashRing.without_node` — cheap, and
-it keeps concurrent lookups trivially safe.
+it keeps concurrent lookups trivially safe.  :class:`VersionedRing`
+layers a monotonically increasing *version* over that derivation: each
+join/leave produces a new (ring, version+1) pair, so the router can
+tell clients — and its own bookkeeping — exactly which membership
+epoch a routing decision belongs to.
 
 Everything here is stdlib (:mod:`hashlib` + :mod:`bisect`): the router
 process and client-side routing both stay dependency-free.
@@ -134,3 +138,93 @@ class HashRing:
 
     def __contains__(self, node: object) -> bool:
         return node in self.nodes
+
+    def __eq__(self, other: object) -> bool:
+        """Structural identity: same points owned by the same nodes.
+
+        Add-then-remove round-trips to an *identical* ring under this
+        equality (pinned by ``tests/serve/test_ring.py``), which is
+        what makes transient membership churn fully reversible.
+        """
+        if not isinstance(other, HashRing):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self.replicas == other.replicas
+            and self._points == other._points
+            and self._owners == other._owners
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.replicas))
+
+
+def moved_keys(old: HashRing, new: HashRing, keys: Sequence[str]) -> List[str]:
+    """Keys whose owner differs between two rings (remap diagnostics).
+
+    The router counts these on every membership change; the minimal-
+    remap property tests assert every moved key involves the joined or
+    departed node.
+    """
+    return [key for key in keys if old.node_for(key) != new.node_for(key)]
+
+
+class VersionedRing:
+    """A :class:`HashRing` plus a monotonically increasing version.
+
+    Immutable like the ring itself: :meth:`join` / :meth:`leave` return
+    a *new* ``VersionedRing`` with the version bumped, so a reader that
+    grabbed a reference keeps a consistent (membership, version) pair
+    while the router swaps in the successor.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        replicas=None,
+        version: int = 0,
+        _ring: "HashRing" = None,
+    ) -> None:
+        self.ring = _ring if _ring is not None else HashRing(
+            nodes, replicas=replicas
+        )
+        self.version = int(version)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return self.ring.nodes
+
+    @property
+    def replicas(self) -> int:
+        return self.ring.replicas
+
+    def node_for(self, key: str) -> str:
+        return self.ring.node_for(key)
+
+    def join(self, node: str) -> "VersionedRing":
+        """A new versioned ring with ``node`` joined (version + 1)."""
+        return VersionedRing(
+            (), version=self.version + 1, _ring=self.ring.with_node(node)
+        )
+
+    def leave(self, node: str) -> "VersionedRing":
+        """A new versioned ring with ``node`` removed (version + 1)."""
+        if len(self.ring) == 1:
+            raise ServeError(
+                f"cannot remove {node!r}: it is the last node on the ring"
+            )
+        return VersionedRing(
+            (), version=self.version + 1, _ring=self.ring.without_node(node)
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready summary (the router's ``GET /ring`` payload core)."""
+        out = self.ring.describe()
+        out["version"] = self.version
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.ring

@@ -5,8 +5,9 @@ fleet has more than one shard.  It terminates client HTTP on a single
 :mod:`asyncio` event loop — a parked long-poll client costs one socket
 and a coroutine frame, not a thread, so thousands of concurrent
 waiters multiplex onto the loop — and forwards each request to the
-shard chosen by the consistent-hash :class:`~repro.serve.ring.HashRing`
-over :func:`~repro.serve.jobs.spec_digest`.
+shard chosen by the consistent-hash
+:class:`~repro.serve.ring.VersionedRing` over
+:func:`~repro.serve.jobs.spec_digest`.
 
 Because the ring keys on the *same* digest the per-shard queue dedups
 on and the shared :class:`~repro.serve.store.ResultStore` is keyed by,
@@ -23,6 +24,10 @@ Routing rules::
                            every shard (only the owner knows the id)
     GET  /jobs             fan-out, concatenated, shard-tagged
     GET  /healthz          fan-out, aggregated fleet view
+    GET  /ring             membership, ring version, per-shard health,
+                           store occupancy (live-probed)
+    POST /ring/join        {"url": ...} — add a shard to the live ring
+    POST /ring/leave       {"url": ...} — remove a shard from the ring
     GET  /metrics          every shard's snapshot folded together via
                            MetricsRegistry.merge_snapshot, plus the
                            router's own serve.router.* / serve.shard.*
@@ -34,22 +39,42 @@ long-poll connection, so a popular job costs the shard one parked
 handler regardless of fan-in (``serve.router.wait_coalesced`` counts
 the sharing).
 
-An unreachable shard renders as 502 in the ``error[<code>]`` contract;
-the router itself holds no job state worth preserving, so it has no
-journal — restart it freely, the shards are the truth.
+Failure model
+-------------
+
+Membership is *dynamic*: the router tracks a versioned ring plus a
+per-shard health record, heartbeats every member's ``/healthz`` on a
+configurable period (``REPRO_SERVE_HEARTBEAT_S``), and after
+``REPRO_SERVE_EJECT_AFTER`` consecutive failures ejects the dead
+shard — its arcs remap minimally onto the survivors, and the shared
+content-addressed store means remapped digests that already completed
+are served from the store instead of recomputed.  A recovered (or
+supervisor-restarted) shard rejoins automatically on its first
+successful heartbeat.
+
+While a segment is uncovered — the owning shard is down but not yet
+ejected, or a job's home died with the job's id — the router never
+returns a silent 502: it either serves result bytes from the shared
+store (``serve.router.store_served``) or raises the structured,
+retryable :class:`~repro.errors.DegradedError` (HTTP 503 +
+``Retry-After``), which ``repro-cli submit`` and the load harness back
+off on.  The router itself holds no job state worth preserving, so it
+has no journal — restart it freely, the shards are the truth.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError, ServeError, render_error
+from repro.errors import DegradedError, ReproError, ServeError, render_error
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.jobs import normalize_spec, spec_digest
-from repro.serve.ring import HashRing
+from repro.serve.ring import VersionedRing
 from repro.serve.server import LONG_POLL_MAX_S
 
 #: Upstream connect/read timeout for ordinary (non-long-poll) proxying.
@@ -58,12 +83,63 @@ UPSTREAM_TIMEOUT_S = 30.0
 #: Cap on a client request body the router will buffer.
 _MAX_BODY = 8 * 1024 * 1024
 
+#: Environment variable for the heartbeat period in seconds (0
+#: disables the monitor; failures are then only noticed by traffic).
+HEARTBEAT_S_ENV = "REPRO_SERVE_HEARTBEAT_S"
 
-def _error_body(error: ReproError) -> Tuple[int, bytes]:
+#: Environment variable for one heartbeat probe's timeout in seconds.
+HEARTBEAT_TIMEOUT_ENV = "REPRO_SERVE_HEARTBEAT_TIMEOUT_S"
+
+#: Environment variable for the consecutive-failure ejection threshold.
+EJECT_AFTER_ENV = "REPRO_SERVE_EJECT_AFTER"
+
+DEFAULT_HEARTBEAT_S = 2.0
+DEFAULT_HEARTBEAT_TIMEOUT_S = 1.0
+DEFAULT_EJECT_AFTER = 3
+
+
+def _env_number(name: str, default, minimum, integer: bool = False):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw) if integer else float(raw)
+    except ValueError:
+        raise ServeError(f"{name} must be a number, got {raw!r}")
+    if value < minimum:
+        raise ServeError(f"{name} must be >= {minimum:g}, got {raw}")
+    return value
+
+
+def resolve_heartbeat(
+    heartbeat_s: Optional[float] = None,
+    timeout_s: Optional[float] = None,
+    eject_after: Optional[int] = None,
+) -> Tuple[float, float, int]:
+    """Failure-detection knobs: explicit argument > environment > default."""
+    if heartbeat_s is None:
+        heartbeat_s = _env_number(HEARTBEAT_S_ENV, DEFAULT_HEARTBEAT_S, 0.0)
+    if timeout_s is None:
+        timeout_s = _env_number(
+            HEARTBEAT_TIMEOUT_ENV, DEFAULT_HEARTBEAT_TIMEOUT_S, 0.05
+        )
+    if eject_after is None:
+        eject_after = _env_number(
+            EJECT_AFTER_ENV, DEFAULT_EJECT_AFTER, 1, integer=True
+        )
+    return float(heartbeat_s), float(timeout_s), int(eject_after)
+
+
+def _error_response(error: ReproError) -> "_Response":
     payload = {"error": render_error(error), "code": error.code}
-    return (
+    headers: Dict[str, str] = {}
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        headers["Retry-After"] = f"{retry_after:g}"
+    return _Response(
         getattr(error, "http_status", 400),
         json.dumps(payload, sort_keys=True).encode(),
+        headers=headers,
     )
 
 
@@ -83,6 +159,36 @@ class _Response:
         self.headers = headers or {}
 
 
+class _Member:
+    """One shard's membership + health record inside the router."""
+
+    def __init__(self, url: str, index: int) -> None:
+        self.url = url
+        self.index = index
+        self.state = "up"  # up | suspect | down
+        self.in_ring = True
+        self.consecutive_failures = 0
+        self.last_ok_unix: Optional[float] = None
+        self.last_error: Optional[str] = None
+        #: Last successful ``/healthz`` payload (store occupancy lives
+        #: here — the shard reports its store stats in its health).
+        self.health: Optional[Dict[str, Any]] = None
+
+    def describe(self) -> Dict[str, Any]:
+        store = None
+        if isinstance(self.health, dict):
+            store = self.health.get("store")
+        return {
+            "index": self.index,
+            "state": self.state,
+            "in_ring": self.in_ring,
+            "consecutive_failures": self.consecutive_failures,
+            "last_ok_unix": self.last_ok_unix,
+            "last_error": self.last_error,
+            "store": store,
+        }
+
+
 class ShardRouter:
     """Asyncio front end multiplexing a fleet of serve shards."""
 
@@ -93,17 +199,26 @@ class ShardRouter:
         port: int = 0,
         replicas: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        heartbeat_s: Optional[float] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+        eject_after: Optional[int] = None,
     ) -> None:
         urls = [url.strip().rstrip("/") for url in shards if url.strip()]
         if not urls:
             raise ServeError("router needs at least one shard URL")
-        self.shards: Tuple[str, ...] = tuple(urls)
-        self.ring = HashRing(self.shards, replicas=replicas)
+        self._ring = VersionedRing(urls, replicas=replicas)
+        self._members: Dict[str, _Member] = {
+            url: _Member(url, index) for index, url in enumerate(urls)
+        }
         self.host = host
         self.port = port
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._shard_index = {url: i for i, url in enumerate(self.shards)}
+        (self.heartbeat_s, self.heartbeat_timeout_s,
+         self.eject_after) = resolve_heartbeat(
+            heartbeat_s, heartbeat_timeout_s, eject_after
+        )
         self._job_homes: Dict[str, str] = {}
+        self._job_digests: Dict[str, str] = {}
         self._waits: Dict[Tuple[str, str], asyncio.Task] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -111,6 +226,24 @@ class ShardRouter:
         self._started = threading.Event()
         self._drain_requested = threading.Event()
         self._bound: Optional[Tuple[str, int]] = None
+
+    # -- membership views --------------------------------------------------
+
+    @property
+    def ring(self) -> VersionedRing:
+        """The current versioned ring (immutable snapshot)."""
+        return self._ring
+
+    @property
+    def ring_version(self) -> int:
+        return self._ring.version
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Every known member URL (ring members first, then ejected)."""
+        return tuple(
+            sorted(self._members, key=lambda u: self._members[u].index)
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -143,8 +276,16 @@ class ShardRouter:
         sockname = self._server.sockets[0].getsockname()
         self._bound = (sockname[0], sockname[1])
         self._stop_event = asyncio.Event()
+        self.registry.gauge_set("serve.router.ring_version",
+                                self._ring.version)
+        monitor: Optional[asyncio.Task] = None
+        if self.heartbeat_s > 0:
+            monitor = asyncio.ensure_future(self._monitor())
         self._started.set()
         await self._stop_event.wait()
+        if monitor is not None:
+            monitor.cancel()
+            await asyncio.gather(monitor, return_exceptions=True)
         self._server.close()
         await self._server.wait_closed()
 
@@ -196,6 +337,146 @@ class ShardRouter:
         stream.flush()
         return {"requests": int(routed)}
 
+    # -- dynamic membership (thread-safe entry points) ---------------------
+
+    def _on_loop(self, coroutine, timeout_s: float = 10.0):
+        """Run a coroutine on the router loop from any thread."""
+        if self._loop is None:
+            raise ServeError("router is not running", http_status=500)
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout=timeout_s)
+
+    def add_shard(self, url: str) -> Dict[str, Any]:
+        """Join a shard to the live ring (idempotent); returns /ring."""
+        return self._on_loop(self._membership("join", url))
+
+    def remove_shard(self, url: str, forget: bool = False) -> Dict[str, Any]:
+        """Remove a shard from the live ring; ``forget`` also drops its
+        membership record (no heartbeat re-probe, no auto-rejoin)."""
+        return self._on_loop(self._membership("leave", url, forget=forget))
+
+    def ring_info(self, probe: bool = True) -> Dict[str, Any]:
+        """The /ring payload, optionally live-probing member health."""
+        return self._on_loop(self._ring_payload(probe=probe))
+
+    async def _membership(
+        self, action: str, url: str, forget: bool = False
+    ) -> Dict[str, Any]:
+        url = (url or "").strip().rstrip("/")
+        if not url:
+            raise ServeError("membership change needs a shard 'url'")
+        if action == "join":
+            self._apply_join(url, reason="joined")
+        else:
+            if url not in self._members:
+                raise ServeError(
+                    f"shard {url} is not a fleet member", http_status=404
+                )
+            self._apply_leave(url, reason="left", forget=forget)
+        return await self._ring_payload(probe=False)
+
+    def _apply_join(self, url: str, reason: str) -> None:
+        member = self._members.get(url)
+        if member is None:
+            index = 1 + max(
+                (m.index for m in self._members.values()), default=-1
+            )
+            member = _Member(url, index)
+            self._members[url] = member
+        if url in self._ring:
+            member.in_ring = True
+            return  # idempotent join
+        self._ring = self._ring.join(url)
+        member.in_ring = True
+        self._note_membership_change(reason)
+
+    def _apply_leave(self, url: str, reason: str, forget: bool = False) -> None:
+        member = self._members.get(url)
+        if url in self._ring:
+            self._ring = self._ring.leave(url)  # raises on the last node
+            self._note_membership_change(reason)
+        if member is not None:
+            member.in_ring = False
+        if forget:
+            self._members.pop(url, None)
+            # Only forgetting drops id routing state: an ejected-but-
+            # remembered shard may come back and still owns its ids.
+            for job_id, home in list(self._job_homes.items()):
+                if home == url:
+                    del self._job_homes[job_id]
+
+    def _note_membership_change(self, reason: str) -> None:
+        self.registry.counter_add(f"serve.router.{reason}")
+        self.registry.counter_add("serve.router.membership_changes")
+        self.registry.gauge_set("serve.router.ring_version",
+                                self._ring.version)
+
+    # -- failure detection -------------------------------------------------
+
+    async def _monitor(self) -> None:
+        """Heartbeat every member's /healthz; eject after repeated
+        failures, rejoin on recovery."""
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            await self._probe_members()
+
+    async def _probe_members(self) -> None:
+        members = list(self._members.values())
+        await asyncio.gather(
+            *(self._probe(member) for member in members),
+            return_exceptions=True,
+        )
+
+    async def _probe(self, member: _Member) -> None:
+        try:
+            response = await self._upstream(
+                member.url, "GET", "/healthz",
+                timeout_s=self.heartbeat_timeout_s, note=False,
+            )
+        except ServeError as error:
+            self.registry.counter_add("serve.router.heartbeat_failed")
+            self._note_failure(member.url, str(error))
+            return
+        if response.status != 200:
+            self.registry.counter_add("serve.router.heartbeat_failed")
+            self._note_failure(
+                member.url, f"healthz returned {response.status}"
+            )
+            return
+        try:
+            payload = json.loads(response.body)
+        except json.JSONDecodeError:
+            payload = None
+        self._note_ok(member.url, payload)
+
+    def _note_ok(self, url: str, payload: Optional[Dict[str, Any]]) -> None:
+        member = self._members.get(url)
+        if member is None:
+            return
+        member.consecutive_failures = 0
+        member.state = "up"
+        member.last_ok_unix = time.time()
+        member.last_error = None
+        if isinstance(payload, dict):
+            member.health = payload
+        if not member.in_ring:
+            self._apply_join(url, reason="rejoined")
+
+    def _note_failure(self, url: str, error: str) -> None:
+        member = self._members.get(url)
+        if member is None:
+            return
+        member.consecutive_failures += 1
+        member.last_error = error
+        member.state = "suspect" if member.in_ring else "down"
+        if (member.in_ring
+                and member.consecutive_failures >= self.eject_after):
+            if len(self._ring) > 1:
+                self._apply_leave(url, reason="ejected")
+            # The last shard is never ejected: an empty ring routes
+            # nothing, while a kept-but-down shard degrades loudly.
+            member.state = "down"
+
     # -- client side of the wire ------------------------------------------
 
     async def _handle_connection(
@@ -210,14 +491,12 @@ class ShardRouter:
             try:
                 response = await self._dispatch(method, path, body)
             except ReproError as error:
-                status, payload = _error_body(error)
-                response = _Response(status, payload)
+                response = _error_response(error)
             except Exception as error:  # never leak a traceback
-                status, payload = _error_body(
+                response = _error_response(
                     ServeError(f"router internal error: {error}",
                                http_status=500)
                 )
-                response = _Response(status, payload)
             await self._write_response(writer, response)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
@@ -283,8 +562,14 @@ class ShardRouter:
         body: bytes = b"",
         timeout_s: float = UPSTREAM_TIMEOUT_S,
         content_type: str = "application/json",
+        note: bool = True,
     ) -> _Response:
-        """One request to one shard over a fresh asyncio connection."""
+        """One request to one shard over a fresh asyncio connection.
+
+        ``note`` feeds connection failures into the shard's health
+        record (real traffic accelerates failure detection); heartbeat
+        probes pass ``note=False`` and account for themselves.
+        """
         host, _, port = shard.rpartition("://")[2].partition(":")
         try:
             reader, writer = await asyncio.wait_for(
@@ -292,9 +577,13 @@ class ShardRouter:
                 timeout=timeout_s,
             )
         except (OSError, asyncio.TimeoutError) as error:
-            self._count_shard(shard, "unreachable")
-            raise ServeError(
-                f"shard {shard} unreachable: {error}", http_status=502
+            if note:
+                self._count_shard(shard, "unreachable")
+                self._note_failure(shard, f"unreachable: {error}")
+            raise DegradedError(
+                f"shard {shard} unreachable: {error}; the fleet is "
+                "degraded until the shard is ejected or restarted",
+                retry_after_s=max(1.0, self.heartbeat_s),
             )
         try:
             head = (
@@ -311,9 +600,13 @@ class ShardRouter:
             )
         except (OSError, asyncio.TimeoutError,
                 asyncio.IncompleteReadError) as error:
-            self._count_shard(shard, "errors")
-            raise ServeError(
-                f"shard {shard} failed mid-request: {error}", http_status=502
+            if note:
+                self._count_shard(shard, "errors")
+                self._note_failure(shard, f"failed mid-request: {error}")
+            raise DegradedError(
+                f"shard {shard} failed mid-request: {error}; safe to "
+                "retry — submissions are idempotent by spec digest",
+                retry_after_s=max(1.0, self.heartbeat_s),
             )
         finally:
             try:
@@ -350,9 +643,9 @@ class ShardRouter:
         )
 
     def _count_shard(self, shard: str, what: str) -> None:
-        index = self._shard_index.get(shard)
-        if index is not None:
-            self.registry.counter_add(f"serve.shard.{index}.{what}")
+        member = self._members.get(shard)
+        if member is not None:
+            self.registry.counter_add(f"serve.shard.{member.index}.{what}")
         self.registry.counter_add(f"serve.router.shard_{what}")
 
     # -- routing ----------------------------------------------------------
@@ -367,17 +660,19 @@ class ShardRouter:
             return await self._health()
         if method == "GET" and path == "/metrics":
             return await self._metrics()
+        if method == "GET" and path == "/ring":
+            payload = await self._ring_payload(probe=True)
+            return _Response(
+                200, json.dumps(payload, sort_keys=True).encode()
+            )
+        if method == "POST" and path in ("/ring/join", "/ring/leave"):
+            return await self._membership_endpoint(path, body)
         if method == "POST" and path in ("/jobs", "/plan"):
             return await self._route_submission(path, body)
         if method == "GET" and path == "/jobs":
             return await self._list_jobs()
         if len(parts) == 2 and parts[0] == "store":
-            shard = self.ring.node_for(parts[1])
-            self._count_shard(shard, "routed")
-            return await self._upstream(
-                shard, method, f"/store/{parts[1]}", body,
-                content_type="application/octet-stream",
-            )
+            return await self._route_store(method, parts[1], body)
         if len(parts) >= 2 and parts[0] == "jobs":
             return await self._route_job(
                 method, parts, query_string, body
@@ -385,6 +680,51 @@ class ShardRouter:
         raise ServeError(
             f"unknown endpoint {method} {path}", http_status=404
         )
+
+    async def _membership_endpoint(
+        self, path: str, body: bytes
+    ) -> _Response:
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as error:
+            raise ServeError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        action = "join" if path.endswith("join") else "leave"
+        out = await self._membership(
+            action, str(payload.get("url", "")),
+            forget=bool(payload.get("forget", False)),
+        )
+        return _Response(200, json.dumps(out, sort_keys=True).encode())
+
+    async def _route_store(
+        self, method: str, digest: str, body: bytes
+    ) -> _Response:
+        shard = self._ring.node_for(digest)
+        self._count_shard(shard, "routed")
+        try:
+            return await self._upstream(
+                shard, method, f"/store/{digest}", body,
+                content_type="application/octet-stream",
+            )
+        except DegradedError:
+            # The owner is down but the store is shared: any live
+            # member can serve (or accept) the digest's bytes.
+            for url in self.shards:
+                if url == shard:
+                    continue
+                try:
+                    response = await self._upstream(
+                        url, method, f"/store/{digest}", body,
+                        content_type="application/octet-stream",
+                        note=False,
+                    )
+                except ServeError:
+                    continue
+                if response.status < 500:
+                    self.registry.counter_add("serve.router.store_served")
+                    return response
+            raise
 
     async def _route_submission(self, path: str, body: bytes) -> _Response:
         try:
@@ -398,13 +738,14 @@ class ShardRouter:
             spec_mapping["experiment"] = "dse"
         spec_mapping.pop("priority", None)
         digest = spec_digest(normalize_spec(spec_mapping))
-        shard = self.ring.node_for(digest)
+        shard = self._ring.node_for(digest)
         self._count_shard(shard, "routed")
         response = await self._upstream(shard, "POST", path, body)
-        if response.status == 202:
+        if response.status in (200, 202):
             try:
                 job_id = json.loads(response.body)["job"]["id"]
                 self._job_homes[job_id] = shard
+                self._job_digests[job_id] = digest
             except (json.JSONDecodeError, KeyError, TypeError):
                 pass
         return response
@@ -425,11 +766,40 @@ class ShardRouter:
         if shard is None:
             shard = await self._find_home(job_id)
         is_wait = method == "GET" and not sub and "wait=" in query_string
-        if is_wait:
-            return await self._coalesced_wait(shard, path)
-        timeout = UPSTREAM_TIMEOUT_S
-        return await self._upstream(shard, method, path, body,
-                                    timeout_s=timeout)
+        try:
+            if is_wait:
+                return await self._coalesced_wait(shard, path)
+            return await self._upstream(shard, method, path, body,
+                                        timeout_s=UPSTREAM_TIMEOUT_S)
+        except DegradedError:
+            # The job's home is gone.  For result fetches the payload
+            # may still live in the shared store — serve it from any
+            # surviving member rather than failing a finished job.
+            if method == "GET" and sub == "result":
+                stored = await self._store_fallback(job_id)
+                if stored is not None:
+                    return stored
+            raise
+
+    async def _store_fallback(self, job_id: str) -> Optional[_Response]:
+        digest = self._job_digests.get(job_id)
+        if digest is None:
+            return None
+        dead_home = self._job_homes.get(job_id)
+        for url in self.shards:
+            if url == dead_home:
+                continue
+            try:
+                response = await self._upstream(
+                    url, "GET", f"/store/{digest}",
+                    content_type="application/octet-stream", note=False,
+                )
+            except ServeError:
+                continue
+            if response.status == 200:
+                self.registry.counter_add("serve.router.store_served")
+                return _Response(200, response.body)
+        return None
 
     async def _find_home(self, job_id: str) -> str:
         """Ask every shard who owns an id the router has not seen.
@@ -437,14 +807,15 @@ class ShardRouter:
         Needed after a router restart (the id->home map is in-memory
         only) and for ids submitted directly to a shard.
         """
+        shards = self.shards
         results = await asyncio.gather(
             *(
                 self._upstream(url, "GET", f"/jobs/{job_id}")
-                for url in self.shards
+                for url in shards
             ),
             return_exceptions=True,
         )
-        for url, result in zip(self.shards, results):
+        for url, result in zip(shards, results):
             if isinstance(result, _Response) and result.status == 200:
                 self._job_homes[job_id] = url
                 return url
@@ -480,12 +851,13 @@ class ShardRouter:
 
     async def _each_shard(self, path: str) -> List[Tuple[str, Any]]:
         """(shard, parsed JSON | ServeError) for a GET on every shard."""
+        shards = self.shards
         responses = await asyncio.gather(
-            *(self._upstream(url, "GET", path) for url in self.shards),
+            *(self._upstream(url, "GET", path) for url in shards),
             return_exceptions=True,
         )
         out: List[Tuple[str, Any]] = []
-        for url, response in zip(self.shards, responses):
+        for url, response in zip(shards, responses):
             if isinstance(response, _Response):
                 try:
                     out.append((url, json.loads(response.body)))
@@ -498,6 +870,36 @@ class ShardRouter:
             else:
                 out.append((url, ServeError(str(response))))
         return out
+
+    async def _ring_payload(self, probe: bool = False) -> Dict[str, Any]:
+        """Membership + ring version + per-shard health + store stats."""
+        if probe:
+            await self._probe_members()
+        members = {
+            url: member.describe()
+            for url, member in self._members.items()
+        }
+        entries = 0
+        total_bytes = 0
+        for member in self._members.values():
+            store = (member.health or {}).get("store")
+            if isinstance(store, dict) and member.in_ring:
+                # All shards normally share one store directory; take
+                # the max rather than a double-counting sum.
+                entries = max(entries, int(store.get("entries", 0) or 0))
+                total_bytes = max(
+                    total_bytes, int(store.get("total_bytes", 0) or 0)
+                )
+        return {
+            "ring": self._ring.describe(),
+            "members": members,
+            "store": {"entries": entries, "total_bytes": total_bytes},
+            "heartbeat": {
+                "period_s": self.heartbeat_s,
+                "timeout_s": self.heartbeat_timeout_s,
+                "eject_after": self.eject_after,
+            },
+        }
 
     async def _health(self) -> _Response:
         shards: Dict[str, Any] = {}
@@ -516,7 +918,7 @@ class ShardRouter:
                 "status": status,
                 "role": "router",
                 "shards": shards,
-                "ring": self.ring.describe(),
+                "ring": self._ring.describe(),
             },
             sort_keys=True,
         ).encode()
@@ -526,7 +928,8 @@ class ShardRouter:
         scratch = MetricsRegistry()
         scratch.merge_snapshot(self.registry.snapshot())
         for url, payload in await self._each_shard("/metrics"):
-            index = self._shard_index[url]
+            member = self._members.get(url)
+            index = member.index if member is not None else -1
             if isinstance(payload, ServeError):
                 scratch.gauge_set(f"serve.shard.{index}.up", 0)
                 continue

@@ -29,6 +29,26 @@ Backends
 Store failures are never fatal: a broken backend degrades to
 recomputation (counted in ``serve.store.errors``), exactly like a
 replay-cache miss.
+
+Garbage collection
+------------------
+
+The file backend is size-capped the same way the replay cache is
+(``REPRO_CACHE_MAX_MB``): set ``REPRO_SERVE_STORE_MAX_MB`` and every
+``put`` evicts least-recently-used entries (mtime order; reads
+re-touch their entry) until the directory is back under the cap.  Two
+protections keep eviction safe under live traffic:
+
+- entries this process wrote or read are in its *live set* and are
+  never evicted by it (the replay-cache discipline), and
+- digests explicitly pinned via :meth:`ResultStore.pin` — the worker
+  pool pins every in-flight digest for the duration of its execution —
+  are never evicted either, so a payload cannot vanish between a
+  router routing decision and the owning worker's store probe.
+
+The cap may therefore be transiently exceeded rather than ever losing
+a live result; evictions are counted in ``serve.store.evictions`` /
+``serve.store.evicted_bytes``.
 """
 
 from __future__ import annotations
@@ -37,6 +57,7 @@ import hashlib
 import os
 import re
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -45,6 +66,11 @@ from repro.obs import metrics as _metrics
 
 #: Environment variable naming a shared store directory.
 STORE_DIR_ENV = "REPRO_SERVE_STORE_DIR"
+
+#: Environment variable capping the file backend's size in megabytes
+#: (unset / empty / non-numeric / <= 0 means unbounded), mirroring the
+#: replay cache's ``REPRO_CACHE_MAX_MB``.
+STORE_MAX_MB_ENV = "REPRO_SERVE_STORE_MAX_MB"
 
 #: Environment variable naming a remote store base URL (a serve
 #: instance exposing ``/store``); the directory variable wins if both
@@ -62,6 +88,21 @@ _DIGEST_SIZE = 16
 #: Digests are run-manifest config digests: lowercase hex.  Anything
 #: else is rejected before it can touch the filesystem or a URL.
 _DIGEST_RE = re.compile(r"^[0-9a-f]{8,128}$")
+
+
+def store_max_bytes() -> Optional[int]:
+    """The configured size cap in bytes (``REPRO_SERVE_STORE_MAX_MB``),
+    or None for unbounded (unset, empty, non-numeric or <= 0)."""
+    raw = os.environ.get(STORE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 def check_digest(digest: str) -> str:
@@ -101,6 +142,16 @@ class ResultStore:
         """JSON-ready backend summary for health endpoints."""
         raise NotImplementedError
 
+    def pin(self, digest: str) -> None:
+        """Protect a digest from eviction while it is in flight.
+
+        Pins are reference-counted; callers must balance with
+        :meth:`unpin`.  Backends without eviction ignore pins.
+        """
+
+    def unpin(self, digest: str) -> None:
+        """Release one :meth:`pin` reference on a digest."""
+
 
 class FileResultStore(ResultStore):
     """Shared-directory backend (multi-process safe, checksummed).
@@ -110,11 +161,45 @@ class FileResultStore(ResultStore):
     ``serve.store.corrupt``, recomputed — never returned.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root)
+        #: Size cap for LRU-by-mtime eviction; defaults to
+        #: ``REPRO_SERVE_STORE_MAX_MB``; None means unbounded.
+        self.max_bytes = store_max_bytes() if max_bytes is None else max_bytes
+        self.evictions = 0
+        #: Entry file names this process wrote or hit — never evicted
+        #: by it (the replay-cache live-set discipline).
+        self._live: set = set()
+        #: Reference-counted digests protected while in flight.
+        self._pins: Dict[str, int] = {}
+        self._pin_lock = threading.Lock()
 
     def _path(self, digest: str) -> Path:
         return self.root / f"{check_digest(digest)}.res"
+
+    def pin(self, digest: str) -> None:
+        with self._pin_lock:
+            self._pins[digest] = self._pins.get(digest, 0) + 1
+
+    def unpin(self, digest: str) -> None:
+        with self._pin_lock:
+            count = self._pins.get(digest, 0) - 1
+            if count > 0:
+                self._pins[digest] = count
+            else:
+                self._pins.pop(digest, None)
+
+    def _protected(self, name: str) -> bool:
+        """Whether an entry file name is exempt from eviction."""
+        if name in self._live:
+            return True
+        digest = name[:-len(".res")] if name.endswith(".res") else name
+        with self._pin_lock:
+            return digest in self._pins
 
     def get(self, digest: str) -> Optional[bytes]:
         path = self._path(digest)
@@ -135,6 +220,11 @@ class FileResultStore(ResultStore):
             except OSError:
                 pass
             return None
+        self._live.add(path.name)
+        try:
+            os.utime(path)  # LRU recency: a read re-touches its entry
+        except OSError:
+            pass
         _metrics.counter_add("serve.store.hits")
         return payload
 
@@ -157,7 +247,48 @@ class FileResultStore(ResultStore):
             except OSError:
                 pass
             return
+        self._live.add(path.name)
         _metrics.counter_add("serve.store.stores")
+        self._enforce_cap()
+
+    def _entries_by_age(self):
+        out = []
+        for path in self.root.glob("*.res"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((stat.st_mtime, stat.st_size, path))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Live (written/read here) and pinned (in-flight anywhere in this
+        process) entries are exempt, so the cap can be transiently
+        exceeded rather than ever evicting a payload a worker or the
+        router is about to use.
+        """
+        if self.max_bytes is None or not self.root.is_dir():
+            return
+        entries = self._entries_by_age()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if self._protected(path.name):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            _metrics.counter_add("serve.store.evictions")
+            _metrics.counter_add("serve.store.evicted_bytes", size)
 
     def stats(self) -> Dict[str, object]:
         entries = 0
@@ -169,11 +300,16 @@ class FileResultStore(ResultStore):
                 except OSError:
                     continue
                 entries += 1
+        with self._pin_lock:
+            pinned = len(self._pins)
         return {
             "backend": "file",
             "root": str(self.root),
             "entries": entries,
             "total_bytes": total,
+            "max_bytes": self.max_bytes,
+            "pinned": pinned,
+            "evictions": self.evictions,
         }
 
 

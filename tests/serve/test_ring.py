@@ -23,7 +23,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ServeError
-from repro.serve.ring import DEFAULT_RING_REPLICAS, HashRing, _point
+from repro.serve.ring import (
+    DEFAULT_RING_REPLICAS,
+    HashRing,
+    VersionedRing,
+    _point,
+    moved_keys,
+)
 
 # Node names shaped like real shard URLs; keys shaped like hex digests.
 nodes_strategy = st.lists(
@@ -186,3 +192,85 @@ def test_point_is_stable():
     assert _point("node#0") == _point("node#0")
     assert _point("a") != _point("b")
     assert 0 <= _point("anything") < 2**64
+
+
+@settings(max_examples=40, deadline=None)
+@given(nodes=nodes_strategy, port=st.integers(0, 9999))
+def test_add_then_remove_is_identical_ring(nodes, port):
+    """Add-then-remove round-trips to a structurally *identical* ring —
+    not just same lookups on sampled keys: same points, same owners.
+    Transient membership churn is therefore fully reversible."""
+    newcomer = f"http://10.0.0.1:{10_000 + port}"
+    ring = HashRing(nodes)
+    assert ring.with_node(newcomer).without_node(newcomer) == ring
+
+
+@settings(max_examples=40, deadline=None)
+@given(nodes=st.lists(
+    st.integers(min_value=0, max_value=9999).map(
+        lambda port: f"http://127.0.0.1:{10_000 + port}"
+    ),
+    min_size=2, max_size=8, unique=True,
+))
+def test_removal_deletes_exactly_the_leavers_vnodes(nodes):
+    """Shrink semantics at the vnode level: removing a shard deletes
+    precisely its virtual nodes and no others — every survivor's point
+    keeps its position and owner."""
+    ring = HashRing(nodes)
+    leaver = nodes[0]
+    shrunk = ring.without_node(leaver)
+    before = set(zip(ring._points, ring._owners))
+    after = set(zip(shrunk._points, shrunk._owners))
+    removed = before - after
+    assert after <= before
+    assert all(owner == leaver for _, owner in removed)
+    assert len(removed) == ring.replicas
+
+
+@settings(max_examples=40, deadline=None)
+@given(nodes=st.lists(
+    st.integers(min_value=0, max_value=9999).map(
+        lambda port: f"http://127.0.0.1:{10_000 + port}"
+    ),
+    min_size=2, max_size=8, unique=True,
+), keys=keys_strategy)
+def test_moved_keys_only_involve_the_leaver(nodes, keys):
+    """moved_keys() on a shrink reports exactly the departed shard's
+    keys (minimal remap, observed through the diagnostic the router
+    uses)."""
+    ring = HashRing(nodes)
+    leaver = nodes[0]
+    shrunk = ring.without_node(leaver)
+    moved = moved_keys(ring, shrunk, keys)
+    assert set(moved) == {
+        key for key in keys if ring.node_for(key) == leaver
+    }
+
+
+class TestVersionedRing:
+    def test_version_increments_on_join_and_leave(self):
+        ring = VersionedRing(["http://a:1", "http://b:2"])
+        assert ring.version == 0
+        grown = ring.join("http://c:3")
+        assert grown.version == 1
+        shrunk = grown.leave("http://c:3")
+        assert shrunk.version == 2
+        # The underlying ring round-trips even as the version advances.
+        assert shrunk.ring == ring.ring
+        assert ring.version == 0  # immutability: originals untouched
+
+    def test_leave_last_node_rejected(self):
+        ring = VersionedRing(["http://a:1"])
+        with pytest.raises(ServeError):
+            ring.leave("http://a:1")
+
+    def test_lookup_and_describe_delegate(self):
+        import json
+
+        ring = VersionedRing(["http://a:1", "http://b:2"])
+        assert ring.node_for("00" * 16) in ring.nodes
+        assert len(ring) == 2
+        assert "http://a:1" in ring
+        described = json.loads(json.dumps(ring.describe()))
+        assert described["version"] == 0
+        assert sorted(described["nodes"]) == ["http://a:1", "http://b:2"]

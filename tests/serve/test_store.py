@@ -13,11 +13,13 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve.store import (
     STORE_DIR_ENV,
     STORE_MAGIC,
+    STORE_MAX_MB_ENV,
     STORE_URL_ENV,
     FileResultStore,
     HTTPResultStore,
     check_digest,
     resolve_store,
+    store_max_bytes,
 )
 
 DIGEST = "ab" * 16
@@ -206,3 +208,138 @@ class TestHTTPStore:
             assert counters["serve.store.hits"] == 1
         finally:
             second.drain()
+
+
+def _digest(index: int) -> str:
+    return f"{index:032x}"
+
+
+def _fill(root, count: int, payload_bytes: int = 1000):
+    """Seed ``count`` entries with strictly increasing mtimes via an
+    unbounded writer (its live set is irrelevant to later instances)."""
+    import time as _time
+
+    writer = FileResultStore(root, max_bytes=None)
+    base = _time.time() - 1000.0
+    for index in range(count):
+        writer.put(_digest(index), b"x" * payload_bytes)
+        path = root / f"{_digest(index)}.res"
+        os.utime(path, times=(base + index, base + index))
+    return writer
+
+
+class TestStoreGC:
+    @pytest.mark.parametrize("raw,expected", [
+        ("", None), ("  ", None), ("nan-ish", None), ("0", None),
+        ("-3", None), ("2", 2 * 1024 * 1024), ("0.5", 512 * 1024),
+    ])
+    def test_store_max_bytes_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(STORE_MAX_MB_ENV, raw)
+        assert store_max_bytes() == expected
+
+    def test_store_max_bytes_unset(self, monkeypatch):
+        monkeypatch.delenv(STORE_MAX_MB_ENV, raising=False)
+        assert store_max_bytes() is None
+
+    def test_env_cap_picked_up_by_constructor(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_MAX_MB_ENV, "1")
+        assert FileResultStore(tmp_path).max_bytes == 1024 * 1024
+        assert FileResultStore(tmp_path, max_bytes=42).max_bytes == 42
+
+    def test_put_evicts_oldest_until_under_cap(self, tmp_path):
+        # Entries are ~1020 bytes packed; a 2.5 KB cap holds two.
+        _fill(tmp_path, 4)
+        store = FileResultStore(tmp_path, max_bytes=2500)
+        with _metrics.scoped_registry() as registry:
+            store.put(_digest(4), b"x" * 1000)
+            counters = registry.snapshot()["counters"]
+        # Oldest three evicted; the newest old entry and the fresh
+        # write survive.
+        survivors = sorted(p.name for p in tmp_path.glob("*.res"))
+        assert survivors == sorted(
+            [f"{_digest(3)}.res", f"{_digest(4)}.res"]
+        )
+        assert store.evictions == 3
+        assert counters.get("serve.store.evictions") == 3
+        assert counters.get("serve.store.evicted_bytes", 0) > 0
+        assert store.stats()["evictions"] == 3
+
+    def test_own_writes_are_never_evicted(self, tmp_path):
+        # A writer's own entries are all live: the cap is transiently
+        # exceeded rather than ever losing a payload it produced.
+        store = FileResultStore(tmp_path, max_bytes=1500)
+        for index in range(4):
+            store.put(_digest(index), b"x" * 1000)
+        assert len(list(tmp_path.glob("*.res"))) == 4
+        assert store.evictions == 0
+
+    def test_read_marks_live_and_retouches(self, tmp_path):
+        _fill(tmp_path, 3)
+        store = FileResultStore(tmp_path, max_bytes=2500)
+        # Reading the *oldest* entry protects it in two independent
+        # ways: it joins this store's live set, and its mtime is
+        # re-touched to now (LRU recency).
+        assert store.get(_digest(0)) == b"x" * 1000
+        store.put(_digest(3), b"x" * 1000)
+        names = {p.name for p in tmp_path.glob("*.res")}
+        assert f"{_digest(0)}.res" in names
+        assert f"{_digest(3)}.res" in names
+
+    def test_pinned_digest_never_evicted(self, tmp_path):
+        _fill(tmp_path, 4)
+        store = FileResultStore(tmp_path, max_bytes=1500)
+        store.pin(_digest(0))
+        try:
+            store.put(_digest(4), b"x" * 1000)
+            names = {p.name for p in tmp_path.glob("*.res")}
+            assert f"{_digest(0)}.res" in names  # oldest, but pinned
+            assert f"{_digest(4)}.res" in names  # just written (live)
+        finally:
+            store.unpin(_digest(0))
+
+    def test_pin_refcounts(self, tmp_path):
+        store = FileResultStore(tmp_path, max_bytes=10)
+        store.pin(DIGEST)
+        store.pin(DIGEST)
+        store.unpin(DIGEST)
+        assert store.stats()["pinned"] == 1
+        store.unpin(DIGEST)
+        assert store.stats()["pinned"] == 0
+        store.unpin(DIGEST)  # over-release is harmless
+        assert store.stats()["pinned"] == 0
+
+
+class TestStoreGCProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pinned=st.sets(st.integers(min_value=0, max_value=5),
+                       min_size=0, max_size=6),
+        read=st.sets(st.integers(min_value=0, max_value=5),
+                     min_size=0, max_size=6),
+    )
+    def test_live_and_pinned_digests_survive_any_eviction(
+        self, tmp_path_factory, pinned, read
+    ):
+        """The GC safety contract: no pinned (in-flight) digest and no
+        digest this store has served is ever evicted, whatever the cap
+        pressure."""
+        root = tmp_path_factory.mktemp("store-gc")
+        _fill(root, 6)
+        # A cap far below the directory's size forces maximal eviction.
+        store = FileResultStore(root, max_bytes=1100)
+        for index in pinned:
+            store.pin(_digest(index))
+        for index in read:
+            assert store.get(_digest(index)) is not None
+        try:
+            store.put(_digest(99), b"x" * 1000)
+            names = {p.name for p in root.glob("*.res")}
+            assert f"{_digest(99)}.res" in names
+            for index in pinned | read:
+                assert f"{_digest(index)}.res" in names
+        finally:
+            for index in pinned:
+                store.unpin(_digest(index))

@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""CI chaos smoke: a 3-shard fleet survives a SIGKILL mid-storm.
+
+The fleet-level robustness proof, against real daemon subprocesses:
+
+1. **reference** — a 1-shard fleet serves every spec in the mix; its
+   payloads are the reference bytes (and must equal the in-process
+   engine, so "reference" is never a second source of truth).
+2. **chaos** — a 3-shard fleet takes a duplicate storm with paced jobs;
+   one shard is SIGKILLed mid-storm (no drain, no journal flush) and a
+   replacement is grown into the live ring.  Asserts **zero
+   accepted-job loss** (every accepted digest resolves, possibly via
+   one backed-off resubmission), **byte identity** with the reference,
+   **bounded recomputation** (every digest computed at least once and
+   the total excess bounded by the killed shard's in-flight work,
+   counted through the ``REPRO_CHAOS_LOG`` seam), a **structured
+   degraded surface** (any failure seen by the client is a typed
+   ``DEGRADED``/404, never a raw 502), and a **ring version** that
+   advanced for the ejection and the replacement join.
+3. **store GC pressure** — a size-capped store under eviction pressure
+   never drops a pinned (in-flight) or just-read digest.
+
+Writes a JSON report (uploaded as a CI artifact) and exits non-zero on
+any violated invariant.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py --out chaos-smoke-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import DegradedError, ServeError
+from repro.obs import metrics as _metrics
+from repro.serve import Fleet, ServeClient, submit_with_backoff
+from repro.serve.chaos import CHAOS_LOG_ENV, read_log
+from repro.serve.executor import JOB_HOOK_ENV
+from repro.serve.jobs import JobSpec, execute_spec, normalize_spec, spec_digest
+from repro.serve.store import FileResultStore
+from repro.loadgen.pacing import SERVICE_MS_ENV
+
+SPECS = [
+    {"experiment": "table2", "scale": 0.02, "seed": seed}
+    for seed in range(6)
+]
+FAN_IN = 3  # concurrent submitters per distinct spec
+WORKERS = 1  # per shard; also the recomputation bound after a SIGKILL
+
+
+def _digest(spec: dict) -> str:
+    return spec_digest(normalize_spec(dict(spec)))
+
+
+def _reference(root: str) -> tuple:
+    """Phase 1: 1-shard fleet bytes per digest + engine-identity check."""
+    reference = {}
+    with Fleet(shards=1, root=root, workers=2) as fleet:
+        client = ServeClient(fleet.url)
+        for spec in SPECS:
+            job_id = client.submit(**spec)["job"]["id"]
+            record = client.wait(job_id, timeout_s=120)
+            if record["state"] != "done":
+                raise ServeError(f"reference job failed: {record}")
+            reference[_digest(spec)] = client.result_bytes(job_id)
+    engine_identical = all(
+        reference[_digest(spec)] == execute_spec(
+            JobSpec(spec["experiment"], spec["scale"], spec["seed"])
+        )
+        for spec in SPECS
+    )
+    return reference, engine_identical
+
+
+class _Surface:
+    """Tallies how failures surfaced to the client during recovery."""
+
+    def __init__(self) -> None:
+        self.degraded = 0
+        self.not_found = 0
+        self.raw_5xx = 0
+
+    def note(self, error: ServeError) -> None:
+        if isinstance(error, DegradedError):
+            self.degraded += 1
+        elif getattr(error, "http_status", None) == 404:
+            self.not_found += 1
+        elif (getattr(error, "http_status", 0) or 0) >= 500:
+            self.raw_5xx += 1  # e.g. a silent 502 — the bug class
+
+
+def _recover(client, spec, job_id, surface) -> bytes:
+    """An accepted job's bytes, resubmitting through degraded windows."""
+    try:
+        record = client.wait(job_id, timeout_s=120)
+        if record["state"] == "done":
+            try:
+                return client.result_bytes(job_id)
+            except ServeError as error:
+                surface.note(error)
+    except ServeError as error:
+        surface.note(error)
+    response = submit_with_backoff(
+        client, spec["experiment"], scale=spec["scale"],
+        seed=spec["seed"], attempts=8,
+    )
+    record = client.wait(response["job"]["id"], timeout_s=120)
+    if record["state"] != "done":
+        raise ServeError(f"resubmission failed: {record}")
+    return client.result_bytes(response["job"]["id"])
+
+
+def _chaos(root: str, reference: dict, checks: dict) -> dict:
+    """Phase 2: SIGKILL 1 of 3 mid-storm, grow a replacement."""
+    chaos_log = str(Path(root) / "chaos.log")
+    extra_env = {
+        JOB_HOOK_ENV: "repro.serve.chaos:log_computation",
+        CHAOS_LOG_ENV: chaos_log,
+        SERVICE_MS_ENV: "200",
+    }
+    surface = _Surface()
+    with Fleet(
+        shards=3, root=str(Path(root) / "fleet"), workers=WORKERS,
+        extra_env=extra_env,
+        heartbeat_s=0.3, heartbeat_timeout_s=0.5, eject_after=2,
+    ) as fleet:
+        client = ServeClient(fleet.url)
+        version0 = fleet.router.ring_version
+
+        plan = [dict(spec) for spec in SPECS for _ in range(FAN_IN)]
+        responses = [None] * len(plan)
+        barrier = threading.Barrier(len(plan))
+
+        def submit(index: int) -> None:
+            barrier.wait()
+            responses[index] = client.submit(**plan[index])
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(len(plan))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        checks["storm_fully_accepted"] = all(r is not None for r in responses)
+        accepted = {
+            _digest(spec): response["job"]["id"]
+            for response, spec in zip(responses, plan)
+            if response is not None
+        }
+
+        time.sleep(0.15)  # paced jobs are now provably in flight
+        fleet.kill_shard(0, force=True)
+        replacement = fleet.add_shard()
+        checks["replacement_joined_ring"] = (
+            replacement.url in fleet.router.ring
+        )
+
+        lost = 0
+        mismatched = 0
+        for spec in SPECS:
+            digest = _digest(spec)
+            try:
+                payload = _recover(client, spec, accepted[digest], surface)
+            except ServeError:
+                lost += 1
+                continue
+            if payload != reference[digest]:
+                mismatched += 1
+        checks["zero_loss_after_sigkill"] = lost == 0
+        checks["payloads_byte_identical"] = mismatched == 0
+        checks["ring_version_advanced"] = (
+            fleet.router.ring_version > version0
+        )
+        counters = client.metrics()["counters"]
+
+    counts = read_log(chaos_log)
+    checks["every_digest_computed"] = set(counts) == set(reference)
+    excess = sum(count - 1 for count in counts.values())
+    checks["recomputation_bounded"] = 0 <= excess <= WORKERS
+    checks["degraded_is_structured"] = surface.raw_5xx == 0
+    return {
+        "computations_per_digest": counts,
+        "recomputation_excess": excess,
+        "failure_surface": {
+            "degraded": surface.degraded,
+            "not_found": surface.not_found,
+            "raw_5xx": surface.raw_5xx,
+        },
+        "fleet_counters": {
+            name: value
+            for name, value in counters.items()
+            if name.startswith(("serve.jobs.", "serve.store.",
+                                "serve.router.", "serve.shard."))
+        },
+    }
+
+
+def _store_gc(root: str, checks: dict) -> dict:
+    """Phase 3: eviction pressure never drops pinned or live digests."""
+    digests = [f"{index:032x}" for index in range(6)]
+    payload = b"x" * 1000
+    # Seed through a separate (unbounded) writer instance: a store
+    # never evicts its own writes, so pressure has to come from
+    # entries it merely found on disk — the multi-shard shape.
+    writer = FileResultStore(Path(root) / "gc-store")
+    for digest in digests:
+        writer.put(digest, payload)
+        time.sleep(0.01)  # strictly ordered mtimes for LRU
+    with _metrics.scoped_registry() as registry:
+        store = FileResultStore(Path(root) / "gc-store", max_bytes=3500)
+        pinned = digests[0]
+        store.pin(pinned)
+        read = digests[1]
+        store.get(read)  # marks live and re-touches
+        store.put(f"{99:032x}", payload)  # push past the cap again
+        snapshot = registry.snapshot()["counters"]
+        checks["gc_evicted_under_pressure"] = (
+            snapshot.get("serve.store.evictions", 0) >= 1
+        )
+        checks["gc_pinned_survives"] = store.get(pinned) == payload
+        checks["gc_live_read_survives"] = store.get(read) == payload
+        store.unpin(pinned)
+        return {
+            "evictions": snapshot.get("serve.store.evictions", 0),
+            "evicted_bytes": snapshot.get("serve.store.evicted_bytes", 0),
+            "occupancy": store.stats(),
+        }
+
+
+def run(out_path: str) -> int:
+    checks: dict = {}
+    print(
+        f"chaos smoke: {len(SPECS)} distinct specs x {FAN_IN} fan-in, "
+        f"SIGKILL 1 of 3 shards mid-storm",
+        file=sys.stderr,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as root:
+        reference, engine_identical = _reference(str(Path(root) / "ref"))
+        checks["reference_matches_engine"] = engine_identical
+        chaos_detail = _chaos(root, reference, checks)
+        gc_detail = _store_gc(root, checks)
+
+    report = {
+        "specs": SPECS,
+        "fan_in": FAN_IN,
+        "workers_per_shard": WORKERS,
+        "checks": checks,
+        "chaos": chaos_detail,
+        "store_gc": gc_detail,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {out_path}", file=sys.stderr)
+
+    failed = [name for name, ok in checks.items() if not ok]
+    for name, ok in sorted(checks.items()):
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}", file=sys.stderr)
+    if failed:
+        print(f"chaos smoke FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("chaos smoke passed", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="chaos-smoke-report.json", metavar="PATH",
+        help="JSON report path (default: chaos-smoke-report.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
