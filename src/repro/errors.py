@@ -115,6 +115,19 @@ class CheckpointError(ReproError):
     code = "CHECKPOINT"
 
 
+class CompressionError(ReproError):
+    """The compressed-LLC model was misconfigured.
+
+    Raised by :mod:`repro.techniques.compression` for an invalid
+    compacted-way tag factor (``REPRO_COMPRESS_TAG_FACTOR``), a
+    compressed-size function that returns sizes outside
+    ``(0, block_bytes]``, or an unusable compressibility distribution.
+    """
+
+    code = "COMPRESS"
+    exit_code = 2
+
+
 class PlanError(ReproError):
     """The DSE planner was misconfigured or its grid is unusable.
 

@@ -13,12 +13,14 @@ module            regenerates
 ``coresweep``     Section V-C core-sweep sensitivity study
 ``lifetime``      Section VII future-work lifetime study
 ``techniques_study``  technique-group evaluation (extension)
+``compression``   compacted-way compressed LLC study (extension)
 ``sensitivity``   robustness sweep of the headline conclusions
 ``runner``        run-everything CLI (``repro-experiments``)
 ================  ============================================
 """
 
 from repro.experiments import (
+    compression,
     coresweep,
     lifetime,
     sensitivity,
@@ -35,6 +37,7 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentContext, TableWriter
 
 __all__ = [
+    "compression",
     "coresweep",
     "lifetime",
     "sensitivity",

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.experiments import (
+    compression,
     coresweep,
     lifetime,
     sensitivity,
@@ -55,6 +56,7 @@ EXPERIMENTS = (
     "coresweep",
     "lifetime",
     "techniques",
+    "compression",
     "sensitivity",
 )
 
@@ -124,6 +126,12 @@ def run_experiment(name: str, context: ExperimentContext, features=None):
         return (
             "Techniques study (extension)",
             techniques_study.render(techniques_study.run(context)),
+            features,
+        )
+    if name == "compression":
+        return (
+            "Compressed LLC study (extension)",
+            compression.render(compression.run(context)),
             features,
         )
     if name == "sensitivity":

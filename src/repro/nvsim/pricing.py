@@ -23,6 +23,7 @@ def price_counts(
     counts,
     llc_model: LLCModel,
     arch,
+    write_energy_scale: float = 1.0,
 ):
     """Price precomputed LLC counts on one model: timing, energy, guard.
 
@@ -30,6 +31,11 @@ def price_counts(
     :class:`~repro.sim.hierarchy.PrivateResult`; ``counts`` an
     :class:`~repro.sim.llc.LLCCounts` for this model's geometry —
     replayed or predicted, the pricing is the same.
+
+    ``write_energy_scale`` scales per-write dynamic energy (see
+    :func:`repro.sim.energy.llc_energy`); compressed-LLC callers pass
+    the replayed ``write_bytes_fraction`` so the energy bill follows
+    bytes actually programmed.
     """
     # Lazy imports: repro.sim modules import repro.nvsim.model at module
     # level, so importing them here (not at import time) keeps the
@@ -43,6 +49,7 @@ def price_counts(
     energy = llc_energy(
         counts, llc_model, timing.runtime_s,
         include_fill_writes=arch.llc_fill_writes,
+        write_energy_scale=write_energy_scale,
     )
     return guard_result(SimResult(
         workload=workload,

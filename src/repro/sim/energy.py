@@ -50,6 +50,7 @@ def llc_energy(
     llc_model: LLCModel,
     runtime_s: float,
     include_fill_writes: bool = False,
+    write_energy_scale: float = 1.0,
 ) -> LLCEnergy:
     """Account the LLC's energy for one resolved simulation.
 
@@ -58,6 +59,12 @@ def llc_energy(
     tag probe only, so the default matches the paper; turning fills on
     is the ablation DESIGN.md calls out (physically, an NVM data array
     pays programming energy on every installation).
+
+    ``write_energy_scale`` multiplies the per-write dynamic energy —
+    the hook compressed LLCs use to charge only the bytes actually
+    programmed (the replay outcome's ``write_bytes_fraction``).  The
+    default 1.0 is float-exact, so uncompressed results are unchanged
+    to the last ulp.
     """
     if not math.isfinite(runtime_s) or runtime_s < 0:
         # `runtime_s < 0` alone lets NaN through (NaN compares False),
@@ -66,10 +73,15 @@ def llc_energy(
         raise SimulationError(
             f"runtime must be a finite non-negative number, got {runtime_s!r}"
         )
+    if not math.isfinite(write_energy_scale) or write_energy_scale <= 0:
+        raise SimulationError(
+            f"write_energy_scale must be a finite positive number, "
+            f"got {write_energy_scale!r}"
+        )
     writes = counts.data_writes if include_fill_writes else counts.write_accesses
     return LLCEnergy(
         hit_energy_j=counts.read_hits * llc_model.hit_energy_j,
         miss_energy_j=counts.read_misses * llc_model.miss_energy_j,
-        write_energy_j=writes * llc_model.write_energy_j,
+        write_energy_j=writes * llc_model.write_energy_j * write_energy_scale,
         leakage_energy_j=llc_model.leakage_w * runtime_s,
     )

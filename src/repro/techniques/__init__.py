@@ -4,10 +4,20 @@ One representative per group: :class:`SetRotationLeveling` (adapted
 architectural), :class:`ReuseWriteBypass` (novel architectural) and
 :class:`EarlyWriteTermination` (device level), evaluated against a
 technique-free baseline on write count, energy, DRAM traffic and
-projected lifetime.
+projected lifetime.  :class:`CompressedLLC` adds the compacted-way
+compression family from the L2C2 follow-up work (arXiv:2204.09504),
+which changes *effective capacity* as well as per-write cost.
 """
 
 from repro.techniques.base import Technique
+from repro.techniques.compression import (
+    DEFAULT_TAG_FACTOR,
+    TAG_FACTOR_ENV,
+    CompactedOutcome,
+    CompactedWayCache,
+    CompressedLLC,
+    resolve_tag_factor,
+)
 from repro.techniques.early_write_termination import (
     DEFAULT_REDUNDANT_FRACTION,
     EarlyWriteTermination,
@@ -29,6 +39,12 @@ from repro.techniques.write_bypass import ReuseWriteBypass
 
 __all__ = [
     "Technique",
+    "DEFAULT_TAG_FACTOR",
+    "TAG_FACTOR_ENV",
+    "CompactedOutcome",
+    "CompactedWayCache",
+    "CompressedLLC",
+    "resolve_tag_factor",
     "DEFAULT_REDUNDANT_FRACTION",
     "EarlyWriteTermination",
     "TechniqueEvaluation",

@@ -45,3 +45,23 @@ class Technique:
     def write_latency_factor(self) -> float:
         """Multiplier on per-write latency (device techniques)."""
         return 1.0
+
+    def line_size_bytes(self, block: int, block_bytes: int) -> int:
+        """Bytes actually written when this block's line is programmed.
+
+        Compression techniques return the line's compressed size; the
+        default writes the full block.  The replay engine sums these
+        into :attr:`~repro.techniques.replay.TechniqueOutcome.write_bytes`,
+        which scales write energy and per-cell wear.
+        """
+        return block_bytes
+
+    def make_cache(self, capacity_bytes: int, block_bytes: int, associativity: int):
+        """The cache the replay engine should drive, or None.
+
+        Capacity-changing techniques (compacted-way compression) return
+        their own cache variant here; the default None means the plain
+        :class:`~repro.sim.cache.SetAssocCache`, which keeps every
+        pre-existing technique byte-identical to the baseline engine.
+        """
+        return None

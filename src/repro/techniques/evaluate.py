@@ -52,12 +52,28 @@ class TechniqueEvaluation:
 
     @property
     def lifetime_gain(self) -> Optional[float]:
-        """Unleveled-lifetime multiplier (None for unlimited classes)."""
+        """Unleveled-lifetime multiplier (None for unlimited classes).
+
+        The underlying estimates are built with the replay outcome's
+        *physical* frame count and per-cell write fraction, so the gain
+        stays meaningful for capacity-changing techniques: compression
+        holds more lines in the same frames and programs fewer cells
+        per write, neither of which the historical fixed-line-count
+        assumption could express.
+        """
         a = self.baseline_lifetime.unleveled_years
         b = self.treated_lifetime.unleveled_years
         if a is None or b is None:
             return None
         return b / a if a else float("inf")
+
+    @property
+    def write_bytes_reduction(self) -> float:
+        """Fraction of data-array bytes no longer programmed."""
+        base = self.baseline.write_bytes
+        if base == 0:
+            return 0.0
+        return 1.0 - self.treated.write_bytes / base
 
     @property
     def extra_dram_writes(self) -> int:
@@ -106,13 +122,16 @@ def evaluate_technique(
         arch.n_cores,
     )
 
+    # Energy follows bytes actually programmed: write_bytes/block_bytes
+    # is float-exact total_writes for full-size writes, and the
+    # compressed fraction of a write for compacted lines.
     base_energy = (
-        baseline.wear.total_writes
+        (baseline.write_bytes / baseline.block_bytes)
         * llc_model.write_energy_j
         * baseline.write_energy_factor
     )
     treated_energy = (
-        treated.wear.total_writes
+        (treated.write_bytes / treated.block_bytes)
         * llc_model.write_energy_j
         * treated.write_energy_factor
     )
@@ -124,10 +143,20 @@ def evaluate_technique(
         baseline=baseline,
         treated=treated,
         baseline_lifetime=estimate_lifetime(
-            llc_model.name, llc_model.cell_class, baseline.wear, window_s
+            llc_model.name,
+            llc_model.cell_class,
+            baseline.wear,
+            window_s,
+            n_frames=baseline.n_frames or None,
+            cell_write_fraction=baseline.write_bytes_fraction,
         ),
         treated_lifetime=estimate_lifetime(
-            llc_model.name, llc_model.cell_class, treated.wear, window_s
+            llc_model.name,
+            llc_model.cell_class,
+            treated.wear,
+            window_s,
+            n_frames=treated.n_frames or None,
+            cell_write_fraction=treated.write_bytes_fraction,
         ),
         baseline_write_energy_j=base_energy,
         treated_write_energy_j=treated_energy,

@@ -22,6 +22,7 @@ behavior exactly.
 
 from repro.validate.guard import (
     check_sweep_models,
+    guard_compression,
     guard_counts,
     guard_model,
     guard_result,
@@ -49,6 +50,7 @@ __all__ = [
     "check_sweep_models",
     "current_policy",
     "did_you_mean",
+    "guard_compression",
     "guard_counts",
     "guard_model",
     "guard_result",

@@ -12,6 +12,11 @@ Three guards, one per artifact that crosses a persistence boundary:
   to be journaled to a checkpoint or reported (finite runtime and
   energy, consistent energy breakdown).
 
+Plus :func:`guard_compression`, the count-sum extension for compressed
+replays: the compressed/uncompressed write split must sum to the total
+and the byte accounting must stay between full-size and the ratio-8
+floor.
+
 Plus the sweep-level invariant of the paper's equations (4)-(8),
 :func:`check_sweep_models`: every model in a *fixed-capacity* sweep
 shares one capacity; every model in a *fixed-area* sweep fits the
@@ -191,6 +196,46 @@ def guard_counts(counts, subject: str = "LLC replay",
         _fail(policy, subject, "dirty_evictions", counts.dirty_evictions,
               f"at-most-fills invariant (fills={counts.fills})")
     return counts
+
+
+def guard_compression(outcome, subject: str = "compressed replay",
+                      policy: Union[Policy, str, None] = None):
+    """Reject an inconsistent compressed-replay outcome.
+
+    Extends the count-sum discipline of :func:`guard_counts` to the
+    compressed/uncompressed write split of a
+    :class:`~repro.techniques.replay.TechniqueOutcome`, and bounds the
+    byte accounting by physics: no write programs more than the block,
+    none fewer than an eighth of it (the hardest size class the
+    compressor emits, ratio 8).
+    """
+    policy = resolve_policy(policy)
+    if not policy.active:
+        return outcome
+    for field in ("write_bytes", "compressed_writes", "uncompressed_writes"):
+        value = getattr(outcome, field)
+        if not isinstance(value, int) or value < 0:
+            _fail(policy, subject, field, value,
+                  "non-negative integer requirement")
+    total = outcome.wear.total_writes
+    if outcome.compressed_writes + outcome.uncompressed_writes != total:
+        _fail(
+            policy, subject, "compressed_writes+uncompressed_writes",
+            outcome.compressed_writes + outcome.uncompressed_writes,
+            f"exact-sum invariant (total_writes={total})",
+        )
+    full_bytes = total * outcome.block_bytes
+    if outcome.write_bytes > full_bytes:
+        _fail(policy, subject, "write_bytes", outcome.write_bytes,
+              f"at-most-full-size invariant ({full_bytes} bytes)")
+    if 8 * outcome.write_bytes < full_bytes:
+        _fail(policy, subject, "write_bytes", outcome.write_bytes,
+              f"ratio-8 floor invariant (>= {full_bytes} / 8 bytes)")
+    fraction = outcome.write_bytes_fraction
+    if not 0.125 <= fraction <= 1.0:
+        _fail(policy, subject, "write_bytes_fraction", fraction,
+              "range [0.125, 1]")
+    return outcome
 
 
 def guard_result(result, policy: Union[Policy, str, None] = None):

@@ -111,3 +111,61 @@ def _stable_hash(name: str) -> int:
     for char in name:
         value = (value * 131 + ord(char)) % (2**31)
     return value
+
+
+# -- per-line compressibility (PR 10: compressed NVM LLC) -----------------
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser: uint64 -> well-mixed uint64.
+
+    Pure integer arithmetic (modular by construction), so the mapping is
+    identical on every host, python and numpy version — the property
+    the golden snapshots rely on.
+    """
+    z = (values + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+    z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+    z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+    return z ^ (z >> np.uint64(31))
+
+
+def _line_key(benchmark: str, seed: int) -> np.uint64:
+    """The per-(workload, seed) mixing key for line compressibility."""
+    raw = np.uint64((seed & 0xFFFFFFFF) << 31 | _stable_hash(benchmark))
+    return np.uint64(_splitmix64(np.array([raw], dtype=np.uint64))[0])
+
+
+def line_size_classes(
+    blocks: np.ndarray, benchmark: str, seed: int = DEFAULT_SEED
+) -> np.ndarray:
+    """Deterministic compressed-size class index per cache line.
+
+    Every 64-byte line (block address) of a workload draws its class
+    once from the workload's
+    :class:`~repro.workloads.profiles.CompressibilityProfile`: the
+    block address is mixed with a (workload, seed) key through
+    splitmix64, mapped to a uniform in [0, 1), and inverted through the
+    distribution's CDF.  The same line always lands in the same class —
+    compressibility is a property of the line's data, not of the access
+    — and two workloads (or seeds) decorrelate through the key.
+    """
+    from repro.workloads.profiles import compressibility
+
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    mixed = _splitmix64(blocks ^ _line_key(benchmark, seed))
+    # Top 53 bits -> float64 uniform in [0, 1).
+    uniforms = (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    cdf = np.asarray(compressibility(benchmark).cdf(), dtype=np.float64)
+    return np.searchsorted(cdf, uniforms, side="right").astype(np.int64)
+
+
+def line_compressed_sizes(
+    blocks: np.ndarray, benchmark: str, seed: int = DEFAULT_SEED
+) -> np.ndarray:
+    """Deterministic compressed size in bytes per cache line."""
+    from repro.workloads.profiles import SIZE_CLASSES
+
+    classes = line_size_classes(blocks, benchmark, seed)
+    return np.asarray(SIZE_CLASSES, dtype=np.int64)[classes]

@@ -527,3 +527,121 @@ def profile(name: str) -> BenchmarkProfile:
             unknown_key_message("benchmark", name, sorted(PROFILES))
         )
     return PROFILES[name]
+
+
+# -- per-line compressibility (PR 10: compressed NVM LLC) -----------------
+
+#: Compressed-size classes in bytes: eighths of the 64-byte line, the
+#: quantisation L2C2 (arXiv:2204.09504) uses for its compacted ways.
+#: A line's class is the smallest class its compressed form fits.
+SIZE_CLASSES: Tuple[int, ...] = (8, 16, 24, 32, 40, 48, 56, 64)
+
+
+@dataclass(frozen=True)
+class CompressibilityProfile:
+    """A workload's distribution over compressed-size classes.
+
+    Traces carry no data values, so compressibility is modeled the same
+    way the trace itself is: as a declarative per-workload distribution,
+    sampled deterministically per cache line (see
+    :func:`repro.workloads.generators.line_compressed_sizes`).  The
+    weights follow the FPC/BDI literature's shape: integer-heavy and
+    inference workloads carry many zero/narrow-value lines (small
+    classes), floating-point arrays compress poorly (large classes).
+    """
+
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(SIZE_CLASSES):
+            raise WorkloadError(
+                f"compressibility needs {len(SIZE_CLASSES)} class weights, "
+                f"got {len(self.weights)}"
+            )
+        if any(w < 0 for w in self.weights):
+            raise WorkloadError("compressibility weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise WorkloadError("compressibility weights must sum above zero")
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Normalised class probabilities."""
+        total = sum(self.weights)
+        return tuple(w / total for w in self.weights)
+
+    @property
+    def mean_size_bytes(self) -> float:
+        """Expected compressed line size."""
+        return sum(
+            p * size for p, size in zip(self.probabilities, SIZE_CLASSES)
+        )
+
+    @property
+    def mean_ratio(self) -> float:
+        """Expected compression ratio (uncompressed / compressed)."""
+        return SIZE_CLASSES[-1] / self.mean_size_bytes
+
+    def cdf(self) -> Tuple[float, ...]:
+        """Cumulative class probabilities (last entry exactly 1.0)."""
+        out = []
+        acc = 0.0
+        for p in self.probabilities:
+            acc += p
+            out.append(acc)
+        out[-1] = 1.0
+        return tuple(out)
+
+
+#: A line that does not compress: all mass on the full 64-byte class.
+INCOMPRESSIBLE = CompressibilityProfile(
+    weights=(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+)
+
+#: Per-workload compressibility distributions.  Grouped by data-type
+#: character rather than suite: integer/state-machine codes (bzip2,
+#: gobmk, the AI trio) lean on narrow values and repeated patterns;
+#: dense floating-point kernels (NPB, GemsFDTD, milc) are dominated by
+#: mantissa entropy and sit near the full-size classes; media codes
+#: (x264, vips) fall in between.  Workloads not listed here use
+#: ``DEFAULT_COMPRESSIBILITY``.
+COMPRESSIBILITY: Dict[str, CompressibilityProfile] = {
+    # integer / control-heavy cpu2006
+    "bzip2": CompressibilityProfile((0.10, 0.16, 0.18, 0.20, 0.14, 0.10, 0.07, 0.05)),
+    "gamess": CompressibilityProfile((0.04, 0.07, 0.10, 0.14, 0.16, 0.18, 0.16, 0.15)),
+    "GemsFDTD": CompressibilityProfile((0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.24, 0.28)),
+    "gobmk": CompressibilityProfile((0.14, 0.18, 0.18, 0.16, 0.12, 0.09, 0.07, 0.06)),
+    "milc": CompressibilityProfile((0.02, 0.03, 0.05, 0.07, 0.11, 0.17, 0.25, 0.30)),
+    "perlbench": CompressibilityProfile((0.12, 0.16, 0.17, 0.16, 0.13, 0.10, 0.09, 0.07)),
+    "tonto": CompressibilityProfile((0.04, 0.06, 0.09, 0.13, 0.16, 0.18, 0.18, 0.16)),
+    "x264": CompressibilityProfile((0.08, 0.12, 0.15, 0.17, 0.16, 0.13, 0.10, 0.09)),
+    "vips": CompressibilityProfile((0.07, 0.11, 0.14, 0.17, 0.16, 0.14, 0.11, 0.10)),
+    # NPB floating-point kernels
+    "cg": CompressibilityProfile((0.02, 0.03, 0.04, 0.07, 0.11, 0.17, 0.25, 0.31)),
+    "ep": CompressibilityProfile((0.03, 0.04, 0.06, 0.09, 0.13, 0.18, 0.23, 0.24)),
+    "ft": CompressibilityProfile((0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.24, 0.28)),
+    "is": CompressibilityProfile((0.16, 0.20, 0.18, 0.15, 0.11, 0.08, 0.07, 0.05)),
+    "lu": CompressibilityProfile((0.02, 0.04, 0.06, 0.09, 0.13, 0.18, 0.23, 0.25)),
+    "mg": CompressibilityProfile((0.03, 0.04, 0.06, 0.09, 0.13, 0.18, 0.23, 0.24)),
+    "sp": CompressibilityProfile((0.02, 0.03, 0.05, 0.08, 0.13, 0.18, 0.24, 0.27)),
+    "ua": CompressibilityProfile((0.03, 0.04, 0.06, 0.10, 0.13, 0.18, 0.22, 0.24)),
+    # cpu2017 statistical inference (narrow weights, sparse activations)
+    "deepsjeng": CompressibilityProfile((0.16, 0.19, 0.18, 0.15, 0.11, 0.08, 0.07, 0.06)),
+    "leela": CompressibilityProfile((0.15, 0.18, 0.18, 0.15, 0.12, 0.09, 0.07, 0.06)),
+    "exchange2": CompressibilityProfile((0.18, 0.20, 0.18, 0.14, 0.10, 0.08, 0.07, 0.05)),
+}
+
+#: Fallback distribution for workloads without a dedicated entry:
+#: mildly compressible, mean ratio ~1.5x.
+DEFAULT_COMPRESSIBILITY = CompressibilityProfile(
+    weights=(0.05, 0.08, 0.11, 0.14, 0.16, 0.16, 0.15, 0.15)
+)
+
+
+def compressibility(name: str) -> CompressibilityProfile:
+    """The compressibility distribution for a benchmark.
+
+    Unknown names raise the same did-you-mean error as :func:`profile`,
+    so a typo cannot silently pick up the default distribution.
+    """
+    profile(name)  # validates the benchmark name
+    return COMPRESSIBILITY.get(name, DEFAULT_COMPRESSIBILITY)

@@ -38,6 +38,7 @@ class TestRunAll:
             "coresweep",
             "lifetime",
             "techniques",
+            "compression",
             "sensitivity",
         }
 

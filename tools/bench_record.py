@@ -258,6 +258,13 @@ def main(argv=None) -> int:
         "microbenchmarks (the BENCH_0008.json mode)",
     )
     parser.add_argument(
+        "--compression", action="store_true",
+        help="also run tools/compression_smoke.py's compressed-LLC "
+        "acceptance measurement and embed its summary (lifetime gains, "
+        "byte fractions, orderings) in the snapshot "
+        "(the BENCH_0010.json mode)",
+    )
+    parser.add_argument(
         "--scenario", action="append", metavar="NAME_OR_PATH",
         help="load scenario(s) for --serve; repeatable "
         "(default: scaling, compute)",
@@ -307,6 +314,19 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         snapshot["dse"] = summary
+    if args.compression:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import compression_smoke
+
+        summary = compression_smoke.measure()
+        print(
+            f"compression: {summary['cells']} cells, "
+            f"lifetime ordered: {summary['lifetime_ordered']}, "
+            f"energy ordered: {summary['energy_ordered']}, "
+            f"golden mismatches: {summary['golden_mismatches']}",
+            file=sys.stderr,
+        )
+        snapshot["compression"] = summary
     text = json.dumps(snapshot, indent=2 if args.pretty else None, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

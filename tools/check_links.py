@@ -37,6 +37,7 @@ DEFAULT_DOC_SET = (
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/COMPRESSION.md",
     "docs/CONFIGURATION.md",
     "docs/DSE.md",
     "docs/SERVING.md",

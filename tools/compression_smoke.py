@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI acceptance check for the compressed NVM LLC (``docs/COMPRESSION.md``).
+
+Runs the compression study at the golden scale, then asserts the
+acceptance criteria the compacted-way design promises:
+
+- *lifetime ordering*: on every (workload, endurance-limited LLC) cell
+  the unleveled lifetime forecast with compression is >= the forecast
+  without it (fewer bytes per write can only slow wear);
+- *energy ordering*: total energy with compression never exceeds the
+  uncompressed bill on the same cell;
+- *byte-split consistency*: every replay satisfies the
+  compressed + uncompressed == total write-count invariant and keeps
+  its byte fraction inside the physical ``[1/8, 1]`` band;
+- *golden agreement*: the freshly rendered study matches the committed
+  snapshot ``tests/golden/snapshots/compression.json`` through the
+  tolerance-aware comparator (structure exact, floats 1e-6 relative).
+
+Usage::
+
+    PYTHONPATH=src python tools/compression_smoke.py [--scale 0.05]
+
+Exit 0 when all criteria hold; exit 1 listing each violated criterion.
+``tools/bench_record.py --compression`` embeds :func:`measure`'s
+summary into the committed bench trajectory (``BENCH_0010.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The committed golden snapshot the smoke run must agree with.
+SNAPSHOT = REPO / "tests" / "golden" / "snapshots" / "compression.json"
+
+#: The golden scale the snapshot was pinned at.
+DEFAULT_SCALE = 0.05
+
+
+def measure(scale: float = DEFAULT_SCALE) -> dict:
+    """Run the compression study; return a summary with criteria flags."""
+    from repro.experiments import compression
+    from repro.experiments.common import ExperimentContext
+    from repro.validate.golden import compare_rendered, load_snapshot
+
+    context = ExperimentContext(scale=scale)
+    start = time.perf_counter()
+    study = compression.run(context)
+    elapsed = time.perf_counter() - start
+
+    lifetime_ordered = all(c.lifetime_gain >= 1.0 for c in study.cells)
+    energy_ordered = all(c.energy_ratio <= 1.0 for c in study.cells)
+    splits_consistent = all(
+        comp.compressed_writes + comp.uncompressed_writes
+        == comp.wear.total_writes
+        and 0.125 <= comp.write_bytes_fraction <= 1.0
+        for _, comp in study.outcomes.values()
+    )
+
+    golden_mismatches = []
+    if abs(scale - DEFAULT_SCALE) < 1e-12 and SNAPSHOT.exists():
+        snapshot = load_snapshot(SNAPSHOT)
+        golden_mismatches = compare_rendered(
+            snapshot["render"], compression.render(study), label="compression"
+        )
+
+    return {
+        "scale": scale,
+        "workloads": list(study.workloads),
+        "llcs": list(study.llc_names),
+        "cells": len(study.cells),
+        "lifetime_gains": {
+            f"{c.workload}/{c.llc_name}": round(c.lifetime_gain, 4)
+            for c in study.cells
+        },
+        "write_bytes_fractions": {
+            workload: round(comp.write_bytes_fraction, 4)
+            for workload, (_, comp) in study.outcomes.items()
+        },
+        "lifetime_ordered": lifetime_ordered,
+        "energy_ordered": energy_ordered,
+        "splits_consistent": splits_consistent,
+        "golden_mismatches": len(golden_mismatches),
+        "elapsed_s": round(elapsed, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args(argv)
+
+    summary = measure(scale=args.scale)
+    for key in ("workloads", "llcs", "cells", "lifetime_gains",
+                "write_bytes_fractions", "elapsed_s"):
+        print(f"{key}: {summary[key]}")
+
+    failures = []
+    if not summary["lifetime_ordered"]:
+        failures.append(
+            "lifetime ordering violated: a compressed cell forecasts a "
+            "shorter unleveled lifetime than its uncompressed baseline"
+        )
+    if not summary["energy_ordered"]:
+        failures.append(
+            "energy ordering violated: a compressed cell costs more "
+            "total energy than its uncompressed baseline"
+        )
+    if not summary["splits_consistent"]:
+        failures.append(
+            "byte-split inconsistency: compressed+uncompressed != total "
+            "writes, or a byte fraction left [1/8, 1]"
+        )
+    if summary["golden_mismatches"]:
+        failures.append(
+            f"golden disagreement: {summary['golden_mismatches']} "
+            "mismatches vs tests/golden/snapshots/compression.json "
+            "(tools/regen_golden.py --only compression if intended)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("compression smoke: all criteria hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

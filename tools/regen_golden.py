@@ -47,6 +47,7 @@ GOLDEN_EXPERIMENTS = (
     "coresweep",
     "sensitivity",
     "lifetime",
+    "compression",
 )
 
 SNAPSHOT_DIR = REPO / "tests" / "golden" / "snapshots"
